@@ -1,0 +1,50 @@
+/**
+ * Ablation: the IR-predictor's resetting-confidence threshold.
+ *
+ * The paper fixes 32 and reports <0.05 IR-misp/1000 there (§5). This
+ * sweep shows the trade: low thresholds remove more instructions but
+ * admit IR-mispredictions (full recoveries); high thresholds are safe
+ * but leave removal on the table. Run on the two benchmarks that
+ * bracket the suite: m88ksim (most removable) and compress (least).
+ */
+
+#include "assembler/assembler.hh"
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace slip;
+    bench::banner("Ablation: confidence threshold sweep",
+                  "paper fixes 32 (Table 2); trade-off visualization");
+
+    for (const char *name : {"m88ksim", "compress"}) {
+        const Workload w = getWorkload(name, bench::benchSize());
+        const Program p = assemble(w.source);
+        const std::string want = goldenOutput(p);
+        const RunMetrics base =
+            runSS(p, ss64x4Params(), "SS(64x4)", want);
+
+        std::cout << "---- " << name << " (SS IPC "
+                  << Table::fixed(base.ipc) << ") ----\n";
+        Table table({"threshold", "IPC", "vs SS", "removed",
+                     "IR-misp/1k", "avg penalty"});
+        for (unsigned threshold : {1u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+            SlipstreamParams params = cmp2x64x4Params();
+            params.irPred.confidenceThreshold = threshold;
+            const RunMetrics m = runSlipstream(p, params, want);
+            if (!m.outputCorrect)
+                SLIP_FATAL(name, ": output mismatch at threshold ",
+                           threshold);
+            table.addRow({Table::count(threshold), Table::fixed(m.ipc),
+                          Table::percent(m.ipc / base.ipc - 1.0),
+                          Table::percent(m.removedFraction),
+                          Table::fixed(m.irMispPer1000, 3),
+                          m.recoveries ? Table::fixed(m.avgIRPenalty, 1)
+                                       : "-"});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * Ablation: delay buffer sizing.
+ *
+ * The paper fixes 256 data entries / 128 control pairs (Table 2). The
+ * data buffer bounds how far the A-stream runs ahead; too small and
+ * the R-stream starves behind A-stream hiccups, too large buys little
+ * once it covers the cores' reorder depth.
+ */
+
+#include "assembler/assembler.hh"
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace slip;
+    bench::banner("Ablation: delay buffer capacity sweep",
+                  "paper fixes 256 data entries / 128 control pairs");
+
+    for (const char *name : {"m88ksim", "perl"}) {
+        const Workload w = getWorkload(name, bench::benchSize());
+        const Program p = assemble(w.source);
+        const std::string want = goldenOutput(p);
+        const RunMetrics base =
+            runSS(p, ss64x4Params(), "SS(64x4)", want);
+
+        std::cout << "---- " << name << " (SS IPC "
+                  << Table::fixed(base.ipc) << ") ----\n";
+        Table table({"data entries", "control", "IPC", "vs SS"});
+        for (unsigned data : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+            SlipstreamParams params = cmp2x64x4Params();
+            params.delayBuffer.dataCapacity = data;
+            params.delayBuffer.controlCapacity = std::max(8u, data / 2);
+            const RunMetrics m = runSlipstream(p, params, want);
+            if (!m.outputCorrect)
+                SLIP_FATAL(name, ": output mismatch at ", data);
+            table.addRow({Table::count(data),
+                          Table::count(params.delayBuffer
+                                           .controlCapacity),
+                          Table::fixed(m.ipc),
+                          Table::percent(m.ipc / base.ipc - 1.0)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * Ablation: trace length, IR-detector scope, and trace selection.
+ *
+ * §2.1.3 discusses how trace-based removal limits effectiveness:
+ * confidence is per-trace and back-propagation is confined to one
+ * trace, so the trace length and the detector's kill scope shape how
+ * much is removable. This sweep also toggles the backward-taken
+ * trace-boundary heuristic (which keeps loop traces phase-aligned)
+ * and the history-vs-trace-id keying of removal confidence.
+ */
+
+#include "assembler/assembler.hh"
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace slip;
+    bench::banner("Ablation: trace length / detector scope / keying",
+                  "paper: length-32 traces, 8-trace scope (Table 2)");
+
+    const Workload w = getWorkload("m88ksim", bench::benchSize());
+    const Program p = assemble(w.source);
+    const std::string want = goldenOutput(p);
+    const RunMetrics base = runSS(p, ss64x4Params(), "SS(64x4)", want);
+    std::cout << "m88ksim, SS(64x4) IPC " << Table::fixed(base.ipc)
+              << "\n\n";
+
+    {
+        Table table({"trace length", "IPC", "vs SS", "removed"});
+        for (unsigned len : {8u, 16u, 32u, 64u}) {
+            SlipstreamParams params = cmp2x64x4Params();
+            params.tracePolicy.maxLen = len;
+            const RunMetrics m = runSlipstream(p, params, want);
+            if (!m.outputCorrect)
+                SLIP_FATAL("mismatch at length ", len);
+            table.addRow({Table::count(len), Table::fixed(m.ipc),
+                          Table::percent(m.ipc / base.ipc - 1.0),
+                          Table::percent(m.removedFraction)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        Table table({"detector scope", "IPC", "removed", "IR-misp/1k"});
+        for (unsigned scope : {1u, 2u, 4u, 8u, 16u}) {
+            SlipstreamParams params = cmp2x64x4Params();
+            params.detector.scopeTraces = scope;
+            const RunMetrics m = runSlipstream(p, params, want);
+            if (!m.outputCorrect)
+                SLIP_FATAL("mismatch at scope ", scope);
+            table.addRow({Table::count(scope), Table::fixed(m.ipc),
+                          Table::percent(m.removedFraction),
+                          Table::fixed(m.irMispPer1000, 3)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    {
+        Table table({"variant", "IPC", "removed", "IR-misp/1k"});
+        for (int variant = 0; variant < 3; ++variant) {
+            SlipstreamParams params = cmp2x64x4Params();
+            std::string name;
+            switch (variant) {
+              case 0:
+                name = "paper (history-keyed, loop-aligned)";
+                break;
+              case 1:
+                name = "no backward-taken trace ends";
+                params.tracePolicy.endAtBackwardTaken = false;
+                break;
+              default:
+                name = "confidence keyed by trace id";
+                params.irPred.keyByTraceId = true;
+                break;
+            }
+            const RunMetrics m = runSlipstream(p, params, want);
+            if (!m.outputCorrect)
+                SLIP_FATAL("mismatch in variant ", variant);
+            table.addRow({name, Table::fixed(m.ipc),
+                          Table::percent(m.removedFraction),
+                          Table::fixed(m.irMispPer1000, 3)});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

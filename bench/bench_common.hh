@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction binaries: size
+ * selection via the SLIPSTREAM_BENCH_SIZE environment variable
+ * (test | small | default; the paper-style runs use `default`),
+ * banner printing, and cached golden outputs.
+ */
+
+#ifndef SLIPSTREAM_BENCH_BENCH_COMMON_HH
+#define SLIPSTREAM_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "workloads/workloads.hh"
+
+namespace slip::bench
+{
+
+/** Workload scale from $SLIPSTREAM_BENCH_SIZE (default: small). */
+inline WorkloadSize
+benchSize()
+{
+    const char *env = std::getenv("SLIPSTREAM_BENCH_SIZE");
+    const std::string s = env ? env : "small";
+    if (s == "test")
+        return WorkloadSize::Test;
+    if (s == "default" || s == "full")
+        return WorkloadSize::Default;
+    return WorkloadSize::Small;
+}
+
+inline const char *
+benchSizeName()
+{
+    switch (benchSize()) {
+      case WorkloadSize::Test:
+        return "test";
+      case WorkloadSize::Small:
+        return "small";
+      default:
+        return "default";
+    }
+}
+
+/** Standard banner naming the paper artifact being regenerated. */
+inline void
+banner(const std::string &artifact, const std::string &paperNote)
+{
+    slip::setLogQuiet(true);
+    std::cout << "=== " << artifact << " ===\n"
+              << "paper: " << paperNote << "\n"
+              << "workload size: " << benchSizeName()
+              << " (set SLIPSTREAM_BENCH_SIZE=test|small|default)\n\n";
+}
+
+} // namespace slip::bench
+
+#endif // SLIPSTREAM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,47 @@
+/**
+ * Reproduces Figure 7 — percent IPC improvement of SS(128x8) (double
+ * the window and issue width) over SS(64x4).
+ *
+ * Paper's shape: average ~28%, substantially larger than the
+ * slipstream gain but at the cost of a much bigger core; the paper
+ * argues a slipstream CMP of two small cores reaches about a quarter
+ * of this with potentially better cycle time.
+ */
+
+#include "assembler/assembler.hh"
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace slip;
+    bench::banner("Figure 7: SS(128x8) over SS(64x4)",
+                  "% IPC improvement from doubling window+width; "
+                  "paper avg ~28%");
+
+    Table table({"benchmark", "SS(64x4) IPC", "SS(128x8) IPC",
+                 "improvement", "output ok"});
+    double sum = 0.0;
+    unsigned count = 0;
+
+    for (const Workload &w : allWorkloads(bench::benchSize())) {
+        const Program p = assemble(w.source);
+        const std::string want = goldenOutput(p);
+        const RunMetrics narrow =
+            runSS(p, ss64x4Params(), "SS(64x4)", want);
+        const RunMetrics wide =
+            runSS(p, ss128x8Params(), "SS(128x8)", want);
+        const double improvement = wide.ipc / narrow.ipc - 1.0;
+        sum += improvement;
+        ++count;
+        table.addRow({w.name, Table::fixed(narrow.ipc),
+                      Table::fixed(wide.ipc),
+                      Table::percent(improvement),
+                      narrow.outputCorrect && wide.outputCorrect
+                          ? "yes"
+                          : "NO"});
+    }
+    table.addRow({"average", "", "", Table::percent(sum / count), ""});
+    table.print(std::cout);
+    return 0;
+}

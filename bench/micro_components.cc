@@ -1,0 +1,114 @@
+/**
+ * Component microbenchmarks (google-benchmark): throughput of the
+ * hot structures — trace predictor lookup/update, IR-detector trace
+ * merging, cache access, the assembler, and the functional simulator.
+ * These guard the *simulator's* own performance (host MIPS), which
+ * bounds how large the paper-scale experiments can be.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.hh"
+#include "func/func_sim.hh"
+#include "mem/cache.hh"
+#include "slipstream/ir_detector.hh"
+#include "slipstream/ir_predictor.hh"
+#include "uarch/trace_pred.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace slip;
+
+void
+BM_TracePredictorLookup(benchmark::State &state)
+{
+    TracePredictor pred;
+    PathHistory h;
+    TraceId ids[16];
+    for (unsigned i = 0; i < 16; ++i) {
+        ids[i] = TraceId{0x1000 + i * 0x80, i, 4, 16};
+        pred.update(h, ids[i]);
+        h.push(ids[i]);
+    }
+    uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pred.predict(h));
+        h.push(ids[i++ & 15]);
+    }
+}
+BENCHMARK(BM_TracePredictorLookup);
+
+void
+BM_TracePredictorUpdate(benchmark::State &state)
+{
+    TracePredictor pred;
+    PathHistory h;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        const TraceId id{0x1000 + (i & 255) * 4, i & 7, 3, 16};
+        pred.update(h, id);
+        h.push(id);
+        ++i;
+    }
+}
+BENCHMARK(BM_TracePredictorUpdate);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheParams{"bench", 64 * 1024, 4, 64, 1, 12});
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        addr = (addr + 4096 + 64) & 0xfffff;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_IRPredictorUpdate(benchmark::State &state)
+{
+    IRPredictor pred;
+    PathHistory h;
+    RemovalPlan plan;
+    plan.irVec = 0x5555;
+    plan.reasons.assign(16, reason::kBR);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        const TraceId id{0x1000 + (i & 63) * 4, 0, 0, 16};
+        pred.update(h, id, plan);
+        ++i;
+    }
+}
+BENCHMARK(BM_IRPredictorUpdate);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    const std::string src =
+        getWorkload("m88ksim", WorkloadSize::Test).source;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(assemble(src));
+    }
+    state.SetLabel("m88ksim workload source");
+}
+BENCHMARK(BM_Assembler);
+
+void
+BM_FunctionalSimMips(benchmark::State &state)
+{
+    const Program p =
+        assemble(getWorkload("jpeg", WorkloadSize::Test).source);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        FuncSim sim(p);
+        insts += sim.run().instCount;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimMips);
+
+} // namespace

@@ -1,0 +1,58 @@
+/**
+ * Operating-mode comparison (paper §1 and §7: the same CMP can run in
+ * throughput mode, single-program slipstream mode, or a fully reliable
+ * AR-SMT-style mode).
+ *
+ * Measures, per benchmark:
+ *   - SS(64x4): one program, one core — the no-redundancy baseline;
+ *   - reliable CMP (removal disabled): full dual-execution fault
+ *     coverage; the delay buffer still feeds the R-stream perfect
+ *     predictions, so the overhead vs the baseline quantifies
+ *     AR-SMT's "time redundancy at low performance cost";
+ *   - slipstream CMP: partial redundancy traded for speed.
+ */
+
+#include "assembler/assembler.hh"
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace slip;
+    bench::banner("Operating modes: reliability vs performance",
+                  "SS baseline vs reliable (AR-SMT) vs slipstream");
+
+    Table table({"benchmark", "SS IPC", "reliable IPC", "vs SS",
+                 "slipstream IPC", "vs SS", "coverage"});
+    for (const Workload &w : allWorkloads(bench::benchSize())) {
+        const Program p = assemble(w.source);
+        const std::string want = goldenOutput(p);
+        const RunMetrics ss =
+            runSS(p, ss64x4Params(), "SS(64x4)", want);
+
+        SlipstreamParams reliableParams = cmp2x64x4Params();
+        reliableParams.irPred.enabled = false;
+        const RunMetrics rel = runSlipstream(p, reliableParams, want);
+
+        const RunMetrics slip =
+            runSlipstream(p, cmp2x64x4Params(), want);
+
+        if (!ss.outputCorrect || !rel.outputCorrect ||
+            !slip.outputCorrect) {
+            SLIP_FATAL(w.name, ": output mismatch");
+        }
+
+        table.addRow(
+            {w.name, Table::fixed(ss.ipc), Table::fixed(rel.ipc),
+             Table::percent(rel.ipc / ss.ipc - 1.0),
+             Table::fixed(slip.ipc),
+             Table::percent(slip.ipc / ss.ipc - 1.0),
+             Table::percent(1.0 - slip.removedFraction) + " redundant"});
+    }
+    table.print(std::cout);
+    std::cout << "\nreliable mode executes every instruction twice "
+                 "(full scenario-#1 fault coverage);\nslipstream mode "
+                 "trades the removed fraction of that redundancy for "
+                 "speed.\n";
+    return 0;
+}

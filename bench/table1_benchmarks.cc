@@ -1,0 +1,33 @@
+/**
+ * Reproduces Table 1 — the benchmark suite and dynamic instruction
+ * counts. Our counts are smaller than SPEC95's (hundreds of millions)
+ * by design: the substitutes are scaled to run the whole evaluation in
+ * minutes while exercising the same code paths.
+ */
+
+#include "assembler/assembler.hh"
+#include "bench_common.hh"
+#include "func/func_sim.hh"
+
+int
+main()
+{
+    using namespace slip;
+    bench::banner("Table 1: Benchmarks",
+                  "SPEC95 integer suite, instruction counts "
+                  "(substituted workloads; see DESIGN.md)");
+
+    Table table({"benchmark", "substitutes for", "instr. count",
+                 "output bytes"});
+    for (const Workload &w : allWorkloads(bench::benchSize())) {
+        const Program p = assemble(w.source);
+        FuncSim sim(p);
+        const FuncRunResult r = sim.run();
+        if (!r.halted)
+            SLIP_FATAL(w.name, " did not halt");
+        table.addRow({w.name, w.substitutes, Table::count(r.instCount),
+                      Table::count(r.output.size())});
+    }
+    table.print(std::cout);
+    return 0;
+}

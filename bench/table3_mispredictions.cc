@@ -1,0 +1,43 @@
+/**
+ * Reproduces Table 3 — misprediction measurements:
+ *   - SS(64x4) IPC (the baseline the paper's figures normalize to)
+ *   - branch mispredictions per 1000 instructions, SS vs slipstream
+ *     (the slipstream predictor trains with update latency, so rates
+ *     shift slightly)
+ *   - IR-mispredictions per 1000 instructions (paper: < 0.05 at the
+ *     confidence threshold of 32)
+ *   - average IR-misprediction penalty (paper: 22-26 cycles, close
+ *     to the 21-cycle minimum).
+ */
+
+#include "assembler/assembler.hh"
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace slip;
+    bench::banner("Table 3: misprediction measurements",
+                  "branch misp/1000, IR-misp/1000, IR penalty");
+
+    Table table({"benchmark", "SS IPC", "SS misp/1k", "CMP misp/1k",
+                 "IR-misp/1k", "avg IR penalty"});
+    for (const Workload &w : allWorkloads(bench::benchSize())) {
+        const Program p = assemble(w.source);
+        const std::string want = goldenOutput(p);
+        const RunMetrics ss =
+            runSS(p, ss64x4Params(), "SS(64x4)", want);
+        const RunMetrics cmp = runSlipstream(p, cmp2x64x4Params(), want);
+        if (!ss.outputCorrect || !cmp.outputCorrect)
+            SLIP_FATAL(w.name, ": output mismatch");
+        table.addRow({w.name, Table::fixed(ss.ipc),
+                      Table::fixed(ss.branchMispPer1000, 1),
+                      Table::fixed(cmp.branchMispPer1000, 1),
+                      Table::fixed(cmp.irMispPer1000, 3),
+                      cmp.recoveries
+                          ? Table::fixed(cmp.avgIRPenalty, 1)
+                          : "-"});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * Removal explorer: a profiling tool over the slipstream machinery.
+ * Runs a workload on the slipstream processor while recording, per
+ * static instruction, how often the A-stream skipped it and why —
+ * then prints an annotated disassembly of the hottest removable code.
+ *
+ * Usage: removal_explorer [workload-name]   (default: m88ksim)
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "assembler/assembler.hh"
+#include "isa/disasm.hh"
+#include "slipstream/slipstream_processor.hh"
+#include "workloads/workloads.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace slip;
+    setLogQuiet(true);
+
+    const std::string name = argc > 1 ? argv[1] : "m88ksim";
+    const Workload w = getWorkload(name, WorkloadSize::Small);
+    std::cout << "workload: " << w.name << " — " << w.description
+              << "\n(substitutes " << w.substitutes << ")\n\n";
+
+    const Program program = assemble(w.source);
+    SlipstreamProcessor proc(program);
+
+    // Hook the R-stream retire path: count per-PC execution and
+    // removal, with reasons.
+    struct PcStats
+    {
+        uint64_t executed = 0;
+        uint64_t removed = 0;
+        std::map<std::string, uint64_t> reasons;
+    };
+    std::map<Addr, PcStats> byPc;
+
+    auto &rCore = proc.rCore();
+    auto previous = rCore.onRetire;
+    rCore.onRetire = [&](const DynInst &d, Cycle cycle) {
+        PcStats &s = byPc[d.pc];
+        ++s.executed;
+        if (!d.valuePredicted) {
+            ++s.removed;
+            ++s.reasons[reasonName(d.removalReason)];
+        }
+        return previous ? previous(d, cycle) : true;
+    };
+
+    const SlipstreamRunResult r = proc.run();
+    std::cout << "R-stream retired " << r.rRetired << " instructions in "
+              << r.cycles << " cycles (IPC " << r.ipc() << ")\n"
+              << "A-stream skipped "
+              << 100.0 * r.removedFraction() << "% of them\n\n";
+
+    // Rank static instructions by removed count.
+    std::vector<std::pair<Addr, PcStats>> ranked(byPc.begin(),
+                                                 byPc.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.removed > b.second.removed;
+              });
+
+    std::cout << "top removable static instructions:\n";
+    std::cout << "      pc  removed/executed  instruction — reasons\n";
+    unsigned shown = 0;
+    for (const auto &[pc, s] : ranked) {
+        if (s.removed == 0 || shown >= 20)
+            break;
+        ++shown;
+        std::cout << "  0x" << std::hex << pc << std::dec << "  "
+                  << s.removed << "/" << s.executed << "  "
+                  << disassemble(program.fetch(pc), pc) << " — ";
+        bool first = true;
+        for (const auto &[reason, count] : s.reasons) {
+            std::cout << (first ? "" : ", ") << reason << " x" << count;
+            first = false;
+        }
+        std::cout << "\n";
+    }
+    if (shown == 0)
+        std::cout << "  (nothing was removed — is the workload too "
+                     "unpredictable?)\n";
+
+    std::cout << "\nremoval breakdown (dynamic):\n";
+    for (const auto &[reason, count] : r.removedByReason)
+        std::cout << "  " << reason << ": " << count << "\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Two-pass SSIR assembler.
+ *
+ * Pass 1 lays out sections (text at 0x1000, data at 0x100000), assigns
+ * label addresses, and computes the size of pseudo-instruction
+ * expansions. Pass 2 resolves symbols and emits encoded words.
+ *
+ * Supported directives:
+ *   .text .data .align N
+ *   .byte/.half/.word/.dword e[, e...]   (values may be symbol±offset)
+ *   .ascii "s"  .asciz "s"  .space N[, fill]
+ *   .equ name, value   .globl name (accepted, ignored)
+ *
+ * Pseudo-instructions (expanded to real SSIR):
+ *   li rd, imm64        la rd, symbol       mv rd, rs
+ *   not/neg/seqz/snez/sltz/sgtz
+ *   beqz/bnez/blez/bgez/bltz/bgtz rs, target
+ *   bgt/ble/bgtu/bleu a, b, target
+ *   j target   jr rs   call target   ret
+ *   push rs    pop rd
+ *   lX rd, symbol / sX rs, symbol  (global access via the reserved
+ *   assembler scratch register k9)
+ *
+ * The program entry point is the label `main` if defined, otherwise the
+ * first text instruction.
+ */
+
+#ifndef SLIPSTREAM_ASSEMBLER_ASSEMBLER_HH
+#define SLIPSTREAM_ASSEMBLER_ASSEMBLER_HH
+
+#include <string>
+
+#include "assembler/program.hh"
+
+namespace slip
+{
+
+/**
+ * Assemble SSIR source text into a loadable program.
+ * Throws FatalError (with source line numbers) on any user error:
+ * unknown mnemonics, bad operand shapes, out-of-range immediates or
+ * branch offsets, duplicate or undefined labels.
+ */
+Program assemble(const std::string &source);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_ASSEMBLER_ASSEMBLER_HH

@@ -1,0 +1,188 @@
+#include "assembler/lexer.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+/** Decode one escape sequence; `i` points at the char after '\'. */
+char
+unescape(const std::string &s, size_t &i, int line)
+{
+    if (i >= s.size())
+        SLIP_FATAL("line ", line, ": dangling escape");
+    const char c = s[i++];
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        SLIP_FATAL("line ", line, ": unknown escape '\\", c, "'");
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    size_t i = 0;
+    const size_t n = source.size();
+    size_t lineStart = 0;
+
+    const auto col = [&](size_t pos) {
+        return static_cast<int>(pos - lineStart) + 1;
+    };
+    const auto push = [&](TokKind kind, size_t pos, std::string text = "",
+                          int64_t value = 0) {
+        tokens.push_back({kind, std::move(text), value, line, col(pos)});
+    };
+
+    while (i < n) {
+        const char c = source[i];
+
+        if (c == '\n') {
+            push(TokKind::EndOfLine, i);
+            ++i;
+            ++line;
+            lineStart = i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            ++i;
+            continue;
+        }
+        if (c == '#' || c == ';') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            const size_t start = i;
+            while (i < n && isIdentChar(source[i]))
+                ++i;
+            push(TokKind::Identifier, start,
+                 source.substr(start, i - start));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            const size_t start = i;
+            int64_t value = 0;
+            if (c == '0' && i + 1 < n &&
+                (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+                i += 2;
+                if (i >= n ||
+                    !std::isxdigit(static_cast<unsigned char>(source[i])))
+                    SLIP_FATAL("line ", line, ": malformed hex literal");
+                while (i < n &&
+                       std::isxdigit(
+                           static_cast<unsigned char>(source[i]))) {
+                    const char d = source[i++];
+                    const int dv = std::isdigit(
+                                       static_cast<unsigned char>(d))
+                                       ? d - '0'
+                                       : (std::tolower(d) - 'a') + 10;
+                    value = static_cast<int64_t>(
+                        static_cast<uint64_t>(value) * 16 + dv);
+                }
+            } else {
+                while (i < n &&
+                       std::isdigit(
+                           static_cast<unsigned char>(source[i]))) {
+                    value = static_cast<int64_t>(
+                        static_cast<uint64_t>(value) * 10 +
+                        (source[i] - '0'));
+                    ++i;
+                }
+            }
+            push(TokKind::Integer, start, "", value);
+            continue;
+        }
+        if (c == '\'') {
+            const size_t start = i;
+            ++i;
+            if (i >= n)
+                SLIP_FATAL("line ", line, ": unterminated char literal");
+            char v;
+            if (source[i] == '\\') {
+                ++i;
+                v = unescape(source, i, line);
+            } else {
+                v = source[i++];
+            }
+            if (i >= n || source[i] != '\'')
+                SLIP_FATAL("line ", line, ": unterminated char literal");
+            ++i;
+            push(TokKind::Integer, start, "",
+                 static_cast<int64_t>(static_cast<unsigned char>(v)));
+            continue;
+        }
+        if (c == '"') {
+            const size_t start = i;
+            ++i;
+            std::string text;
+            while (i < n && source[i] != '"') {
+                if (source[i] == '\n')
+                    SLIP_FATAL("line ", line,
+                               ": unterminated string literal");
+                if (source[i] == '\\') {
+                    ++i;
+                    text += unescape(source, i, line);
+                } else {
+                    text += source[i++];
+                }
+            }
+            if (i >= n)
+                SLIP_FATAL("line ", line, ": unterminated string literal");
+            ++i;
+            push(TokKind::String, start, std::move(text));
+            continue;
+        }
+
+        switch (c) {
+          case ',': push(TokKind::Comma, i); break;
+          case ':': push(TokKind::Colon, i); break;
+          case '(': push(TokKind::LParen, i); break;
+          case ')': push(TokKind::RParen, i); break;
+          case '+': push(TokKind::Plus, i); break;
+          case '-': push(TokKind::Minus, i); break;
+          default:
+            SLIP_FATAL("line ", line, ": unexpected character '", c, "'");
+        }
+        ++i;
+    }
+
+    // Terminate the final (possibly newline-less) line.
+    if (tokens.empty() || tokens.back().kind != TokKind::EndOfLine ||
+        tokens.back().line == line) {
+        tokens.push_back({TokKind::EndOfLine, "", 0, line, col(i)});
+    }
+    return tokens;
+}
+
+} // namespace slip

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Line-oriented lexer for SSIR assembly source.
+ *
+ * Token kinds: identifiers (mnemonics, labels, register names,
+ * directives beginning with '.'), integer literals (decimal, hex,
+ * character), string literals, and the punctuation the grammar needs
+ * (comma, colon, parentheses, plus, minus). Comments run from '#' or
+ * ';' to end of line.
+ */
+
+#ifndef SLIPSTREAM_ASSEMBLER_LEXER_HH
+#define SLIPSTREAM_ASSEMBLER_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slip
+{
+
+enum class TokKind : uint8_t
+{
+    Identifier, // foo, .data, main
+    Integer,    // 42, -7 is Minus+Integer, 0x1f, 'a'
+    String,     // "bytes"
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    EndOfLine,
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;  // identifier/string payload
+    int64_t value = 0; // integer payload
+    int line = 0;
+    int column = 0;
+};
+
+/**
+ * Tokenize a full source buffer. Each source line yields its tokens
+ * followed by one EndOfLine token; blank/comment-only lines yield just
+ * the EndOfLine (keeping line numbers in diagnostics accurate).
+ * Fatal on malformed literals.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_ASSEMBLER_LEXER_HH

@@ -1,0 +1,181 @@
+#include "assembler/parser.hh"
+
+#include "common/logging.hh"
+#include "isa/regnames.hh"
+
+namespace slip
+{
+
+namespace
+{
+
+/** Cursor over the token stream with common error helpers. */
+class Parser
+{
+  public:
+    explicit Parser(const std::vector<Token> &tokens)
+        : toks(tokens)
+    {}
+
+    std::vector<Stmt>
+    run()
+    {
+        std::vector<Stmt> stmts;
+        while (pos < toks.size())
+            parseLine(stmts);
+        return stmts;
+    }
+
+  private:
+    const Token &peek() const { return toks[pos]; }
+
+    const Token &
+    advance()
+    {
+        SLIP_ASSERT(pos < toks.size(), "parser ran past end of tokens");
+        return toks[pos++];
+    }
+
+    bool
+    match(TokKind kind)
+    {
+        if (pos < toks.size() && toks[pos].kind == kind) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] void
+    errorHere(const std::string &what) const
+    {
+        SLIP_FATAL("line ", peek().line, ":", peek().column, ": ", what);
+    }
+
+    void
+    parseLine(std::vector<Stmt> &stmts)
+    {
+        // Leading labels: ident ':' (possibly several).
+        while (peek().kind == TokKind::Identifier &&
+               pos + 1 < toks.size() &&
+               toks[pos + 1].kind == TokKind::Colon) {
+            Stmt label{Stmt::Kind::Label, peek().text, {}, peek().line};
+            stmts.push_back(std::move(label));
+            pos += 2;
+        }
+
+        if (match(TokKind::EndOfLine))
+            return;
+
+        if (peek().kind != TokKind::Identifier)
+            errorHere("expected mnemonic, directive, or label");
+
+        const Token &head = advance();
+        Stmt stmt;
+        stmt.kind = head.text[0] == '.' ? Stmt::Kind::Directive
+                                        : Stmt::Kind::Instruction;
+        stmt.name = head.text;
+        stmt.line = head.line;
+
+        if (!match(TokKind::EndOfLine)) {
+            stmt.operands.push_back(parseOperand());
+            while (match(TokKind::Comma))
+                stmt.operands.push_back(parseOperand());
+            if (!match(TokKind::EndOfLine))
+                errorHere("trailing tokens after operands");
+        }
+        stmts.push_back(std::move(stmt));
+    }
+
+    /** Parse `[+-] integer` or `symbol [± integer]` or string or reg. */
+    Operand
+    parseOperand()
+    {
+        Operand op;
+
+        if (peek().kind == TokKind::String) {
+            op.kind = Operand::Kind::Str;
+            op.str = advance().text;
+            return op;
+        }
+
+        if (peek().kind == TokKind::Identifier) {
+            // Register, or a symbol expression.
+            const std::string name = peek().text;
+            if (auto r = parseRegName(name)) {
+                advance();
+                op.kind = Operand::Kind::Reg;
+                op.reg = *r;
+                return op;
+            }
+            advance();
+            op.expr.symbol = name;
+            if (match(TokKind::Plus))
+                op.expr.offset = parseIntLiteral();
+            else if (match(TokKind::Minus))
+                op.expr.offset = -parseIntLiteral();
+            return finishImmOrMem(op);
+        }
+
+        if (peek().kind == TokKind::Integer ||
+            peek().kind == TokKind::Minus || peek().kind == TokKind::Plus) {
+            op.expr.offset = parseSignedLiteral();
+            return finishImmOrMem(op);
+        }
+
+        errorHere("expected operand");
+    }
+
+    /** After an expression, a '(' reg ')' suffix makes it a Mem operand. */
+    Operand
+    finishImmOrMem(Operand op)
+    {
+        if (match(TokKind::LParen)) {
+            if (peek().kind != TokKind::Identifier)
+                errorHere("expected base register");
+            auto r = parseRegName(peek().text);
+            if (!r)
+                errorHere("'" + peek().text + "' is not a register");
+            advance();
+            if (!match(TokKind::RParen))
+                errorHere("expected ')'");
+            op.kind = Operand::Kind::Mem;
+            op.reg = *r;
+        } else {
+            op.kind = Operand::Kind::Imm;
+        }
+        return op;
+    }
+
+    int64_t
+    parseIntLiteral()
+    {
+        if (peek().kind != TokKind::Integer)
+            errorHere("expected integer");
+        return advance().value;
+    }
+
+    int64_t
+    parseSignedLiteral()
+    {
+        int64_t sign = 1;
+        if (match(TokKind::Minus))
+            sign = -1;
+        else
+            match(TokKind::Plus);
+        return sign * parseIntLiteral();
+    }
+
+    const std::vector<Token> &toks;
+    size_t pos = 0;
+};
+
+} // namespace
+
+std::vector<Stmt>
+parse(const std::vector<Token> &tokens)
+{
+    return Parser(tokens).run();
+}
+
+} // namespace slip

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parser for SSIR assembly: turns the token stream into a list of
+ * statements (labels, directives, instructions) with structured
+ * operands. Resolution of symbols and encoding happens later, in the
+ * assembler proper.
+ */
+
+#ifndef SLIPSTREAM_ASSEMBLER_PARSER_HH
+#define SLIPSTREAM_ASSEMBLER_PARSER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assembler/lexer.hh"
+#include "common/types.hh"
+
+namespace slip
+{
+
+/**
+ * A symbol-relative constant expression: `symbol + offset`, where the
+ * symbol part is optional (pure literals have no symbol).
+ */
+struct Expr
+{
+    std::string symbol; // empty for pure literals
+    int64_t offset = 0;
+
+    bool isLiteral() const { return symbol.empty(); }
+};
+
+/** One parsed operand. */
+struct Operand
+{
+    enum class Kind : uint8_t
+    {
+        Reg,  // t3
+        Imm,  // 42, label, label+8
+        Mem,  // 8(sp), label(t0)
+        Str,  // "text" (directives only)
+    };
+
+    Kind kind = Kind::Imm;
+    RegIndex reg = 0;   // Reg / Mem base
+    Expr expr;          // Imm / Mem displacement
+    std::string str;    // Str
+};
+
+/** One parsed source statement. */
+struct Stmt
+{
+    enum class Kind : uint8_t
+    {
+        Label,       // name:
+        Directive,   // .word 1, 2 — name holds ".word"
+        Instruction, // mnemonic + operands
+    };
+
+    Kind kind;
+    std::string name; // label name / directive / mnemonic
+    std::vector<Operand> operands;
+    int line = 0;
+};
+
+/**
+ * Parse a token stream into statements. Multiple labels per line and a
+ * label followed by an instruction on the same line are allowed.
+ * Fatal (with line numbers) on grammar errors.
+ */
+std::vector<Stmt> parse(const std::vector<Token> &tokens);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_ASSEMBLER_PARSER_HH

@@ -1,0 +1,57 @@
+#include "assembler/program.hh"
+
+#include "common/logging.hh"
+#include "isa/encoding.hh"
+#include "mem/memory.hh"
+
+namespace slip
+{
+
+Program::Program(std::vector<uint32_t> textWords,
+                 std::vector<uint8_t> dataBytes, Addr entryPc,
+                 std::map<std::string, Addr> symbols, Addr textBase,
+                 Addr dataBase)
+    : rawText(std::move(textWords)), data(std::move(dataBytes)),
+      textBase_(textBase), dataBase_(dataBase), entry_(entryPc),
+      symbols_(std::move(symbols))
+{
+    text.reserve(rawText.size());
+    for (uint32_t w : rawText)
+        text.push_back(decode(w));
+    haltInst.op = Opcode::HALT;
+    SLIP_ASSERT(validPc(entry_) || text.empty(),
+                "entry pc 0x", std::hex, entry_, " not in text");
+}
+
+const StaticInst &
+Program::fetch(Addr pc) const
+{
+    if (!validPc(pc))
+        return haltInst;
+    return text[(pc - textBase_) / kInstBytes];
+}
+
+uint32_t
+Program::fetchRaw(Addr pc) const
+{
+    SLIP_ASSERT(validPc(pc), "fetchRaw of invalid pc 0x", std::hex, pc);
+    return rawText[(pc - textBase_) / kInstBytes];
+}
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        SLIP_FATAL("undefined symbol '", name, "'");
+    return it->second;
+}
+
+void
+Program::loadInto(Memory &mem) const
+{
+    if (!data.empty())
+        mem.writeBlock(dataBase_, data.data(), data.size());
+}
+
+} // namespace slip

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator:
+ * field extraction/insertion for instruction encoding, sign extension,
+ * and mixing hashes for predictor indexing.
+ */
+
+#ifndef SLIPSTREAM_COMMON_BITUTILS_HH
+#define SLIPSTREAM_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+/** Extract bits [lo, lo+width) of v. */
+constexpr uint64_t
+bits(uint64_t v, unsigned lo, unsigned width)
+{
+    return (v >> lo) & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+}
+
+/** Insert the low `width` bits of field at position lo of v. */
+constexpr uint64_t
+insertBits(uint64_t v, unsigned lo, unsigned width, uint64_t field)
+{
+    const uint64_t mask =
+        ((width >= 64) ? ~0ull : ((1ull << width) - 1)) << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+/** Sign-extend the low `width` bits of v to 64 bits. */
+constexpr int64_t
+sext(uint64_t v, unsigned width)
+{
+    const unsigned shift = 64 - width;
+    return static_cast<int64_t>(v << shift) >> shift;
+}
+
+/** True iff v fits in a signed `width`-bit field. */
+constexpr bool
+fitsSigned(int64_t v, unsigned width)
+{
+    const int64_t lo = -(1ll << (width - 1));
+    const int64_t hi = (1ll << (width - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+/** True iff v fits in an unsigned `width`-bit field. */
+constexpr bool
+fitsUnsigned(uint64_t v, unsigned width)
+{
+    return width >= 64 || v < (1ull << width);
+}
+
+/**
+ * 64-bit finalizing mix (splitmix64). Used to hash trace ids and path
+ * histories into predictor table indices; chosen for determinism and
+ * good avalanche rather than cryptographic strength.
+ */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine two hashes (boost::hash_combine flavor, 64-bit). */
+constexpr uint64_t
+hashCombine(uint64_t seed, uint64_t v)
+{
+    return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                   (seed >> 2));
+}
+
+/** True iff v is a power of two (v != 0). */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+floorLog2(uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Population count of a 64-bit word. */
+constexpr unsigned
+popCount(uint64_t v)
+{
+    unsigned c = 0;
+    while (v) {
+        v &= v - 1;
+        ++c;
+    }
+    return c;
+}
+
+} // namespace slip
+
+#endif // SLIPSTREAM_COMMON_BITUTILS_HH

@@ -1,0 +1,61 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace slip
+{
+
+namespace
+{
+std::atomic<bool> quietFlag{false};
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag.store(quiet);
+}
+
+bool
+logQuiet()
+{
+    return quietFlag.load();
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "panic: " << msg << " [" << file << ":" << line << "]";
+    throw PanicError(os.str());
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg << " [" << file << ":" << line << "]";
+    throw FatalError(os.str());
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quietFlag.load())
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietFlag.load())
+        std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace slip

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in this
+ *            library); aborts so a debugger/core dump can catch it.
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, malformed assembly, ...); exits with code 1.
+ * warn()   — something is suspicious but the simulation continues.
+ * inform() — status messages.
+ */
+
+#ifndef SLIPSTREAM_COMMON_LOGGING_HH
+#define SLIPSTREAM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace slip
+{
+
+/**
+ * Exception thrown by fatal(). Using an exception (rather than exit())
+ * keeps the library embeddable and lets tests assert on user-error paths.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Exception thrown by panic(). Tests use this to assert that internal
+ * invariant checks fire; the top-level drivers treat it as a crash.
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate a parameter pack into one string via a stream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Toggle for warn()/inform() output (benchmarks silence them). */
+void setLogQuiet(bool quiet);
+bool logQuiet();
+
+} // namespace slip
+
+#define SLIP_PANIC(...) \
+    ::slip::detail::panicImpl(__FILE__, __LINE__, \
+                              ::slip::detail::concat(__VA_ARGS__))
+
+#define SLIP_FATAL(...) \
+    ::slip::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::slip::detail::concat(__VA_ARGS__))
+
+#define SLIP_WARN(...) \
+    ::slip::detail::warnImpl(::slip::detail::concat(__VA_ARGS__))
+
+#define SLIP_INFORM(...) \
+    ::slip::detail::informImpl(::slip::detail::concat(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG builds; panics with a message. */
+#define SLIP_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SLIP_PANIC("assertion failed: " #cond " — ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // SLIPSTREAM_COMMON_LOGGING_HH

@@ -1,0 +1,89 @@
+#include "common/random.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace slip
+{
+
+namespace
+{
+
+constexpr uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    // Expand the single seed word through splitmix64 per the xoshiro
+    // authors' recommendation; avoids the all-zero state.
+    uint64_t x = seed;
+    for (auto &word : s) {
+        x += 0x9e3779b97f4a7c15ull;
+        word = mix64(x);
+    }
+    if ((s[0] | s[1] | s[2] | s[3]) == 0)
+        s[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    SLIP_ASSERT(bound != 0, "Rng::below(0)");
+    // Debiased via rejection on the top of the range.
+    const uint64_t limit = ~0ull - (~0ull % bound);
+    uint64_t v;
+    do {
+        v = next();
+    } while (v > limit);
+    return v % bound;
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    SLIP_ASSERT(lo <= hi, "Rng::range lo > hi");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(below(span));
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return real() < p;
+}
+
+double
+Rng::real()
+{
+    // 53 high-quality bits into the mantissa.
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+} // namespace slip

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used by
+ * workload input generation, the fault injector, and property-based
+ * tests. Self-contained so simulation results are reproducible across
+ * platforms and standard-library versions (std::mt19937 streams are
+ * portable, but distributions are not).
+ */
+
+#ifndef SLIPSTREAM_COMMON_RANDOM_HH
+#define SLIPSTREAM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace slip
+{
+
+/** Deterministic 64-bit PRNG with convenience draw helpers. */
+class Rng
+{
+  public:
+    /** Seed the generator; equal seeds yield identical streams. */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedull);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_COMMON_RANDOM_HH

@@ -1,0 +1,71 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace slip
+{
+
+StatGroup::StatGroup(std::string name)
+    : name_(std::move(name))
+{
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters[name];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name)
+{
+    return distributions[name];
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+const Distribution &
+StatGroup::getDistribution(const std::string &name) const
+{
+    auto it = distributions.find(name);
+    SLIP_ASSERT(it != distributions.end(),
+                "no distribution named '", name, "' in group '", name_, "'");
+    return it->second;
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters.count(name) != 0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = name_.empty() ? "" : name_ + ".";
+    for (const auto &[name, c] : counters)
+        os << prefix << name << " " << c.value() << "\n";
+    for (const auto &[name, d] : distributions) {
+        os << prefix << name << ".count " << d.count() << "\n"
+           << prefix << name << ".mean " << std::fixed
+           << std::setprecision(2) << d.mean() << "\n"
+           << prefix << name << ".min " << d.min() << "\n"
+           << prefix << name << ".max " << d.max() << "\n";
+    }
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, c] : counters)
+        c.reset();
+    for (auto &[name, d] : distributions)
+        d.reset();
+}
+
+} // namespace slip

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of classic simulator
+ * stats frameworks: named scalar counters and distributions are
+ * registered with a StatGroup, which can be dumped as formatted text.
+ * Every model component owns a StatGroup so benchmarks and tests can
+ * inspect behaviour without poking at internals.
+ */
+
+#ifndef SLIPSTREAM_COMMON_STATS_HH
+#define SLIPSTREAM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+/** A named monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(uint64_t n) { value_ += n; return *this; }
+
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Tracks min / max / sum / count of a sampled quantity. */
+class Distribution
+{
+  public:
+    void
+    sample(uint64_t v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return count_ ? max_ : 0; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+
+    void
+    reset()
+    {
+        min_ = max_ = sum_ = count_ = 0;
+    }
+
+  private:
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t count_ = 0;
+};
+
+/**
+ * A registry of named counters and distributions. Components create
+ * stats lazily by name; dump() prints them sorted for stable output.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "");
+
+    /** Find-or-create a counter with the given name. */
+    Counter &counter(const std::string &name);
+
+    /** Find-or-create a distribution with the given name. */
+    Distribution &distribution(const std::string &name);
+
+    /** Counter value, or 0 if the counter was never created. */
+    uint64_t get(const std::string &name) const;
+
+    /** Distribution lookup; panics if absent. */
+    const Distribution &getDistribution(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const;
+
+    /** Print all stats, one per line, prefixed with the group name. */
+    void dump(std::ostream &os) const;
+
+    /** Zero every registered stat. */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Distribution> distributions;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_COMMON_STATS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module in the slipstream
+ * simulator. Mirrors the conventions of classic architecture simulators:
+ * addresses and data words are 64-bit, cycles and dynamic sequence
+ * numbers are monotonically increasing 64-bit counters.
+ */
+
+#ifndef SLIPSTREAM_COMMON_TYPES_HH
+#define SLIPSTREAM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace slip
+{
+
+/** Byte address in the simulated flat address space. */
+using Addr = uint64_t;
+
+/** Architectural data word (registers are 64 bits wide). */
+using Word = uint64_t;
+
+/** Signed view of an architectural word, for arithmetic semantics. */
+using SWord = int64_t;
+
+/** Architectural register index. The SSIR ISA has 64 registers. */
+using RegIndex = uint8_t;
+
+/** Simulated clock cycle count. */
+using Cycle = uint64_t;
+
+/** Global dynamic-instruction sequence number (program order). */
+using InstSeqNum = uint64_t;
+
+/** Number of architectural registers in the SSIR ISA. */
+constexpr unsigned kNumRegs = 64;
+
+/** Register 0 is hardwired to zero, as in MIPS. */
+constexpr RegIndex kZeroReg = 0;
+
+/** An invalid/absent register operand. */
+constexpr RegIndex kNoReg = 0xff;
+
+/** Instructions are fixed-width 32-bit words. */
+constexpr unsigned kInstBytes = 4;
+
+} // namespace slip
+
+#endif // SLIPSTREAM_COMMON_TYPES_HH

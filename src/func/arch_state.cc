@@ -1,0 +1,20 @@
+#include "func/arch_state.hh"
+
+#include "mem/memory.hh"
+
+namespace slip
+{
+
+uint64_t
+DirectMemPort::read(Addr addr, unsigned bytes)
+{
+    return mem.read(addr, bytes);
+}
+
+void
+DirectMemPort::write(Addr addr, unsigned bytes, uint64_t value)
+{
+    mem.write(addr, bytes, value);
+}
+
+} // namespace slip

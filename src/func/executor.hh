@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The SSIR instruction executor — the single source of truth for
+ * instruction semantics. The functional simulator, the superscalar
+ * timing cores, and both slipstream streams all execute through this
+ * function, so architectural behaviour cannot diverge between models.
+ */
+
+#ifndef SLIPSTREAM_FUNC_EXECUTOR_HH
+#define SLIPSTREAM_FUNC_EXECUTOR_HH
+
+#include <string>
+
+#include "func/arch_state.hh"
+#include "isa/isa.hh"
+
+namespace slip
+{
+
+/** Everything observable about one executed instruction. */
+struct ExecResult
+{
+    Addr nextPc = 0;
+
+    bool wroteReg = false;   // destination register was written
+    RegIndex destReg = kNoReg;
+    Word destValue = 0;
+
+    bool isMem = false;      // load or store
+    Addr memAddr = 0;
+    unsigned memBytes = 0;
+    Word storeValue = 0;     // value written (stores)
+    Word loadedValue = 0;    // value read (loads; == destValue)
+
+    bool isControl = false;
+    bool taken = false;      // conditional branch direction / jumps: true
+    Addr target = 0;         // control-flow destination if taken
+
+    bool halted = false;
+};
+
+/**
+ * Execute one instruction against `state`, updating registers, PC and
+ * memory. PUTC/PUTN output is appended to `*output` when non-null.
+ *
+ * @param state   the context to execute in (its pc() must point at inst)
+ * @param inst    the decoded instruction
+ * @param output  program output sink, may be nullptr
+ * @return        full record of what the instruction did
+ */
+ExecResult execute(ArchState &state, const StaticInst &inst,
+                   std::string *output);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_FUNC_EXECUTOR_HH

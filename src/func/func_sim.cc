@@ -1,0 +1,67 @@
+#include "func/func_sim.hh"
+
+#include "common/logging.hh"
+#include "isa/regnames.hh"
+
+namespace slip
+{
+
+namespace
+{
+constexpr uint64_t kDefaultMaxInsts = 1'000'000'000ull;
+} // namespace
+
+FuncSim::FuncSim(const Program &program)
+    : program(program), port(mem), state_(port)
+{
+    program.loadInto(mem);
+    state_.setPc(program.entry());
+    state_.writeReg(reg::sp, layout::kStackTop);
+}
+
+ExecResult
+FuncSim::step()
+{
+    const StaticInst &inst = program.fetch(state_.pc());
+    ExecResult res = execute(state_, inst, &output_);
+    ++retired;
+    if (res.halted)
+        halted_ = true;
+    return res;
+}
+
+FuncRunResult
+FuncSim::run(uint64_t maxInsts)
+{
+    return runWithObserver(nullptr, maxInsts);
+}
+
+FuncRunResult
+FuncSim::runWithObserver(
+    std::function<void(Addr, const StaticInst &, const ExecResult &)>
+        observer,
+    uint64_t maxInsts)
+{
+    if (maxInsts == 0)
+        maxInsts = kDefaultMaxInsts;
+
+    while (!halted_ && retired < maxInsts) {
+        const Addr pc = state_.pc();
+        const StaticInst &inst = program.fetch(pc);
+        const ExecResult res = execute(state_, inst, &output_);
+        ++retired;
+        if (observer)
+            observer(pc, inst, res);
+        if (res.halted)
+            halted_ = true;
+    }
+
+    FuncRunResult result;
+    result.output = output_;
+    result.instCount = retired;
+    result.halted = halted_;
+    result.finalPc = state_.pc();
+    return result;
+}
+
+} // namespace slip

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The functional simulator: architecturally-correct, run-to-completion
+ * execution of an SSIR program. It is the oracle the paper's §4
+ * describes — an independent functional model used to validate the
+ * timing simulator's retired control and data flow.
+ */
+
+#ifndef SLIPSTREAM_FUNC_FUNC_SIM_HH
+#define SLIPSTREAM_FUNC_FUNC_SIM_HH
+
+#include <functional>
+#include <string>
+
+#include "assembler/program.hh"
+#include "func/arch_state.hh"
+#include "func/executor.hh"
+#include "mem/memory.hh"
+
+namespace slip
+{
+
+/** Outcome of a functional run. */
+struct FuncRunResult
+{
+    std::string output;       // everything PUTC/PUTN emitted
+    uint64_t instCount = 0;   // retired dynamic instructions
+    bool halted = false;      // false => hit the instruction limit
+    Addr finalPc = 0;
+};
+
+/** Architecturally-correct interpreter for SSIR programs. */
+class FuncSim
+{
+  public:
+    /** Load a program: data image into memory, sp at the stack top. */
+    explicit FuncSim(const Program &program);
+
+    /**
+     * Run until HALT or until `maxInsts` instructions retire.
+     * @param maxInsts safety limit; 0 means the default (1 billion)
+     */
+    FuncRunResult run(uint64_t maxInsts = 0);
+
+    /**
+     * Execute exactly one instruction. Returns its ExecResult;
+     * res.halted stays true once HALT has executed.
+     */
+    ExecResult step();
+
+    /**
+     * Run with a per-instruction observer (used by differential tests
+     * to compare retirement streams instruction by instruction).
+     */
+    FuncRunResult
+    runWithObserver(std::function<void(Addr pc, const StaticInst &,
+                                       const ExecResult &)> observer,
+                    uint64_t maxInsts = 0);
+
+    const ArchState &state() const { return state_; }
+    ArchState &state() { return state_; }
+    Memory &memory() { return mem; }
+    const std::string &output() const { return output_; }
+    bool halted() const { return halted_; }
+
+  private:
+    const Program &program;
+    Memory mem;
+    DirectMemPort port;
+    ArchState state_;
+    std::string output_;
+    bool halted_ = false;
+    uint64_t retired = 0;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_FUNC_FUNC_SIM_HH

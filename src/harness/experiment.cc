@@ -1,0 +1,98 @@
+#include "harness/experiment.hh"
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "func/func_sim.hh"
+
+namespace slip
+{
+
+CoreParams
+ss64x4Params()
+{
+    CoreParams p; // defaults are the paper's Table 2 single processor
+    p.name = "ss64x4";
+    return p;
+}
+
+CoreParams
+ss128x8Params()
+{
+    CoreParams p = CoreParams::wide8();
+    p.name = "ss128x8";
+    return p;
+}
+
+SlipstreamParams
+cmp2x64x4Params()
+{
+    return SlipstreamParams{}; // Table 2 defaults throughout
+}
+
+std::string
+goldenOutput(const Program &program)
+{
+    FuncSim sim(program);
+    const FuncRunResult r = sim.run();
+    if (!r.halted)
+        SLIP_FATAL("workload did not halt within the functional "
+                   "simulator's instruction limit");
+    return r.output;
+}
+
+RunMetrics
+runSS(const Program &program, const CoreParams &core,
+      const std::string &modelName, const std::string &golden)
+{
+    SSProcessor proc(program, core);
+    const SSRunResult r = proc.run();
+
+    RunMetrics m;
+    m.model = modelName;
+    m.cycles = r.cycles;
+    m.retired = r.retired;
+    m.ipc = r.ipc();
+    m.branchMispPer1000 = r.mispPer1000();
+    m.outputCorrect = r.halted && r.output == golden;
+    return m;
+}
+
+RunMetrics
+runSlipstream(const Program &program, const SlipstreamParams &params,
+              const std::string &golden)
+{
+    SlipstreamProcessor proc(program, params);
+    const SlipstreamRunResult r = proc.run();
+
+    RunMetrics m;
+    m.model = "CMP(2x64x4)";
+    m.cycles = r.cycles;
+    m.retired = r.rRetired;
+    m.ipc = r.ipc();
+    m.branchMispPer1000 = r.mispPer1000();
+    m.outputCorrect = r.halted && r.output == golden;
+    m.removedFraction = r.removedFraction();
+    m.removedByReason = r.removedByReason;
+    m.irMispPer1000 = r.irMispPer1000();
+    m.avgIRPenalty = r.avgIRPenalty();
+    m.recoveries = r.irMispredicts;
+    return m;
+}
+
+std::map<std::string, RunMetrics>
+runAllModels(const Workload &workload)
+{
+    const Program program = assemble(workload.source);
+    const std::string golden = goldenOutput(program);
+
+    std::map<std::string, RunMetrics> out;
+    out["SS(64x4)"] =
+        runSS(program, ss64x4Params(), "SS(64x4)", golden);
+    out["SS(128x8)"] =
+        runSS(program, ss128x8Params(), "SS(128x8)", golden);
+    out["CMP(2x64x4)"] =
+        runSlipstream(program, cmp2x64x4Params(), golden);
+    return out;
+}
+
+} // namespace slip

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment driver: runs workloads on the paper's three processor
+ * models — SS(64x4), SS(128x8), and the CMP(2x64x4) slipstream
+ * processor — validates every run's program output against the
+ * functional simulator, and collects the metrics the paper's tables
+ * and figures report.
+ */
+
+#ifndef SLIPSTREAM_HARNESS_EXPERIMENT_HH
+#define SLIPSTREAM_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+
+#include "assembler/program.hh"
+#include "slipstream/slipstream_processor.hh"
+#include "uarch/ss_processor.hh"
+#include "workloads/workloads.hh"
+
+namespace slip
+{
+
+/** Everything measured for one workload on one model. */
+struct RunMetrics
+{
+    std::string model;   // "SS(64x4)", "SS(128x8)", "CMP(2x64x4)"
+    Cycle cycles = 0;
+    uint64_t retired = 0;
+    double ipc = 0.0;
+    double branchMispPer1000 = 0.0;
+    bool outputCorrect = false;
+
+    // Slipstream-only metrics (zero for the SS models).
+    double removedFraction = 0.0;
+    std::map<std::string, uint64_t> removedByReason;
+    double irMispPer1000 = 0.0;
+    double avgIRPenalty = 0.0;
+    uint64_t recoveries = 0;
+};
+
+/** The paper's core processor configurations. */
+CoreParams ss64x4Params();
+CoreParams ss128x8Params();
+SlipstreamParams cmp2x64x4Params();
+
+/**
+ * Assemble and functionally execute a workload, returning the golden
+ * output (also sanity-checks it terminates).
+ */
+std::string goldenOutput(const Program &program);
+
+/** Run a program on a conventional superscalar model. */
+RunMetrics runSS(const Program &program, const CoreParams &core,
+                 const std::string &modelName,
+                 const std::string &golden);
+
+/** Run a program on the slipstream CMP model. */
+RunMetrics runSlipstream(const Program &program,
+                         const SlipstreamParams &params,
+                         const std::string &golden);
+
+/**
+ * Run one workload on all three models (assembling once), validating
+ * outputs. Keyed by model name.
+ */
+std::map<std::string, RunMetrics> runAllModels(const Workload &workload);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,79 @@
+#include "harness/table.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+Table::Table(std::vector<std::string> header)
+    : header(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    SLIP_ASSERT(row.size() == header.size(), "table row width ",
+                row.size(), " != header width ", header.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+Table::fixed(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::percent(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision)
+       << fraction * 100.0 << "%";
+    return os.str();
+}
+
+std::string
+Table::count(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    const auto printRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first column, right-align the rest.
+            if (c == 0)
+                os << std::left << std::setw(int(width[c])) << row[c];
+            else
+                os << std::right << std::setw(int(width[c])) << row[c];
+        }
+        os << "\n";
+    };
+
+    printRow(header);
+    size_t total = 0;
+    for (size_t c = 0; c < header.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        printRow(row);
+}
+
+} // namespace slip

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses: aligned
+ * columns, a header rule, and numeric cell helpers, so every bench
+ * binary prints rows in the same layout as the paper's tables.
+ */
+
+#ifndef SLIPSTREAM_HARNESS_TABLE_HH
+#define SLIPSTREAM_HARNESS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace slip
+{
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Formatting helpers for numeric cells. */
+    static std::string fixed(double v, int precision = 2);
+    static std::string percent(double fraction, int precision = 1);
+    static std::string count(uint64_t v);
+
+    /** Render with aligned columns and a rule under the header. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_HARNESS_TABLE_HH

@@ -1,0 +1,65 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "isa/regnames.hh"
+
+namespace slip
+{
+
+std::string
+disassemble(const StaticInst &inst, Addr pc, bool absoluteTargets)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+
+    const auto target = [&](int64_t imm_words) -> std::string {
+        if (absoluteTargets) {
+            std::ostringstream t;
+            t << "0x" << std::hex
+              << (pc + static_cast<int64_t>(imm_words) * kInstBytes);
+            return t.str();
+        }
+        return (imm_words >= 0 ? "+" : "") + std::to_string(imm_words);
+    };
+
+    switch (inst.format()) {
+      case Format::R:
+        os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+           << ", " << regName(inst.rs2);
+        break;
+      case Format::I:
+        if (inst.isLoad()) {
+            os << " " << regName(inst.rd) << ", " << inst.imm << "("
+               << regName(inst.rs1) << ")";
+        } else if (inst.op == Opcode::JALR) {
+            os << " " << regName(inst.rd) << ", " << inst.imm << "("
+               << regName(inst.rs1) << ")";
+        } else {
+            os << " " << regName(inst.rd) << ", " << regName(inst.rs1)
+               << ", " << inst.imm;
+        }
+        break;
+      case Format::S:
+        os << " " << regName(inst.rs2) << ", " << inst.imm << "("
+           << regName(inst.rs1) << ")";
+        break;
+      case Format::B:
+        os << " " << regName(inst.rs1) << ", " << regName(inst.rs2)
+           << ", " << target(inst.imm);
+        break;
+      case Format::J:
+        if (inst.op == Opcode::LUI)
+            os << " " << regName(inst.rd) << ", " << inst.imm;
+        else
+            os << " " << regName(inst.rd) << ", " << target(inst.imm);
+        break;
+      case Format::Sys:
+        if (inst.op == Opcode::PUTC || inst.op == Opcode::PUTN)
+            os << " " << regName(inst.rs1);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace slip

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * SSIR disassembler: renders decoded instructions in the assembler's
+ * input syntax, used by trace dumps, the pipeline viewer example, and
+ * error messages.
+ */
+
+#ifndef SLIPSTREAM_ISA_DISASM_HH
+#define SLIPSTREAM_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace slip
+{
+
+/**
+ * Disassemble one instruction. If pc is provided, branch/jump targets
+ * are rendered as absolute addresses; otherwise as relative offsets.
+ */
+std::string disassemble(const StaticInst &inst, Addr pc = 0,
+                        bool absoluteTargets = true);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_ISA_DISASM_HH

@@ -1,0 +1,118 @@
+#include "isa/encoding.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace slip
+{
+
+uint32_t
+encode(const StaticInst &inst)
+{
+    uint64_t w = 0;
+    w = insertBits(w, 24, 8, static_cast<uint64_t>(inst.op));
+
+    const auto checkReg = [&](RegIndex r) {
+        SLIP_ASSERT(r < kNumRegs, "register index ", unsigned(r),
+                    " out of range encoding ", opcodeName(inst.op));
+    };
+
+    switch (inst.format()) {
+      case Format::R:
+        checkReg(inst.rd);
+        checkReg(inst.rs1);
+        checkReg(inst.rs2);
+        w = insertBits(w, 18, 6, inst.rd);
+        w = insertBits(w, 12, 6, inst.rs1);
+        w = insertBits(w, 6, 6, inst.rs2);
+        break;
+      case Format::I:
+        checkReg(inst.rd);
+        checkReg(inst.rs1);
+        SLIP_ASSERT(fitsSigned(inst.imm, 12), "imm ", inst.imm,
+                    " out of I-type range for ", opcodeName(inst.op));
+        w = insertBits(w, 18, 6, inst.rd);
+        w = insertBits(w, 12, 6, inst.rs1);
+        w = insertBits(w, 0, 12, static_cast<uint64_t>(inst.imm));
+        break;
+      case Format::S:
+        checkReg(inst.rs1);
+        checkReg(inst.rs2);
+        SLIP_ASSERT(fitsSigned(inst.imm, 12), "imm ", inst.imm,
+                    " out of S-type range for ", opcodeName(inst.op));
+        w = insertBits(w, 18, 6, inst.rs2);
+        w = insertBits(w, 12, 6, inst.rs1);
+        w = insertBits(w, 0, 12, static_cast<uint64_t>(inst.imm));
+        break;
+      case Format::B:
+        checkReg(inst.rs1);
+        checkReg(inst.rs2);
+        SLIP_ASSERT(fitsSigned(inst.imm, 12), "imm ", inst.imm,
+                    " out of B-type range for ", opcodeName(inst.op));
+        w = insertBits(w, 18, 6, inst.rs1);
+        w = insertBits(w, 12, 6, inst.rs2);
+        w = insertBits(w, 0, 12, static_cast<uint64_t>(inst.imm));
+        break;
+      case Format::J:
+        checkReg(inst.rd);
+        SLIP_ASSERT(fitsSigned(inst.imm, 18), "imm ", inst.imm,
+                    " out of J-type range for ", opcodeName(inst.op));
+        w = insertBits(w, 18, 6, inst.rd);
+        w = insertBits(w, 0, 18, static_cast<uint64_t>(inst.imm));
+        break;
+      case Format::Sys:
+        if (inst.op == Opcode::PUTC || inst.op == Opcode::PUTN) {
+            checkReg(inst.rs1);
+            w = insertBits(w, 12, 6, inst.rs1);
+        }
+        break;
+    }
+    return static_cast<uint32_t>(w);
+}
+
+StaticInst
+decode(uint32_t word)
+{
+    const uint64_t w = word;
+    const uint64_t opByte = bits(w, 24, 8);
+    if (opByte >= static_cast<uint64_t>(Opcode::NumOpcodes))
+        SLIP_FATAL("illegal instruction word 0x", std::hex, word,
+                   " (opcode byte ", std::dec, opByte, ")");
+
+    StaticInst inst;
+    inst.op = static_cast<Opcode>(opByte);
+
+    switch (inst.format()) {
+      case Format::R:
+        inst.rd = static_cast<RegIndex>(bits(w, 18, 6));
+        inst.rs1 = static_cast<RegIndex>(bits(w, 12, 6));
+        inst.rs2 = static_cast<RegIndex>(bits(w, 6, 6));
+        break;
+      case Format::I:
+        inst.rd = static_cast<RegIndex>(bits(w, 18, 6));
+        inst.rs1 = static_cast<RegIndex>(bits(w, 12, 6));
+        inst.imm = sext(bits(w, 0, 12), 12);
+        break;
+      case Format::S:
+        inst.rs2 = static_cast<RegIndex>(bits(w, 18, 6));
+        inst.rs1 = static_cast<RegIndex>(bits(w, 12, 6));
+        inst.imm = sext(bits(w, 0, 12), 12);
+        break;
+      case Format::B:
+        inst.rs1 = static_cast<RegIndex>(bits(w, 18, 6));
+        inst.rs2 = static_cast<RegIndex>(bits(w, 12, 6));
+        inst.imm = sext(bits(w, 0, 12), 12);
+        break;
+      case Format::J:
+        inst.rd = static_cast<RegIndex>(bits(w, 18, 6));
+        inst.imm = sext(bits(w, 0, 18), 18);
+        break;
+      case Format::Sys:
+        if (inst.op == Opcode::PUTC || inst.op == Opcode::PUTN)
+            inst.rs1 = static_cast<RegIndex>(bits(w, 12, 6));
+        break;
+    }
+    return inst;
+}
+
+} // namespace slip

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Binary encode/decode for SSIR's fixed 32-bit instruction words.
+ * The assembler emits encoded words into the program image; the
+ * functional simulator and timing cores decode at fetch.
+ */
+
+#ifndef SLIPSTREAM_ISA_ENCODING_HH
+#define SLIPSTREAM_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "isa/isa.hh"
+
+namespace slip
+{
+
+/**
+ * Encode a decoded instruction into its 32-bit word.
+ * Panics if an immediate does not fit its field — the assembler is
+ * responsible for range-checking user input with fatal() first.
+ */
+uint32_t encode(const StaticInst &inst);
+
+/** Decode a 32-bit instruction word. Fatal on an unknown opcode byte. */
+StaticInst decode(uint32_t word);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_ISA_ENCODING_HH

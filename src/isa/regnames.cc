@@ -1,0 +1,78 @@
+#include "isa/regnames.hh"
+
+#include <cctype>
+
+namespace slip
+{
+
+std::string
+regName(RegIndex r)
+{
+    if (r == reg::zero)
+        return "zero";
+    if (r == reg::ra)
+        return "ra";
+    if (r == reg::sp)
+        return "sp";
+    if (r == reg::fp)
+        return "fp";
+    if (r >= reg::a0 && r < reg::t0)
+        return "a" + std::to_string(r - reg::a0);
+    if (r >= reg::t0 && r < reg::s0)
+        return "t" + std::to_string(r - reg::t0);
+    if (r >= reg::s0 && r < reg::k0)
+        return "s" + std::to_string(r - reg::s0);
+    if (r < kNumRegs)
+        return "k" + std::to_string(r - reg::k0);
+    return "r?" + std::to_string(r);
+}
+
+namespace
+{
+
+/** Parse "<prefix><decimal>" where the decimal is within [0, count). */
+std::optional<RegIndex>
+parseIndexed(std::string_view s, char prefix, unsigned base, unsigned count)
+{
+    if (s.size() < 2 || s[0] != prefix)
+        return std::nullopt;
+    unsigned value = 0;
+    for (size_t i = 1; i < s.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(s[i])))
+            return std::nullopt;
+        value = value * 10 + (s[i] - '0');
+        if (value >= 1000)
+            return std::nullopt;
+    }
+    if (value >= count)
+        return std::nullopt;
+    return static_cast<RegIndex>(base + value);
+}
+
+} // namespace
+
+std::optional<RegIndex>
+parseRegName(std::string_view s)
+{
+    if (s == "zero")
+        return reg::zero;
+    if (s == "ra")
+        return reg::ra;
+    if (s == "sp")
+        return reg::sp;
+    if (s == "fp")
+        return reg::fp;
+    if (auto r = parseIndexed(s, 'r', 0, kNumRegs))
+        return r;
+    if (auto r = parseIndexed(s, 'a', reg::a0, 10))
+        return r;
+    if (auto r = parseIndexed(s, 't', reg::t0, 20))
+        return r;
+    if (auto r = parseIndexed(s, 's', reg::s0, 20))
+        return r;
+    if (auto r = parseIndexed(s, 'k', reg::k0, 10))
+        return r;
+    return std::nullopt;
+}
+
+} // namespace slip

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Register naming for SSIR's 64 general-purpose registers.
+ *
+ * ABI aliases (used by the assembler and disassembler):
+ *   r0 = zero   hardwired zero
+ *   r1 = ra     return address
+ *   r2 = sp     stack pointer
+ *   r3 = fp     frame pointer
+ *   r4  - r13 = a0 - a9    argument / result registers
+ *   r14 - r33 = t0 - t19   caller-saved temporaries
+ *   r34 - r53 = s0 - s19   callee-saved registers
+ *   r54 - r63 = k0 - k9    assembler/runtime scratch
+ */
+
+#ifndef SLIPSTREAM_ISA_REGNAMES_HH
+#define SLIPSTREAM_ISA_REGNAMES_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace slip
+{
+
+/** Canonical (ABI) name of a register, e.g. "a0" for r4. */
+std::string regName(RegIndex reg);
+
+/**
+ * Parse a register name — either the raw form ("r17") or an ABI alias
+ * ("t3"). Returns nullopt if the token is not a register name.
+ */
+std::optional<RegIndex> parseRegName(std::string_view name);
+
+namespace reg
+{
+constexpr RegIndex zero = 0;
+constexpr RegIndex ra = 1;
+constexpr RegIndex sp = 2;
+constexpr RegIndex fp = 3;
+constexpr RegIndex a0 = 4;   // a0..a9 = r4..r13
+constexpr RegIndex t0 = 14;  // t0..t19 = r14..r33
+constexpr RegIndex s0 = 34;  // s0..s19 = r34..r53
+constexpr RegIndex k0 = 54;  // k0..k9 = r54..r63
+} // namespace reg
+
+} // namespace slip
+
+#endif // SLIPSTREAM_ISA_REGNAMES_HH

@@ -1,0 +1,116 @@
+#include "mem/memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+namespace
+{
+
+constexpr Addr
+pageOf(Addr addr)
+{
+    return addr >> Memory::kPageShift << Memory::kPageShift;
+}
+
+constexpr size_t
+offsetOf(Addr addr)
+{
+    return static_cast<size_t>(addr & (Memory::kPageBytes - 1));
+}
+
+bool
+validSize(unsigned bytes)
+{
+    return bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8;
+}
+
+} // namespace
+
+const Memory::Page *
+Memory::findPage(Addr pageAddr) const
+{
+    auto it = pages.find(pageAddr);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+Memory::Page &
+Memory::touchPage(Addr pageAddr)
+{
+    auto &page = pages[pageAddr];
+    if (page.empty())
+        page.assign(kPageBytes, 0);
+    return page;
+}
+
+uint64_t
+Memory::read(Addr addr, unsigned bytes) const
+{
+    SLIP_ASSERT(validSize(bytes), "bad access size ", bytes);
+    uint64_t value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+        const Addr a = addr + i;
+        const Page *page = findPage(pageOf(a));
+        const uint8_t byte = page ? (*page)[offsetOf(a)] : 0;
+        value |= static_cast<uint64_t>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+Memory::write(Addr addr, unsigned bytes, uint64_t value)
+{
+    SLIP_ASSERT(validSize(bytes), "bad access size ", bytes);
+    for (unsigned i = 0; i < bytes; ++i) {
+        const Addr a = addr + i;
+        touchPage(pageOf(a))[offsetOf(a)] =
+            static_cast<uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+Memory::writeBlock(Addr addr, const uint8_t *data, size_t len)
+{
+    size_t done = 0;
+    while (done < len) {
+        const Addr a = addr + done;
+        Page &page = touchPage(pageOf(a));
+        const size_t off = offsetOf(a);
+        const size_t chunk = std::min(len - done, kPageBytes - off);
+        std::memcpy(page.data() + off, data + done, chunk);
+        done += chunk;
+    }
+}
+
+Memory
+Memory::clone() const
+{
+    Memory copy;
+    copy.pages = pages;
+    return copy;
+}
+
+bool
+Memory::equals(const Memory &other) const
+{
+    const auto zeroPage = [](const Page &p) {
+        return std::all_of(p.begin(), p.end(),
+                           [](uint8_t b) { return b == 0; });
+    };
+    for (const auto &[addr, page] : pages) {
+        const Page *o = other.findPage(addr);
+        if (o ? page != *o : !zeroPage(page))
+            return false;
+    }
+    for (const auto &[addr, page] : other.pages) {
+        if (!findPage(addr) && !zeroPage(page))
+            return false;
+    }
+    return true;
+}
+
+} // namespace slip

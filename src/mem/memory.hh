@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sparse paged simulated memory.
+ *
+ * The simulated address space is flat and 64-bit; pages are allocated
+ * on first touch so wild addresses (which a corrupted A-stream context
+ * can legitimately generate) cost one page rather than crashing the
+ * host. All accesses are little-endian and may be unaligned — again so
+ * that corrupt-context execution stays well-defined.
+ */
+
+#ifndef SLIPSTREAM_MEM_MEMORY_HH
+#define SLIPSTREAM_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace slip
+{
+
+/** Flat byte-addressed sparse memory. Untouched bytes read as zero. */
+class Memory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr Addr kPageBytes = 1ull << kPageShift;
+
+    Memory() = default;
+
+    // Memory images can be large; copying must be explicit (clone()).
+    Memory(const Memory &) = delete;
+    Memory &operator=(const Memory &) = delete;
+    Memory(Memory &&) = default;
+    Memory &operator=(Memory &&) = default;
+
+    /** Read `bytes` (1/2/4/8) little-endian starting at addr. */
+    uint64_t read(Addr addr, unsigned bytes) const;
+
+    /** Write the low `bytes` (1/2/4/8) of value little-endian at addr. */
+    void write(Addr addr, unsigned bytes, uint64_t value);
+
+    /** Bulk copy-in, used by the program loader. */
+    void writeBlock(Addr addr, const uint8_t *data, size_t len);
+
+    /** Deep copy of the full image (tests / golden snapshots). */
+    Memory clone() const;
+
+    /**
+     * Structural equality of contents: pages absent on one side compare
+     * equal to all-zero pages on the other.
+     */
+    bool equals(const Memory &other) const;
+
+    /** Number of allocated pages (footprint diagnostics). */
+    size_t numPages() const { return pages.size(); }
+
+    /** Drop every page. */
+    void clear() { pages.clear(); }
+
+  private:
+    using Page = std::vector<uint8_t>;
+
+    /** Page lookup for reads; returns nullptr if never touched. */
+    const Page *findPage(Addr pageAddr) const;
+
+    /** Page lookup for writes; allocates a zero page on first touch. */
+    Page &touchPage(Addr pageAddr);
+
+    std::unordered_map<Addr, Page> pages;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_MEM_MEMORY_HH

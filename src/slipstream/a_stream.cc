@@ -1,0 +1,363 @@
+#include "slipstream/a_stream.hh"
+
+#include "common/logging.hh"
+#include "isa/regnames.hh"
+
+namespace slip
+{
+
+namespace
+{
+/** Walked-but-unpublished traces before A-stream fetch throttles. */
+constexpr size_t kMaxPendingPackets = 32;
+} // namespace
+
+AStreamSource::AStreamSource(const Program &program,
+                             TracePredictor &predictor,
+                             IRPredictor &irPredictor,
+                             RecoveryController &memPort,
+                             DelayBuffer &delayBuffer, unsigned fetchWidth,
+                             const TracePolicy &policy)
+    : program(program), predictor(predictor), irPredictor(irPredictor),
+      delayBuffer(delayBuffer), fetchWidth(fetchWidth), policy(policy),
+      state_(memPort), stats_("a_stream")
+{
+    state_.setPc(program.entry());
+    state_.writeReg(reg::sp, layout::kStackTop);
+}
+
+bool
+AStreamSource::exhausted() const
+{
+    return haltWalked && blocks.empty();
+}
+
+unsigned
+AStreamSource::pendingData() const
+{
+    unsigned total = 0;
+    for (const PendingPacket &pp : pending)
+        total += pp.packet.executedCount;
+    return total;
+}
+
+bool
+AStreamSource::canWalk() const
+{
+    if (pending.size() >= kMaxPendingPackets)
+        return false;
+    // Respect the data-flow buffer: stop running ahead once walked-
+    // but-unconsumed value entries reach its capacity.
+    if (pendingData() + delayBuffer.dataEntries() >=
+        delayBuffer.params().dataCapacity) {
+        return false;
+    }
+    return true;
+}
+
+bool
+AStreamSource::nextBlock(FetchBlock &block)
+{
+    while (blocks.empty()) {
+        if (haltWalked) {
+            ++stats_.counter("stall_halted");
+            return false;
+        }
+        if (!canWalk()) {
+            ++stats_.counter("stall_throttled");
+            return false;
+        }
+        walkTrace();
+    }
+    block = std::move(blocks.front());
+    blocks.pop_front();
+    return true;
+}
+
+void
+AStreamSource::walkTrace()
+{
+    const Addr startPc = state_.pc();
+
+    // --- front-end trace selection (same scheme as the SS model) ---
+    std::optional<TraceId> pred;
+    if (cachedNextPredValid) {
+        pred = cachedNextPred;
+        cachedNextPredValid = false;
+    } else {
+        pred = predictor.predict(history);
+    }
+
+    TraceId guess;
+    bool usedPrediction = false;
+    if (pred && pred->valid() && pred->startPc == startPc &&
+        program.validPc(startPc)) {
+        guess = *pred;
+        usedPrediction = true;
+        ++stats_.counter("traces_predicted");
+    } else {
+        guess = buildStaticTrace(program, startPc, policy);
+        ++stats_.counter("traces_fallback");
+    }
+
+    // --- removal plan from the IR-predictor ---
+    std::optional<RemovalPlan> plan = irPredictor.lookup(history, guess);
+    if (plan)
+        ++stats_.counter("traces_with_removal");
+
+    Packet packet;
+    packet.num = nextPacketNum++;
+    packet.predictedIrVec = plan ? plan->irVec : 0;
+    packet.actualId.startPc = startPc;
+    TraceId &actual = packet.actualId;
+
+    const unsigned lengthCap =
+        std::min<unsigned>(guess.length ? guess.length : policy.maxLen,
+                           policy.maxLen);
+
+    // --- walk: execute non-removed slots on the A-stream context ---
+    unsigned branchIdx = 0;
+    Addr pc = startPc;
+    bool truncated = false;
+    bool structuralEnd = false;
+
+    while (actual.length < lengthCap) {
+        const unsigned slotIdx = actual.length;
+        const StaticInst &si = program.fetch(pc);
+
+        // Defensive gating: never remove side-effecting or
+        // trace-terminating instructions, whatever the plan says.
+        const bool removable = !si.isHalt() && !si.isOutput() &&
+                               !si.isIndirectJump();
+        const bool removed =
+            plan && plan->removes(slotIdx) && removable;
+
+        PacketSlot slot;
+        slot.pc = pc;
+        slot.si = si;
+
+        const bool predTaken =
+            si.isCondBranch()
+                ? (branchIdx < guess.numBranches
+                       ? ((guess.branchBits >> branchIdx) & 1) != 0
+                       : si.imm < 0)
+                : false;
+
+        if (removed) {
+            slot.executedInA = false;
+            slot.removalReason = plan->reasonAt(slotIdx);
+            ++stats_.counter("slots_removed");
+
+            // The packet path presumes the prediction is correct.
+            Addr nextPc = pc + kInstBytes;
+            if (si.isCondBranch()) {
+                ++branchIdx;
+                if (predTaken) {
+                    actual.branchBits |= uint64_t(1) << actual.numBranches;
+                    nextPc = pc + si.imm * kInstBytes;
+                }
+                ++actual.numBranches;
+                slot.pathTaken = predTaken;
+            } else if (si.op == Opcode::JAL) {
+                nextPc = pc + si.imm * kInstBytes;
+                slot.pathTaken = true;
+                if (si.rd == reg::ra)
+                    ras.push(pc + kInstBytes);
+            }
+            slot.pathNextPc = nextPc;
+            packet.slots.push_back(slot);
+            ++actual.length;
+            const Addr here = pc;
+            pc = nextPc;
+            // Trace boundaries must be path-consistent whether or not
+            // the boundary instruction was removed.
+            if (endsTraceAfter(policy, si, slot.pathTaken, here, nextPc)) {
+                structuralEnd = true;
+                break;
+            }
+            continue;
+        }
+
+        // Executed slot: real computation on the A-stream context.
+        state_.setPc(pc);
+        const ExecResult exec = execute(state_, si, &output_);
+        ++stats_.counter("slots_executed");
+
+        slot.executedInA = true;
+        slot.aExec = exec;
+        slot.pathTaken = exec.isControl ? exec.taken : false;
+        slot.pathNextPc = exec.nextPc;
+
+        if (si.isCondBranch()) {
+            ++branchIdx;
+            if (exec.taken)
+                actual.branchBits |= uint64_t(1) << actual.numBranches;
+            ++actual.numBranches;
+            if (predTaken != exec.taken)
+                truncated = true; // A-stream-detectable misprediction
+        } else if (si.op == Opcode::JAL && si.rd == reg::ra) {
+            ras.push(pc + kInstBytes);
+        } else if (si.isIndirectJump() && si.rd == reg::ra) {
+            ras.push(pc + kInstBytes);
+        }
+
+        if (endsTraceAfter(policy, si, exec.taken, pc, exec.nextPc))
+            structuralEnd = true;
+        if (si.isHalt()) {
+            haltWalked = true;
+            packet.endsWithHalt = true;
+        }
+
+        packet.slots.push_back(slot);
+        ++actual.length;
+        pc = exec.nextPc;
+
+        if (truncated || structuralEnd)
+            break;
+    }
+
+    SLIP_ASSERT(!packet.slots.empty(), "A-stream walked empty trace");
+
+    // --- second pass: fetch-level realization of the removal ---
+    // Removed runs >= skipRunLength are skipped pre-fetch; shorter
+    // runs are fetched and dropped pre-decode (fetchOnly).
+    const unsigned skipRun = irPredictor.params().skipRunLength;
+    const size_t n = packet.slots.size();
+    {
+        size_t i = 0;
+        while (i < n) {
+            if (!packet.slots[i].executedInA) {
+                size_t j = i;
+                while (j < n && !packet.slots[j].executedInA)
+                    ++j;
+                if (j - i >= skipRun) {
+                    for (size_t k = i; k < j; ++k)
+                        packet.slots[k].fetchSkipped = true;
+                    stats_.counter("slots_fetch_skipped") += j - i;
+                }
+                i = j;
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    BlockSlicer slicer(fetchWidth);
+    DynInst lastEmitted;
+    bool anyEmitted = false;
+    unsigned executedCount = 0;
+
+    for (size_t i = 0; i < n; ++i) {
+        PacketSlot &slot = packet.slots[i];
+        if (slot.fetchSkipped)
+            continue;
+
+        DynInst d;
+        d.pc = slot.pc;
+        d.si = slot.si;
+        d.packetSeq = packet.num;
+        d.packetSlot = static_cast<uint8_t>(i);
+        d.removalReason = slot.removalReason;
+
+        if (!slot.executedInA) {
+            d.fetchOnly = true;
+            d.seq = 0; // never dispatched
+        } else {
+            d.seq = nextSeq++;
+            d.exec = slot.aExec;
+            ++executedCount;
+            // The final executed conditional branch of a truncated
+            // trace is the one that mispredicted.
+            if (truncated && i == n - 1)
+                d.mispredicted = true;
+        }
+
+        slicer.push(d, slot.pc, blocks);
+        lastEmitted = d;
+        anyEmitted = true;
+    }
+    slicer.finish(blocks);
+
+    packet.executedCount = executedCount;
+
+    // --- speculative history update & JALR target validation ---
+    history.push(actual);
+
+    if (!haltWalked && !truncated && anyEmitted &&
+        lastEmitted.si.isIndirectJump()) {
+        const Addr actualNext = pc;
+        std::optional<TraceId> next = predictor.predict(history);
+        Addr predictedTarget = 0;
+        if (next && next->valid()) {
+            predictedTarget = next->startPc;
+        } else if (lastEmitted.si.rs1 == reg::ra &&
+                   lastEmitted.si.rd == reg::zero) {
+            predictedTarget = ras.pop();
+        }
+        if (predictedTarget != actualNext) {
+            ++stats_.counter("indirect_mispredicts");
+            SLIP_ASSERT(!blocks.empty() && !blocks.back().insts.empty(),
+                        "A-stream indirect block missing");
+            blocks.back().insts.back().mispredicted = true;
+        } else if (lastEmitted.si.rs1 == reg::ra &&
+                   lastEmitted.si.rd == reg::zero && next &&
+                   next->valid()) {
+            ras.pop();
+        }
+        cachedNextPred = next;
+        cachedNextPredValid = true;
+    }
+
+    if (truncated)
+        ++stats_.counter("trace_mispredicts");
+    if (usedPrediction)
+        ++stats_.counter("traces_from_predictor");
+
+    // The context continues at the packet path's end.
+    state_.setPc(pc);
+
+    pending.push_back(
+        PendingPacket{std::move(packet), executedCount});
+}
+
+void
+AStreamSource::notifyRetire(const DynInst &d)
+{
+    for (PendingPacket &pp : pending) {
+        if (pp.packet.num == d.packetSeq) {
+            SLIP_ASSERT(pp.remainingRetires > 0,
+                        "packet ", d.packetSeq, " over-retired");
+            --pp.remainingRetires;
+            return;
+        }
+    }
+    // Packet already published (or dropped at recovery): fine.
+}
+
+void
+AStreamSource::tryPublish()
+{
+    while (!pending.empty() && pending.front().remainingRetires == 0 &&
+           delayBuffer.canPush(pending.front().packet.executedCount)) {
+        delayBuffer.push(std::move(pending.front().packet));
+        pending.pop_front();
+        ++stats_.counter("packets_published");
+    }
+}
+
+void
+AStreamSource::recover(Addr pc, const ArchState &rState,
+                       const PathHistory &rHistory)
+{
+    state_.copyRegsFrom(rState);
+    state_.setPc(pc);
+    history.copyFrom(rHistory);
+    ras.clear();
+    cachedNextPredValid = false;
+    blocks.clear();
+    pending.clear();
+    haltWalked = false;
+    ++stats_.counter("recoveries");
+}
+
+} // namespace slip

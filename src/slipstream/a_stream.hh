@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The A-stream (advanced stream) fetch source: the speculatively
+ * shortened program (paper §2.1).
+ *
+ * The A-stream fetches along IR-predictor control flow: each predicted
+ * trace comes with (when confidence is saturated) an ir-vec naming the
+ * instructions to remove. Removed runs of at least `skipRunLength`
+ * instructions are skipped before fetch via the entry's intermediate
+ * PCs (no fetch bandwidth, no I-cache access); shorter removed runs
+ * are fetched and dropped before decode. Everything else executes on
+ * the A-stream's own architectural context — real values, possibly
+ * wrong ones once an IR-misprediction has corrupted the context.
+ *
+ * Non-removed conditional branches are validated by the A-stream
+ * itself (conventional speculation): a wrong direction truncates the
+ * trace, redirects fetch, and charges the usual penalty. Removed
+ * branches are presumed to follow the predicted path.
+ *
+ * Every walked trace becomes a delay-buffer packet carrying the
+ * complete control history and the partial (executed-only) value
+ * history; packets publish to the delay buffer as their instructions
+ * retire from the A-stream core.
+ */
+
+#ifndef SLIPSTREAM_SLIPSTREAM_A_STREAM_HH
+#define SLIPSTREAM_SLIPSTREAM_A_STREAM_HH
+
+#include <deque>
+#include <optional>
+
+#include "assembler/program.hh"
+#include "func/arch_state.hh"
+#include "slipstream/delay_buffer.hh"
+#include "slipstream/ir_predictor.hh"
+#include "slipstream/recovery_controller.hh"
+#include "uarch/branch_pred.hh"
+#include "uarch/fetch_source.hh"
+#include "uarch/trace_pred.hh"
+
+namespace slip
+{
+
+/** The A-stream front end + speculative context. */
+class AStreamSource : public FetchSource
+{
+  public:
+    AStreamSource(const Program &program, TracePredictor &predictor,
+                  IRPredictor &irPredictor, RecoveryController &memPort,
+                  DelayBuffer &delayBuffer, unsigned fetchWidth = 16,
+                  const TracePolicy &policy = {});
+
+    bool nextBlock(FetchBlock &block) override;
+    bool exhausted() const override;
+
+    /**
+     * A-stream core retire notification: when the last instruction of
+     * a walked trace retires, its packet becomes eligible for
+     * publication into the delay buffer.
+     */
+    void notifyRetire(const DynInst &d);
+
+    /**
+     * Publication pump: pushes retired packets into the delay buffer
+     * as capacity allows. Call once per cycle.
+     */
+    void tryPublish();
+
+    /**
+     * Recovery: restart the A-stream at the R-stream's precise point.
+     * The caller has already repaired memory (recovery controller) —
+     * this resynchronizes PC, registers, path history, and discards
+     * all walked-but-unpublished work.
+     */
+    void recover(Addr pc, const ArchState &rState,
+                 const PathHistory &rHistory);
+
+    ArchState &archState() { return state_; }
+    StatGroup &stats() { return stats_; }
+    const std::string &output() const { return output_; }
+
+    /** Data entries walked but not yet published (throttle input). */
+    unsigned pendingData() const;
+
+  private:
+    struct PendingPacket
+    {
+        Packet packet;
+        unsigned remainingRetires = 0;
+    };
+
+    void walkTrace();
+    bool canWalk() const;
+
+    const Program &program;
+    TracePredictor &predictor;
+    IRPredictor &irPredictor;
+    DelayBuffer &delayBuffer;
+    unsigned fetchWidth;
+    TracePolicy policy;
+
+    ArchState state_;
+    std::string output_;
+
+    PathHistory history;
+    ReturnAddressStack ras;
+    std::optional<TraceId> cachedNextPred;
+    bool cachedNextPredValid = false;
+
+    std::deque<FetchBlock> blocks;
+    std::deque<PendingPacket> pending;
+
+    InstSeqNum nextSeq = 1;
+    uint64_t nextPacketNum = 0;
+    bool haltWalked = false;
+
+    StatGroup stats_;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_SLIPSTREAM_A_STREAM_HH

@@ -1,0 +1,62 @@
+#include "slipstream/delay_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+DelayBuffer::DelayBuffer(const DelayBufferParams &params)
+    : params_(params), stats_("delay_buffer")
+{
+}
+
+bool
+DelayBuffer::canPush(unsigned executedCount) const
+{
+    return packets.size() < params_.controlCapacity &&
+           dataEntries_ + executedCount <= params_.dataCapacity;
+}
+
+void
+DelayBuffer::push(Packet packet)
+{
+    SLIP_ASSERT(canPush(packet.executedCount),
+                "delay buffer overflow: control ", packets.size(), "/",
+                params_.controlCapacity, ", data ", dataEntries_, "+",
+                packet.executedCount, "/", params_.dataCapacity);
+    dataEntries_ += packet.executedCount;
+    stats_.distribution("control_occupancy")
+        .sample(packets.size() + 1);
+    stats_.distribution("data_occupancy").sample(dataEntries_);
+    ++stats_.counter("packets");
+    packets.push_back(std::move(packet));
+}
+
+const Packet &
+DelayBuffer::front() const
+{
+    SLIP_ASSERT(!packets.empty(), "front() on empty delay buffer");
+    return packets.front();
+}
+
+Packet
+DelayBuffer::pop()
+{
+    SLIP_ASSERT(!packets.empty(), "pop() on empty delay buffer");
+    Packet p = std::move(packets.front());
+    packets.pop_front();
+    SLIP_ASSERT(dataEntries_ >= p.executedCount,
+                "delay buffer data-entry underflow");
+    dataEntries_ -= p.executedCount;
+    return p;
+}
+
+void
+DelayBuffer::clear()
+{
+    packets.clear();
+    dataEntries_ = 0;
+    ++stats_.counter("flushes");
+}
+
+} // namespace slip

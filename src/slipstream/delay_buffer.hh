@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The delay buffer (paper §2.2): a FIFO through which the A-stream
+ * communicates control flow and data flow outcomes to the R-stream.
+ *
+ * Control flow is communicated as {trace-id, ir-vec} pairs; data flow
+ * as one entry per A-stream-executed instruction (operand values and
+ * load/store addresses). Entries for instructions the A-stream skipped
+ * carry the path information the R-stream needs to line values up with
+ * instructions — exactly the structure the paper describes, organized
+ * here as one packet per trace.
+ *
+ * Occupancy accounting matches Table 2: a control-flow buffer of 128
+ * pairs and a data-flow buffer of 256 instruction entries. A full
+ * buffer back-pressures the A-stream; an empty one starves R-stream
+ * fetch.
+ */
+
+#ifndef SLIPSTREAM_SLIPSTREAM_DELAY_BUFFER_HH
+#define SLIPSTREAM_SLIPSTREAM_DELAY_BUFFER_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "func/executor.hh"
+#include "isa/isa.hh"
+#include "uarch/trace.hh"
+
+namespace slip
+{
+
+/** One instruction slot of a communicated trace. */
+struct PacketSlot
+{
+    Addr pc = 0;
+    StaticInst si;
+
+    bool executedInA = false;  // false => removed from the A-stream
+    bool fetchSkipped = false; // removed before fetch (vs pre-decode)
+    uint8_t removalReason = 0; // reason:: mask, for statistics
+
+    /**
+     * The A-stream's outcomes (defined only when executedInA): dest
+     * register value, load/store address, store value, and branch
+     * outcome — everything the R-stream uses as predictions and
+     * validates.
+     */
+    ExecResult aExec;
+
+    /**
+     * The packet path's control flow through this slot: direction for
+     * conditional branches and the following fetch address. For
+     * removed branches this is the (presumed correct) prediction; for
+     * executed ones it matches aExec.
+     */
+    bool pathTaken = false;
+    Addr pathNextPc = 0;
+};
+
+/** One trace's worth of delay-buffer traffic. */
+struct Packet
+{
+    uint64_t num = 0;          // monotonically increasing packet id
+    TraceId actualId;          // trace id as the A-stream executed it
+    uint64_t predictedIrVec = 0; // the removal the A-stream applied
+    std::vector<PacketSlot> slots;
+    unsigned executedCount = 0; // slots with executedInA (data entries)
+    bool endsWithHalt = false;
+};
+
+/** Delay buffer configuration (paper Table 2 defaults). */
+struct DelayBufferParams
+{
+    unsigned controlCapacity = 128; // {trace-id, ir-vec} pairs
+    unsigned dataCapacity = 256;    // instruction data entries
+};
+
+/** The A→R FIFO. */
+class DelayBuffer
+{
+  public:
+    explicit DelayBuffer(const DelayBufferParams &params = {});
+
+    /** Would a packet with `executedCount` data entries fit? */
+    bool canPush(unsigned executedCount) const;
+
+    void push(Packet packet);
+
+    bool empty() const { return packets.empty(); }
+
+    /** Oldest unconsumed packet. */
+    const Packet &front() const;
+
+    /**
+     * Consume the front packet (R-stream finished fetching it),
+     * returning it by value for downstream bookkeeping.
+     */
+    Packet pop();
+
+    /** Flush everything (recovery). */
+    void clear();
+
+    unsigned controlEntries() const
+    {
+        return static_cast<unsigned>(packets.size());
+    }
+    unsigned dataEntries() const { return dataEntries_; }
+
+    const DelayBufferParams &params() const { return params_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    DelayBufferParams params_;
+    std::deque<Packet> packets;
+    unsigned dataEntries_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_SLIPSTREAM_DELAY_BUFFER_HH

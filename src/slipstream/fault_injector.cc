@@ -1,0 +1,23 @@
+#include "slipstream/fault_injector.hh"
+
+namespace slip
+{
+
+void
+FaultInjector::arm(const FaultPlan &plan)
+{
+    plan_ = plan;
+    outcome_ = FaultOutcome{};
+}
+
+bool
+FaultInjector::fires(uint64_t dynIndex)
+{
+    if (!plan_ || dynIndex != plan_->dynIndex)
+        return false;
+    firedPlan = *plan_;
+    plan_.reset();
+    return true;
+}
+
+} // namespace slip

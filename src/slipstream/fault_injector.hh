@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Transient-fault injection (paper §3, Figure 5).
+ *
+ * Models a single-event upset that flips one bit of one dynamic
+ * instruction's result value. Three injection targets cover the
+ * paper's scenarios:
+ *
+ *  - AStream:   the fault hits the A-stream copy of a redundantly
+ *               executed instruction. The corrupted value reaches the
+ *               delay buffer (and the A context); the R-stream's
+ *               redundant computation disagrees -> detected as a
+ *               "misprediction", recovered from R-stream state
+ *               (scenario #1, A-side).
+ *  - RPipeline: the fault hits the R-stream copy *in the pipeline*
+ *               (before architectural state). If the instruction was
+ *               redundantly executed, the comparison disagrees ->
+ *               detected and squashed; architectural state is written
+ *               by the re-execution (scenario #1, R-side). If the
+ *               A-stream had skipped the instruction there is nothing
+ *               to compare against and the corrupted value silently
+ *               retires (scenario #2).
+ *
+ * The injector addresses instructions by their dynamic index in the
+ * R-stream's retired order, so campaigns are reproducible.
+ */
+
+#ifndef SLIPSTREAM_SLIPSTREAM_FAULT_INJECTOR_HH
+#define SLIPSTREAM_SLIPSTREAM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace slip
+{
+
+/** Where the flipped bit lands. */
+enum class FaultTarget : uint8_t
+{
+    AStream,   // the A-stream's copy of the instruction
+    RPipeline, // the R-stream's copy, pre-architectural-state
+};
+
+/** A single planned transient fault. */
+struct FaultPlan
+{
+    FaultTarget target = FaultTarget::RPipeline;
+    uint64_t dynIndex = 0; // R-stream dynamic instruction index
+    unsigned bit = 0;      // which result bit flips (0..63)
+};
+
+/** What the fault actually did (filled in during the run). */
+struct FaultOutcome
+{
+    bool injected = false;        // the indexed instruction existed
+    bool targetWasRedundant = false; // instruction executed in both
+    bool detected = false;        // triggered a recovery
+    Addr pc = 0;                  // victim instruction
+};
+
+/** Injection bookkeeping shared with the R-stream walker. */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    /** Arm one fault for the coming run. */
+    void arm(const FaultPlan &plan);
+
+    bool armed() const { return plan_.has_value(); }
+    const FaultPlan &plan() const { return *plan_; }
+
+    /**
+     * Should the instruction with this dynamic index be corrupted?
+     * Consumes the plan (single-fault model).
+     */
+    bool fires(uint64_t dynIndex);
+
+    /** Flip the planned bit in a value. */
+    Word
+    corrupt(Word value) const
+    {
+        return value ^ (Word(1) << (firedPlan.bit & 63));
+    }
+
+    /** Target of the fault that just fired (valid after fires()). */
+    FaultTarget firedTarget() const { return firedPlan.target; }
+
+    FaultOutcome &outcome() { return outcome_; }
+    const FaultOutcome &outcome() const { return outcome_; }
+
+  private:
+    std::optional<FaultPlan> plan_;
+    FaultPlan firedPlan;
+    FaultOutcome outcome_;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_SLIPSTREAM_FAULT_INJECTOR_HH

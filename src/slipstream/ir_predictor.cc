@@ -1,0 +1,103 @@
+#include "slipstream/ir_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+std::string
+reasonName(uint8_t mask)
+{
+    std::string name;
+    if (mask & reason::kProp)
+        name += "P:";
+    bool first = true;
+    const auto add = [&](uint8_t bit, const char *label) {
+        if (mask & bit) {
+            if (!first)
+                name += ",";
+            name += label;
+            first = false;
+        }
+    };
+    add(reason::kSV, "SV");
+    add(reason::kWW, "WW");
+    add(reason::kBR, "BR");
+    return name.empty() ? "none" : name;
+}
+
+IRPredictor::IRPredictor(const IRPredictorParams &params)
+    : params_(params), table(size_t(1) << params.tableBits),
+      stats_("ir_pred")
+{
+}
+
+size_t
+IRPredictor::indexOf(const PathHistory &history, const TraceId &id) const
+{
+    const uint64_t h = params_.keyByTraceId ? id.hash()
+                                            : history.correlatedHash();
+    return h & ((size_t(1) << params_.tableBits) - 1);
+}
+
+std::optional<RemovalPlan>
+IRPredictor::lookup(const PathHistory &history,
+                    const TraceId &predicted) const
+{
+    if (!params_.enabled)
+        return std::nullopt;
+    const Entry &e = table[indexOf(history, predicted)];
+    if (!e.valid || e.idHash != predicted.hash())
+        return std::nullopt;
+    if (e.confidence < params_.confidenceThreshold) {
+        ++stats_.counter("lookup_below_threshold");
+        return std::nullopt;
+    }
+    if (e.plan.irVec == 0)
+        return std::nullopt;
+    ++stats_.counter("lookup_confident");
+    return e.plan;
+}
+
+void
+IRPredictor::update(const PathHistory &history, const TraceId &actual,
+                    const RemovalPlan &computed)
+{
+    ++stats_.counter("updates");
+    Entry &e = table[indexOf(history, actual)];
+    const uint64_t idHash = actual.hash();
+
+    if (e.valid && e.idHash == idHash && e.plan.irVec == computed.irVec) {
+        // Repeated {trace-id, ir-vec} indication: build confidence.
+        if (e.confidence < 1'000'000)
+            ++e.confidence;
+        e.plan.reasons = computed.reasons; // keep freshest attribution
+        ++stats_.counter("confidence_hits");
+        return;
+    }
+
+    // A different trace followed this path, or the same trace with a
+    // different ir-vec: the resetting counter starts over.
+    e.valid = true;
+    e.idHash = idHash;
+    e.plan = computed;
+    e.confidence = 0;
+    ++stats_.counter("confidence_resets");
+}
+
+void
+IRPredictor::resetEntry(const PathHistory &history, const TraceId &trace)
+{
+    Entry &e = table[indexOf(history, trace)];
+    if (e.valid && e.idHash == trace.hash())
+        e.confidence = 0;
+}
+
+void
+IRPredictor::reset()
+{
+    for (Entry &e : table)
+        e.confidence = 0;
+}
+
+} // namespace slip

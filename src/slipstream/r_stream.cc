@@ -1,0 +1,224 @@
+#include "slipstream/r_stream.hh"
+
+#include "common/logging.hh"
+#include "isa/regnames.hh"
+
+namespace slip
+{
+
+RStreamSource::RStreamSource(const Program &program, Memory &rMem,
+                             DelayBuffer &delayBuffer, unsigned fetchWidth)
+    : program(program), port(rMem), state_(port),
+      delayBuffer(delayBuffer), fetchWidth(fetchWidth),
+      stats_("r_stream")
+{
+    state_.setPc(program.entry());
+    state_.writeReg(reg::sp, layout::kStackTop);
+}
+
+bool
+RStreamSource::exhausted() const
+{
+    return haltWalked && blocks.empty();
+}
+
+bool
+RStreamSource::nextBlock(FetchBlock &block)
+{
+    while (blocks.empty()) {
+        if (haltWalked || awaitingRecovery_) {
+            ++stats_.counter(awaitingRecovery_ ? "stall_recovery"
+                                               : "stall_halted");
+            return false;
+        }
+        if (delayBuffer.empty()) {
+            ++stats_.counter("stall_empty_buffer");
+            return false;
+        }
+        walkPacket();
+    }
+    block = std::move(blocks.front());
+    blocks.pop_front();
+    return true;
+}
+
+bool
+RStreamSource::slotMismatch(const PacketSlot &slot,
+                            const ExecResult &rExec,
+                            const ExecResult &aView) const
+{
+    if (rExec.wroteReg != aView.wroteReg)
+        return true;
+    if (rExec.wroteReg && rExec.destValue != aView.destValue)
+        return true;
+    if (slot.si.isLoad() || slot.si.isStore()) {
+        if (rExec.memAddr != aView.memAddr)
+            return true;
+        if (slot.si.isStore() && rExec.storeValue != aView.storeValue)
+            return true;
+    }
+    if (rExec.isControl) {
+        if (rExec.taken != aView.taken)
+            return true;
+        if (rExec.taken && rExec.target != aView.target)
+            return true;
+    }
+    return false;
+}
+
+void
+RStreamSource::walkPacket()
+{
+    Packet packet = delayBuffer.pop();
+    const uint64_t num = packet.num;
+
+    PacketRecord rec;
+    rec.rExec.reserve(packet.slots.size());
+
+    BlockSlicer slicer(fetchWidth);
+    bool divergence = false;
+
+    for (size_t i = 0; i < packet.slots.size() && !divergence; ++i) {
+        PacketSlot &slot = packet.slots[i];
+        const Addr rPc = state_.pc();
+
+        // Packet path disagreeing with the R-stream's own path is a
+        // divergence in itself (defensive catch-all: every legitimate
+        // divergence is also caught at a compared outcome).
+        const bool pcDiverged = rPc != slot.pc;
+
+        // The R-stream executes its *own* next instruction — which is
+        // the slot's instruction whenever the streams agree.
+        const StaticInst &si =
+            pcDiverged ? program.fetch(rPc) : slot.si;
+        const ExecResult exec = execute(state_, si, &output_);
+
+        const uint64_t dynIndex = walked++;
+
+        // --- transient fault injection (paper §3) ---
+        ExecResult rView = exec; // the value the checker sees
+        bool faultFiredHere = false;
+        if (faultInjector && faultInjector->fires(dynIndex)) {
+            faultFiredHere = true;
+            FaultOutcome &out = faultInjector->outcome();
+            out.injected = true;
+            out.pc = rPc;
+            out.targetWasRedundant = slot.executedInA && !pcDiverged;
+            if (faultInjector->firedTarget() == FaultTarget::AStream) {
+                if (out.targetWasRedundant) {
+                    // Corrupt the communicated (A-side) copy.
+                    if (slot.aExec.wroteReg) {
+                        slot.aExec.destValue =
+                            faultInjector->corrupt(slot.aExec.destValue);
+                    } else if (slot.si.isStore()) {
+                        slot.aExec.storeValue =
+                            faultInjector->corrupt(slot.aExec.storeValue);
+                    } else if (slot.aExec.isControl) {
+                        slot.aExec.taken = !slot.aExec.taken;
+                    }
+                }
+                // A fault aimed at the A-stream copy of a skipped
+                // instruction has no victim: nothing was executed.
+            } else { // RPipeline
+                if (out.targetWasRedundant) {
+                    // Corrupt only the checker's view: detection will
+                    // squash and re-execute, so architectural state is
+                    // written clean.
+                    if (rView.wroteReg) {
+                        rView.destValue =
+                            faultInjector->corrupt(rView.destValue);
+                    } else if (si.isStore()) {
+                        rView.storeValue =
+                            faultInjector->corrupt(rView.storeValue);
+                    } else if (rView.isControl) {
+                        rView.taken = !rView.taken;
+                    }
+                } else {
+                    // Scenario #2: nothing to compare against — the
+                    // corrupted value silently reaches architectural
+                    // state.
+                    if (exec.wroteReg) {
+                        state_.writeReg(
+                            exec.destReg,
+                            faultInjector->corrupt(exec.destValue));
+                    } else if (si.isStore()) {
+                        state_.mem().write(
+                            exec.memAddr, exec.memBytes,
+                            faultInjector->corrupt(exec.storeValue));
+                    }
+                }
+            }
+        }
+
+        // --- validation ---
+        bool mismatch = pcDiverged;
+        if (!mismatch && slot.executedInA) {
+            mismatch = slotMismatch(slot, rView, slot.aExec);
+        } else if (!mismatch && !slot.executedInA) {
+            // Removed instructions: presumed branch outcomes must hold.
+            if (si.isCondBranch() && rView.taken != slot.pathTaken)
+                mismatch = true;
+        }
+
+        DynInst d;
+        d.seq = nextSeq++;
+        d.pc = rPc;
+        d.si = si;
+        d.exec = exec;
+        d.valuePredicted = slot.executedInA && !pcDiverged;
+        d.removalReason = slot.removalReason;
+        d.packetSeq = num;
+        d.packetSlot = static_cast<uint8_t>(i);
+        d.triggersRecovery = mismatch;
+
+        rec.rExec.push_back(exec);
+        ++rec.emitted;
+
+        slicer.push(d, rPc, blocks);
+
+        if (mismatch) {
+            divergence = true;
+            awaitingRecovery_ = true;
+            ++stats_.counter("divergences");
+            // A fault counts as detected only if the disagreement
+            // surfaced at the faulted instruction itself; later
+            // divergences caused by silently corrupted state recover
+            // into the corrupted context (paper scenario #2).
+            if (faultFiredHere)
+                faultInjector->outcome().detected = true;
+        }
+        if (si.isHalt())
+            haltWalked = true;
+    }
+    slicer.finish(blocks);
+
+    rec.divergent = divergence;
+    rec.packet = std::move(packet);
+    records.emplace(num, std::move(rec));
+    ++stats_.counter("packets_walked");
+}
+
+void
+RStreamSource::notifyRetire(const DynInst &d)
+{
+    auto it = records.find(d.packetSeq);
+    if (it == records.end())
+        return;
+    PacketRecord &rec = it->second;
+    ++rec.retires;
+    if (rec.retires < rec.emitted)
+        return;
+    if (!rec.divergent && onPacketRetired)
+        onPacketRetired(rec.packet, rec.rExec);
+    records.erase(it);
+}
+
+void
+RStreamSource::recover()
+{
+    awaitingRecovery_ = false;
+    blocks.clear();
+    ++stats_.counter("recoveries");
+}
+
+} // namespace slip

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The R-stream (redundant stream) fetch source: the full program,
+ * fetching along delay-buffer control flow and using communicated
+ * values as predictions (paper §2.2, §2.3).
+ *
+ * The R-stream executes *every* instruction on the authoritative
+ * memory image and validates the A-stream:
+ *  - redundantly executed instructions compare values, addresses, and
+ *    branch outcomes against the delay-buffer entries;
+ *  - instructions the A-stream removed have their presumed branch
+ *    outcomes checked against the R-stream's computed ones.
+ * Any disagreement is an IR-misprediction (or a transient fault —
+ * indistinguishable by design): the offending instruction is marked
+ * and the slipstream processor initiates recovery when it retires.
+ *
+ * Timing: redundantly executed instructions issue without register-
+ * dependence waits (source operands arrive from the delay buffer);
+ * removed instructions wait on real dependences. R-stream fetch
+ * starves when the delay buffer is empty.
+ */
+
+#ifndef SLIPSTREAM_SLIPSTREAM_R_STREAM_HH
+#define SLIPSTREAM_SLIPSTREAM_R_STREAM_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "assembler/program.hh"
+#include "func/arch_state.hh"
+#include "mem/memory.hh"
+#include "slipstream/delay_buffer.hh"
+#include "slipstream/fault_injector.hh"
+#include "uarch/fetch_source.hh"
+
+namespace slip
+{
+
+/** The R-stream front end + the authoritative context. */
+class RStreamSource : public FetchSource
+{
+  public:
+    RStreamSource(const Program &program, Memory &rMem,
+                  DelayBuffer &delayBuffer, unsigned fetchWidth = 16);
+
+    bool nextBlock(FetchBlock &block) override;
+    bool exhausted() const override;
+
+    /**
+     * R-stream core retire notification. Drives packet-completion
+     * bookkeeping; fires onPacketRetired for fully validated traces.
+     */
+    void notifyRetire(const DynInst &d);
+
+    /**
+     * Resume after recovery: the R-stream context was never wrong, so
+     * this only clears the divergence latch and sliced blocks.
+     */
+    void recover();
+
+    /** A trace fully retired and validated (train + detect on it). */
+    std::function<void(const Packet &, const std::vector<ExecResult> &)>
+        onPacketRetired;
+
+    /** Optional transient-fault injection. */
+    FaultInjector *faultInjector = nullptr;
+
+    ArchState &archState() { return state_; }
+    const std::string &output() const { return output_; }
+    bool awaitingRecovery() const { return awaitingRecovery_; }
+    StatGroup &stats() { return stats_; }
+
+    /** Dynamic R-stream instructions walked (fault-index space). */
+    uint64_t walkedCount() const { return walked; }
+
+  private:
+    struct PacketRecord
+    {
+        Packet packet;
+        std::vector<ExecResult> rExec;
+        unsigned emitted = 0;
+        unsigned retires = 0;
+        bool divergent = false;
+    };
+
+    void walkPacket();
+
+    /** Compare one redundantly executed slot; true on disagreement. */
+    bool slotMismatch(const PacketSlot &slot, const ExecResult &rExec,
+                      const ExecResult &aView) const;
+
+    const Program &program;
+    DirectMemPort port;
+    ArchState state_;
+    DelayBuffer &delayBuffer;
+    unsigned fetchWidth;
+
+    std::string output_;
+    std::deque<FetchBlock> blocks;
+    std::unordered_map<uint64_t, PacketRecord> records;
+
+    InstSeqNum nextSeq = 1;
+    uint64_t walked = 0;
+    bool haltWalked = false;
+    bool awaitingRecovery_ = false;
+
+    StatGroup stats_;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_SLIPSTREAM_R_STREAM_HH

@@ -1,0 +1,110 @@
+#include "slipstream/rdfg.hh"
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+Rdfg::Rdfg(unsigned numSlots)
+    : nodes(numSlots)
+{
+}
+
+void
+Rdfg::setRemovable(unsigned slot, bool removable)
+{
+    SLIP_ASSERT(slot < nodes.size(), "rdfg slot ", slot, " out of range");
+    nodes[slot].removable = removable;
+}
+
+void
+Rdfg::addEdge(unsigned producer, unsigned consumer)
+{
+    SLIP_ASSERT(producer < nodes.size() && consumer < nodes.size(),
+                "rdfg edge out of range");
+    SLIP_ASSERT(producer != consumer, "rdfg self edge at slot ", producer);
+    Node &p = nodes[producer];
+    ++p.consumers;
+    nodes[consumer].producers.push_back(
+        static_cast<uint16_t>(producer));
+    // If the consumer is already selected (e.g. a branch selected at
+    // merge reads an operand — impossible in practice since edges are
+    // added before selection, but keep the invariant robust).
+    if (nodes[consumer].selected) {
+        ++p.selectedConsumers;
+        p.inheritedReasons |= nodes[consumer].reasons;
+        tryPropagate(producer);
+    }
+}
+
+void
+Rdfg::markExternalConsumer(unsigned producer)
+{
+    SLIP_ASSERT(producer < nodes.size(), "rdfg slot out of range");
+    nodes[producer].externalConsumer = true;
+}
+
+void
+Rdfg::select(unsigned slot, uint8_t reasons)
+{
+    SLIP_ASSERT(slot < nodes.size(), "rdfg slot ", slot, " out of range");
+    Node &n = nodes[slot];
+    if (!n.removable)
+        return;
+    if (n.selected) {
+        n.reasons |= reasons;
+        return;
+    }
+    n.selected = true;
+    n.reasons |= reasons;
+
+    // Back-propagate: each producer gains one selected consumer.
+    for (uint16_t p : n.producers) {
+        Node &prod = nodes[p];
+        ++prod.selectedConsumers;
+        prod.inheritedReasons |= n.reasons & ~reason::kProp;
+        tryPropagate(p);
+    }
+}
+
+void
+Rdfg::kill(unsigned slot)
+{
+    SLIP_ASSERT(slot < nodes.size(), "rdfg slot ", slot, " out of range");
+    nodes[slot].killed = true;
+    tryPropagate(slot);
+}
+
+void
+Rdfg::tryPropagate(unsigned slot)
+{
+    Node &n = nodes[slot];
+    if (n.selected || !n.removable || !n.killed || n.externalConsumer)
+        return;
+    if (n.consumers == 0 || n.selectedConsumers != n.consumers)
+        return;
+    select(slot, static_cast<uint8_t>(reason::kProp |
+                                      n.inheritedReasons));
+}
+
+uint64_t
+Rdfg::irVec() const
+{
+    uint64_t vec = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].selected)
+            vec |= uint64_t(1) << i;
+    }
+    return vec;
+}
+
+std::vector<uint8_t>
+Rdfg::reasonVector() const
+{
+    std::vector<uint8_t> reasons(nodes.size(), 0);
+    for (size_t i = 0; i < nodes.size(); ++i)
+        reasons[i] = nodes[i].reasons;
+    return reasons;
+}
+
+} // namespace slip

@@ -1,0 +1,120 @@
+#include "slipstream/recovery_controller.hh"
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+RecoveryController::RecoveryController(Memory &rMem,
+                                       const RecoveryParams &params)
+    : rMem(rMem), params_(params), stats_("recovery")
+{
+}
+
+uint64_t
+RecoveryController::read(Addr addr, unsigned bytes)
+{
+    uint64_t value = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+        const Addr a = addr + i;
+        uint8_t byte;
+        auto it = overlay.find(a);
+        if (it != overlay.end())
+            byte = it->second.value;
+        else
+            byte = static_cast<uint8_t>(rMem.read(a, 1));
+        value |= static_cast<uint64_t>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+RecoveryController::write(Addr addr, unsigned bytes, uint64_t value)
+{
+    for (unsigned i = 0; i < bytes; ++i) {
+        OverlayByte &b = overlay[addr + i];
+        b.value = static_cast<uint8_t>(value >> (8 * i));
+        ++b.pendingStores;
+    }
+}
+
+void
+RecoveryController::onRStoreRetired(Addr addr, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i) {
+        const Addr a = addr + i;
+        auto it = overlay.find(a);
+        if (it == overlay.end())
+            continue; // already reclaimed (or recovery intervened)
+        OverlayByte &b = it->second;
+        if (b.pendingStores > 0)
+            --b.pendingStores;
+        if (b.pendingStores == 0 &&
+            b.value == static_cast<uint8_t>(rMem.read(a, 1))) {
+            // The streams agree and no younger A-store is in flight:
+            // the undo window for this byte is closed.
+            overlay.erase(it);
+        }
+    }
+}
+
+void
+RecoveryController::onSkippedStoreRetired(uint64_t packetNum, Addr addr,
+                                          unsigned bytes)
+{
+    auto &granules = doSet[packetNum];
+    const Addr first = addr >> 3;
+    const Addr last = (addr + bytes - 1) >> 3;
+    for (Addr g = first; g <= last; ++g) {
+        if (granules.insert(g).second)
+            ++doSetSize;
+    }
+}
+
+void
+RecoveryController::onTraceVerified(uint64_t packetNum)
+{
+    auto it = doSet.find(packetNum);
+    if (it == doSet.end())
+        return;
+    SLIP_ASSERT(doSetSize >= it->second.size(), "do-set size drift");
+    doSetSize -= it->second.size();
+    doSet.erase(it);
+}
+
+size_t
+RecoveryController::trackedAddresses() const
+{
+    // Count the undo overlay in 8-byte granules to match the do set
+    // (and the paper's notion of tracked addresses).
+    std::unordered_set<Addr> granules;
+    granules.reserve(overlay.size());
+    for (const auto &[addr, byte] : overlay)
+        granules.insert(addr >> 3);
+    return granules.size() + doSetSize;
+}
+
+Cycle
+RecoveryController::recover()
+{
+    const size_t tracked = trackedAddresses();
+    stats_.distribution("tracked_at_recovery").sample(tracked);
+    ++stats_.counter("recoveries");
+
+    overlay.clear();
+    doSet.clear();
+    doSetSize = 0;
+
+    const unsigned regCycles =
+        (kNumRegs + params_.regRestoresPerCycle - 1) /
+        params_.regRestoresPerCycle;
+    const unsigned memCycles =
+        (static_cast<unsigned>(tracked) + params_.memRestoresPerCycle -
+         1) /
+        params_.memRestoresPerCycle;
+    const Cycle latency = params_.startupCycles + regCycles + memCycles;
+    stats_.distribution("latency").sample(latency);
+    return latency;
+}
+
+} // namespace slip

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared vocabulary for instruction removal: reason categories (the
+ * paper's Figure 8 breakdown) and the per-trace removal plan the
+ * IR-predictor hands to the A-stream fetch unit.
+ */
+
+#ifndef SLIPSTREAM_SLIPSTREAM_REMOVAL_HH
+#define SLIPSTREAM_SLIPSTREAM_REMOVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "uarch/trace.hh"
+
+namespace slip
+{
+
+/**
+ * Why an instruction was selected for removal. An instruction can
+ * carry several reasons; back-propagated (P:) instructions inherit the
+ * union of their consumers' reasons, as in the paper's accounting.
+ */
+namespace reason
+{
+constexpr uint8_t kBR = 1;   // branch instruction
+constexpr uint8_t kWW = 2;   // unreferenced write (write-after-write)
+constexpr uint8_t kSV = 4;   // non-modifying (same-value) write
+constexpr uint8_t kProp = 8; // selected via R-DFG back-propagation
+} // namespace reason
+
+/** "BR", "SV", "P:SV,BR", ... matching the paper's Figure 8 legend. */
+std::string reasonName(uint8_t mask);
+
+/**
+ * A removal plan for one trace: which slots the A-stream skips, and
+ * why (the reasons ride along purely for statistics).
+ */
+struct RemovalPlan
+{
+    uint64_t irVec = 0; // bit i set => slot i removed
+    std::vector<uint8_t> reasons;
+
+    bool
+    removes(unsigned slot) const
+    {
+        return ((irVec >> slot) & 1) != 0;
+    }
+
+    uint8_t
+    reasonAt(unsigned slot) const
+    {
+        return slot < reasons.size() ? reasons[slot] : 0;
+    }
+
+    unsigned removedCount() const { return popCount(irVec); }
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_SLIPSTREAM_REMOVAL_HH

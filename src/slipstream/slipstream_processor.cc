@@ -1,0 +1,204 @@
+#include "slipstream/slipstream_processor.hh"
+
+#include "common/logging.hh"
+#include "slipstream/removal.hh"
+
+namespace slip
+{
+
+namespace
+{
+constexpr Cycle kWatchdogInterval = 1'000'000;
+} // namespace
+
+SlipstreamProcessor::SlipstreamProcessor(const Program &program,
+                                         const SlipstreamParams &params)
+    : SlipstreamProcessor(program, params,
+                          std::make_unique<IRPredictor>(params.irPred))
+{
+}
+
+SlipstreamProcessor::SlipstreamProcessor(
+    const Program &program, const SlipstreamParams &params,
+    std::unique_ptr<IRPredictor> irPredictor)
+    : params_(params), program(program),
+      tracePred(std::make_unique<TracePredictor>(params.tracePred)),
+      irPred(std::move(irPredictor)), delayBuffer_(params.delayBuffer),
+      recovery_(std::make_unique<RecoveryController>(rMem,
+                                                     params.recovery)),
+      detector_(std::make_unique<IRDetector>(params.detector, *irPred))
+{
+    program.loadInto(rMem);
+    aSource_ = std::make_unique<AStreamSource>(
+        program, *tracePred, *irPred, *recovery_, delayBuffer_,
+        params_.aCore.fetchWidth, params_.tracePolicy);
+    rSource_ = std::make_unique<RStreamSource>(
+        program, rMem, delayBuffer_, params_.rCore.fetchWidth);
+    aCore_ = std::make_unique<OoOCore>(params_.aCore, *aSource_);
+    rCore_ = std::make_unique<OoOCore>(params_.rCore, *rSource_);
+    rSource_->faultInjector = &faultInjector_;
+    wire();
+}
+
+void
+SlipstreamProcessor::wire()
+{
+    aCore_->onRetire = [this](const DynInst &d, Cycle) {
+        aSource_->notifyRetire(d);
+        return true;
+    };
+
+    rCore_->onRetire = [this](const DynInst &d, Cycle) {
+        rSource_->notifyRetire(d);
+
+        // Recovery-controller store tracking (paper Figure 4).
+        if (d.si.isStore()) {
+            if (d.valuePredicted) {
+                recovery_->onRStoreRetired(d.exec.memAddr,
+                                           d.exec.memBytes);
+            } else {
+                recovery_->onSkippedStoreRetired(
+                    d.packetSeq, d.exec.memAddr, d.exec.memBytes);
+            }
+        }
+
+        // Removal accounting over validated (retired) instructions.
+        if (!d.valuePredicted) {
+            ++removedSlots;
+            ++removedByReason[reasonName(d.removalReason)];
+        }
+
+        if (d.triggersRecovery) {
+            recoveryRequested = true;
+            // A removed conditional branch whose presumed direction
+            // proved wrong corrupts the A-stream *path*, not its
+            // data context computations: the removal itself was
+            // sound, so its confidence survives the recovery.
+            recoveryCause =
+                (!d.valuePredicted && d.si.isCondBranch())
+                    ? RecoveryCause::RemovedBranchMispredict
+                    : RecoveryCause::CorruptContextUnknown;
+        }
+        return true;
+    };
+
+    rSource_->onPacketRetired = [this](const Packet &packet,
+                                       const std::vector<ExecResult>
+                                           &rExec) {
+        const PathHistory historyBefore = trainerHistory;
+        tracePred->update(trainerHistory, packet.actualId);
+        trainerHistory.push(packet.actualId);
+        detector_->processTrace(
+            RetiredTrace{&packet, &rExec, &historyBefore});
+    };
+
+    detector_->onIRMispredict = [this](uint64_t) {
+        recoveryRequested = true;
+        // The detector already reset the offending entry's
+        // confidence; no need to nuke everything.
+        recoveryCause = RecoveryCause::CorruptContextKnown;
+    };
+
+    detector_->onTraceVerified = [this](uint64_t packetNum) {
+        recovery_->onTraceVerified(packetNum);
+    };
+}
+
+void
+SlipstreamProcessor::doRecovery(Cycle now)
+{
+    recoveryRequested = false;
+    ++irMispredicts;
+    switch (recoveryCause) {
+      case RecoveryCause::RemovedBranchMispredict:
+        ++recoveryStats.counter("removed_branch_mispredict");
+        break;
+      case RecoveryCause::CorruptContextKnown:
+        ++recoveryStats.counter("irvec_check");
+        break;
+      case RecoveryCause::CorruptContextUnknown:
+        ++recoveryStats.counter("value_mismatch");
+        break;
+      case RecoveryCause::None:
+        ++recoveryStats.counter("unclassified");
+        break;
+    }
+
+    // Repair the A-stream memory context (functionally: collapse the
+    // overlay onto the authoritative image) and charge the latency.
+    const Cycle latency = recovery_->recover();
+    irPenaltyTotal += latency;
+    const Cycle resume = now + latency;
+
+    // A-stream: full flush and restart at the R-stream's precise point.
+    aCore_->flush(now, resume);
+    aSource_->recover(rSource_->archState().pc(), rSource_->archState(),
+                      trainerHistory);
+
+    // R-stream: its context was never wrong; older in-flight
+    // instructions drain normally while fetch waits out the repair.
+    rCore_->stallFetchUntil(resume);
+    rSource_->recover();
+
+    delayBuffer_.clear();
+    // The IR-detector's state is NOT cleared: it reflects R-stream
+    // retirement, which was never wrong. Traces still in its scope
+    // finalize normally as post-recovery traces arrive, and keeping
+    // the operand rename table's values preserves same-value-write
+    // detection across recoveries (otherwise every recovery poisons
+    // the next pass of each hot loop and confidence thrashes).
+    if (params_.resetConfidenceOnRecovery &&
+        recoveryCause == RecoveryCause::CorruptContextUnknown) {
+        // The A-stream context was corrupted by a wrong removal whose
+        // origin is unknown: conservatively drop all confidence so
+        // the wrong entry cannot immediately re-trigger.
+        irPred->reset();
+    }
+    recoveryCause = RecoveryCause::None;
+}
+
+SlipstreamRunResult
+SlipstreamProcessor::run(Cycle maxCycles)
+{
+    Cycle now = 0;
+    Cycle lastProgress = 0;
+
+    while (!rCore_->halted() && (maxCycles == 0 || now < maxCycles)) {
+        aCore_->tick(now);
+        rCore_->tick(now);
+        aSource_->tryPublish();
+
+        if (recoveryRequested)
+            doRecovery(now);
+
+        if (rCore_->lastRetireCycle() > lastProgress)
+            lastProgress = rCore_->lastRetireCycle();
+        if (now - lastProgress > kWatchdogInterval) {
+            SLIP_PANIC("slipstream deadlock: R-stream idle since cycle ",
+                       lastProgress, " (now ", now, ", R retired ",
+                       rCore_->retiredCount(), ", A retired ",
+                       aCore_->retiredCount(), ", delay buffer ",
+                       delayBuffer_.controlEntries(), " pkts/",
+                       delayBuffer_.dataEntries(), " data)");
+        }
+        ++now;
+    }
+
+    detector_->drain();
+
+    SlipstreamRunResult result;
+    result.cycles = now;
+    result.rRetired = rCore_->retiredCount();
+    result.aRetired = aCore_->retiredCount();
+    result.output = rSource_->output();
+    result.halted = rCore_->halted();
+    result.removedSlots = removedSlots;
+    result.removedByReason = removedByReason;
+    result.aBranchMispredicts = aCore_->stats().get("branch_mispredicts");
+    result.irMispredicts = irMispredicts;
+    result.irPenaltyTotal = irPenaltyTotal;
+    result.faultOutcome = faultInjector_.outcome();
+    return result;
+}
+
+} // namespace slip

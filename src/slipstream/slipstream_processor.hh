@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The slipstream processor: two cores of a chip multiprocessor running
+ * redundant copies of one program (paper Figure 1).
+ *
+ * The A-stream core runs the shortened program under IR-predictor
+ * control flow; the R-stream core runs the full program, fed control
+ * and data flow outcomes through the delay buffer. The IR-detector
+ * monitors the R-stream's retired instructions and teaches the
+ * IR-predictor; the recovery controller repairs the A-stream context
+ * from the R-stream's when an IR-misprediction (or transient fault)
+ * is exposed.
+ *
+ * Program completion and program output are the R-stream's ("the
+ * R-stream finishes just after the A-stream, so the R-stream
+ * determines when the user's program is done"). IPC is computed as
+ * R-stream retired instructions over total cycles, the paper's §5
+ * metric.
+ */
+
+#ifndef SLIPSTREAM_SLIPSTREAM_SLIPSTREAM_PROCESSOR_HH
+#define SLIPSTREAM_SLIPSTREAM_SLIPSTREAM_PROCESSOR_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "assembler/program.hh"
+#include "slipstream/a_stream.hh"
+#include "slipstream/delay_buffer.hh"
+#include "slipstream/fault_injector.hh"
+#include "slipstream/ir_detector.hh"
+#include "slipstream/ir_predictor.hh"
+#include "slipstream/r_stream.hh"
+#include "slipstream/recovery_controller.hh"
+#include "uarch/core.hh"
+#include "uarch/trace_pred.hh"
+
+namespace slip
+{
+
+/** Full configuration of a slipstream processor (Table 2 defaults). */
+struct SlipstreamParams
+{
+    CoreParams aCore = [] {
+        CoreParams c;
+        c.name = "a_core";
+        return c;
+    }();
+    CoreParams rCore = [] {
+        CoreParams c;
+        c.name = "r_core";
+        return c;
+    }();
+    TracePredParams tracePred;
+    TracePolicy tracePolicy;
+    IRPredictorParams irPred;
+    IRDetectorParams detector;
+    DelayBufferParams delayBuffer;
+    RecoveryParams recovery;
+
+    /**
+     * Reset all removal confidence after a recovery. Avoids repeated
+     * IR-mispredictions on a persistently wrong entry; forward
+     * progress is guaranteed either way (the R-stream retires the
+     * exposing instruction before recovery begins).
+     */
+    bool resetConfidenceOnRecovery = true;
+};
+
+/** Results of a slipstream run. */
+struct SlipstreamRunResult
+{
+    Cycle cycles = 0;
+    uint64_t rRetired = 0; // the program, counted once
+    uint64_t aRetired = 0;
+    std::string output; // R-stream (architectural) output
+    bool halted = false;
+
+    uint64_t removedSlots = 0; // R-retired slots the A-stream skipped
+    std::map<std::string, uint64_t> removedByReason;
+
+    uint64_t aBranchMispredicts = 0; // A-stream-detected conventional
+    uint64_t irMispredicts = 0;      // recoveries
+    Cycle irPenaltyTotal = 0;        // recovery latency cycles
+
+    FaultOutcome faultOutcome;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(rRetired) / cycles : 0.0;
+    }
+
+    double
+    removedFraction() const
+    {
+        return rRetired ? static_cast<double>(removedSlots) / rRetired
+                        : 0.0;
+    }
+
+    double
+    mispPer1000() const
+    {
+        return rRetired ? 1000.0 *
+                              static_cast<double>(aBranchMispredicts) /
+                              rRetired
+                        : 0.0;
+    }
+
+    double
+    irMispPer1000() const
+    {
+        return rRetired
+                   ? 1000.0 * static_cast<double>(irMispredicts) /
+                         rRetired
+                   : 0.0;
+    }
+
+    double
+    avgIRPenalty() const
+    {
+        return irMispredicts ? static_cast<double>(irPenaltyTotal) /
+                                   irMispredicts
+                             : 0.0;
+    }
+};
+
+/** The two-way CMP slipstream processor. */
+class SlipstreamProcessor
+{
+  public:
+    SlipstreamProcessor(const Program &program,
+                        const SlipstreamParams &params = {});
+
+    /**
+     * Construct with a caller-provided IR-predictor (tests inject
+     * adversarial removal policies to prove recovery soundness).
+     */
+    SlipstreamProcessor(const Program &program,
+                        const SlipstreamParams &params,
+                        std::unique_ptr<IRPredictor> irPredictor);
+
+    /** Run until the R-stream retires HALT (or maxCycles). */
+    SlipstreamRunResult run(Cycle maxCycles = 0);
+
+    FaultInjector &faultInjector() { return faultInjector_; }
+
+    // Component access for tests and instrumentation.
+    OoOCore &aCore() { return *aCore_; }
+    OoOCore &rCore() { return *rCore_; }
+    AStreamSource &aSource() { return *aSource_; }
+    RStreamSource &rSource() { return *rSource_; }
+    IRPredictor &irPredictor() { return *irPred; }
+    IRDetector &detector() { return *detector_; }
+    DelayBuffer &delayBuffer() { return delayBuffer_; }
+    RecoveryController &recoveryController() { return *recovery_; }
+    TracePredictor &tracePredictor() { return *tracePred; }
+    StatGroup &recoveryCauseStats() { return recoveryStats; }
+
+  private:
+    void wire();
+    void doRecovery(Cycle now);
+
+    /** Why a recovery was requested; drives confidence resetting. */
+    enum class RecoveryCause : uint8_t
+    {
+        None,
+        RemovedBranchMispredict, // paper §2.3 type 1: the removal was
+                                 // sound, the trace prediction was not
+        CorruptContextKnown,     // type 2 caught by the IR-detector's
+                                 // ir-vec check: culprit entry known
+                                 // and already reset
+        CorruptContextUnknown,   // type 2 caught as an R-stream value
+                                 // mismatch: origin unknown
+    };
+
+    SlipstreamParams params_;
+    const Program &program;
+
+    Memory rMem; // the authoritative memory image
+    std::unique_ptr<TracePredictor> tracePred;
+    std::unique_ptr<IRPredictor> irPred;
+    DelayBuffer delayBuffer_;
+    std::unique_ptr<RecoveryController> recovery_;
+    std::unique_ptr<IRDetector> detector_;
+    std::unique_ptr<AStreamSource> aSource_;
+    std::unique_ptr<RStreamSource> rSource_;
+    std::unique_ptr<OoOCore> aCore_;
+    std::unique_ptr<OoOCore> rCore_;
+
+    PathHistory trainerHistory; // authoritative retired-trace path
+    FaultInjector faultInjector_;
+
+    bool recoveryRequested = false;
+    RecoveryCause recoveryCause = RecoveryCause::None;
+    StatGroup recoveryStats{"recovery_causes"};
+    uint64_t irMispredicts = 0;
+    Cycle irPenaltyTotal = 0;
+    uint64_t removedSlots = 0;
+    std::map<std::string, uint64_t> removedByReason;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_SLIPSTREAM_SLIPSTREAM_PROCESSOR_HH

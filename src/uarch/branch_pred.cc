@@ -1,0 +1,77 @@
+#include "uarch/branch_pred.hh"
+
+#include "common/bitutils.hh"
+
+namespace slip
+{
+
+namespace
+{
+
+void
+train2bit(uint8_t &counter, bool taken)
+{
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(unsigned indexBits)
+    : indexBits(indexBits), table(size_t(1) << indexBits, 1)
+{
+}
+
+size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc / kInstBytes) & ((size_t(1) << indexBits) - 1);
+}
+
+bool
+BimodalPredictor::predict(Addr pc) const
+{
+    return table[index(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    train2bit(table[index(pc)], taken);
+}
+
+GsharePredictor::GsharePredictor(unsigned indexBits, unsigned historyBits)
+    : indexBits(indexBits), historyBits(historyBits),
+      table(size_t(1) << indexBits, 1), stats_("gshare")
+{
+}
+
+size_t
+GsharePredictor::index(Addr pc) const
+{
+    const uint64_t h = history & ((uint64_t(1) << historyBits) - 1);
+    return ((pc / kInstBytes) ^ h) & ((size_t(1) << indexBits) - 1);
+}
+
+bool
+GsharePredictor::predict(Addr pc) const
+{
+    return table[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    ++stats_.counter("updates");
+    if (predict(pc) != taken)
+        ++stats_.counter("mispredicts");
+    train2bit(table[index(pc)], taken);
+    history = (history << 1) | (taken ? 1 : 0);
+}
+
+} // namespace slip

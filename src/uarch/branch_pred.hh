@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Conventional single-branch predictors: bimodal and gshare, plus a
+ * return-address stack. Figure 1 shows each core keeping its
+ * conventional branch predictor (disconnected while slipstreaming);
+ * these are used by ablation studies comparing trace-based and
+ * conventional prediction, and the RAS assists static fallback trace
+ * construction in the fetch unit.
+ */
+
+#ifndef SLIPSTREAM_UARCH_BRANCH_PRED_HH
+#define SLIPSTREAM_UARCH_BRANCH_PRED_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace slip
+{
+
+/** Classic 2-bit bimodal predictor. */
+class BimodalPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned indexBits = 14);
+
+    bool predict(Addr pc) const;
+    void update(Addr pc, bool taken);
+
+  private:
+    size_t index(Addr pc) const;
+
+    unsigned indexBits;
+    std::vector<uint8_t> table; // 2-bit counters
+};
+
+/** Gshare: global history XOR PC indexing a 2-bit counter table. */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(unsigned indexBits = 14,
+                             unsigned historyBits = 12);
+
+    bool predict(Addr pc) const;
+
+    /** Update the counter and shift the outcome into global history. */
+    void update(Addr pc, bool taken);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    size_t index(Addr pc) const;
+
+    unsigned indexBits;
+    unsigned historyBits;
+    uint64_t history = 0;
+    std::vector<uint8_t> table;
+    StatGroup stats_;
+};
+
+/** Bounded return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 32)
+        : depth(depth)
+    {}
+
+    void
+    push(Addr ra)
+    {
+        if (entries.size() == depth)
+            entries.erase(entries.begin());
+        entries.push_back(ra);
+    }
+
+    /** Pop the predicted return target; 0 if empty. */
+    Addr
+    pop()
+    {
+        if (entries.empty())
+            return 0;
+        const Addr ra = entries.back();
+        entries.pop_back();
+        return ra;
+    }
+
+    bool empty() const { return entries.empty(); }
+    void clear() { entries.clear(); }
+
+  private:
+    unsigned depth;
+    std::vector<Addr> entries;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_UARCH_BRANCH_PRED_HH

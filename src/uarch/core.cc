@@ -1,0 +1,247 @@
+#include "uarch/core.hh"
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+OoOCore::OoOCore(const CoreParams &params, FetchSource &source)
+    : params_(params), source(source),
+      icache_([&] {
+          CacheParams c = params.icache;
+          c.name = params.name + ".icache";
+          return c;
+      }()),
+      dcache_([&] {
+          CacheParams c = params.dcache;
+          c.name = params.name + ".dcache";
+          return c;
+      }()),
+      slotsUsed(kRingSize, 0), slotsTag(kRingSize, ~Cycle(0)),
+      stats_(params.name)
+{
+}
+
+Cycle
+OoOCore::execLatency(const StaticInst &si) const
+{
+    switch (si.opClass()) {
+      case OpClass::IntAlu:
+        return 1;
+      case OpClass::IntMult:
+        return params_.intMultLat;
+      case OpClass::IntDiv:
+        return params_.intDivLat;
+      case OpClass::Load:
+        return 1; // address generation; cache access added separately
+      case OpClass::Store:
+        return 1; // address generation
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::Syscall:
+        return 1;
+    }
+    return 1;
+}
+
+Cycle
+OoOCore::claimIssueSlot(Cycle earliest)
+{
+    Cycle c = earliest;
+    while (true) {
+        const size_t idx = static_cast<size_t>(c) & (kRingSize - 1);
+        if (slotsTag[idx] != c) {
+            slotsTag[idx] = c;
+            slotsUsed[idx] = 0;
+        }
+        if (slotsUsed[idx] < params_.issueWidth) {
+            ++slotsUsed[idx];
+            return c;
+        }
+        ++c;
+    }
+}
+
+void
+OoOCore::tick(Cycle now)
+{
+    if (halted_)
+        return;
+    doRetire(now);
+    doDispatch(now);
+    doFetch(now);
+}
+
+void
+OoOCore::doRetire(Cycle now)
+{
+    unsigned count = 0;
+    while (count < params_.retireWidth && !rob.empty() &&
+           rob.front().completeAt <= now) {
+        const DynInst &d = rob.front().d;
+        if (onRetire && !onRetire(d, now))
+            break; // back-pressure: retry next cycle
+        ++retired;
+        lastRetire = now;
+        ++stats_.counter("retired");
+        if (d.si.isCondBranch())
+            ++stats_.counter("retired_cond_branches");
+        if (d.mispredicted)
+            ++stats_.counter("branch_mispredicts");
+        if (d.si.isHalt())
+            halted_ = true;
+        rob.pop_front();
+        ++count;
+        if (halted_)
+            return;
+    }
+}
+
+void
+OoOCore::doDispatch(Cycle now)
+{
+    unsigned count = 0;
+    while (count < params_.dispatchWidth && !fetchBuffer.empty() &&
+           fetchBuffer.front().readyAt <= now &&
+           rob.size() < params_.robSize) {
+        DynInst d = fetchBuffer.front().d;
+        fetchBuffer.pop_front();
+        ++count;
+        ++stats_.counter("dispatched");
+
+        // Operand readiness through the register scoreboard (skipped
+        // entirely when the delay buffer supplies source values).
+        Cycle depReady = now;
+        if (!d.valuePredicted) {
+            RegIndex srcs[2];
+            d.si.srcRegs(srcs);
+            for (RegIndex s : srcs) {
+                if (s != kNoReg && s != kZeroReg)
+                    depReady = std::max(depReady, regReady[s]);
+            }
+            if (d.si.isLoad()) {
+                // Perfect disambiguation + store-to-load forwarding:
+                // wait for the youngest earlier store to these bytes.
+                const Addr first = d.exec.memAddr >> 3;
+                const Addr last =
+                    (d.exec.memAddr + d.exec.memBytes - 1) >> 3;
+                for (Addr k = first; k <= last; ++k) {
+                    auto it = storeReady.find(k);
+                    if (it != storeReady.end())
+                        depReady = std::max(depReady, it->second);
+                }
+            }
+        }
+
+        const Cycle issueAt = claimIssueSlot(std::max(depReady, now + 1));
+        Cycle completeAt = issueAt + execLatency(d.si);
+
+        if (d.si.isLoad()) {
+            completeAt += dcache_.access(d.exec.memAddr);
+        } else if (d.si.isStore()) {
+            // Charge the access for cache state/bandwidth statistics;
+            // forwarding makes the data available at address
+            // generation, so dependents do not wait for the write.
+            dcache_.access(d.exec.memAddr);
+            const Addr first = d.exec.memAddr >> 3;
+            const Addr last = (d.exec.memAddr + d.exec.memBytes - 1) >> 3;
+            for (Addr k = first; k <= last; ++k)
+                storeReady[k] = completeAt;
+            if (storeReady.size() > (1u << 16)) {
+                std::erase_if(storeReady, [now](const auto &kv) {
+                    return kv.second <= now;
+                });
+            }
+        }
+
+        if (d.exec.wroteReg)
+            regReady[d.exec.destReg] = completeAt;
+
+        if (d.mispredicted) {
+            // The branch resolves at completion; fetch restarts on the
+            // corrected path after the redirect penalty.
+            fetchResumeAt =
+                std::max(fetchResumeAt, completeAt + params_.redirectPenalty);
+            if (fetchBlockedOnBranch && blockedBranchSeq == d.seq)
+                fetchBlockedOnBranch = false;
+        }
+
+        rob.push_back({std::move(d), completeAt});
+    }
+}
+
+void
+OoOCore::doFetch(Cycle now)
+{
+    if (halted_ || fetchBlockedOnBranch || now < fetchResumeAt)
+        return;
+    if (fetchBuffer.size() + params_.fetchWidth > params_.fetchBufferCap)
+        return;
+
+    FetchBlock block;
+    if (!source.nextBlock(block))
+        return;
+    if (block.insts.empty())
+        return;
+
+    SLIP_ASSERT(block.insts.size() <= params_.fetchWidth,
+                "fetch block of ", block.insts.size(),
+                " exceeds fetch width ", params_.fetchWidth);
+
+    // I-cache: charge every line the block touches; the block is
+    // delivered after the slowest access (2-way interleaving fetches
+    // a full block across a line boundary in one attempt).
+    const unsigned lineBytes = icache_.params().lineBytes;
+    const Addr firstLine = block.startAddr / lineBytes;
+    const Addr lastLine =
+        (block.startAddr + (block.insts.size() - 1) * kInstBytes) /
+        lineBytes;
+    Cycle latency = 0;
+    for (Addr line = firstLine; line <= lastLine; ++line)
+        latency = std::max(latency, icache_.access(line * lineBytes));
+    const Cycle extra = latency > icache_.params().hitLatency
+                            ? latency - icache_.params().hitLatency
+                            : 0;
+    if (extra > 0) {
+        // A miss occupies the fetch unit until the line arrives.
+        fetchResumeAt = std::max(fetchResumeAt, now + extra);
+    }
+
+    const Cycle readyAt = now + params_.fetchToDispatch + extra;
+    for (DynInst &d : block.insts) {
+        ++stats_.counter("fetched");
+        if (d.fetchOnly) {
+            // Removed by the ir-vec between fetch and decode: consumes
+            // fetch bandwidth only.
+            ++stats_.counter("fetch_only_removed");
+            continue;
+        }
+        if (d.mispredicted) {
+            // Sources must end a block at a mispredicted control
+            // instruction: what follows is the corrected path, which
+            // the front end cannot see until the branch resolves.
+            SLIP_ASSERT(&d == &block.insts.back(),
+                        "mispredicted instruction not last in block");
+            fetchBlockedOnBranch = true;
+            blockedBranchSeq = d.seq;
+        }
+        fetchBuffer.push_back({std::move(d), readyAt});
+    }
+}
+
+void
+OoOCore::flush(Cycle now, Cycle resumeFetchAt)
+{
+    fetchBuffer.clear();
+    rob.clear();
+    regReady.fill(now);
+    storeReady.clear();
+    fetchBlockedOnBranch = false;
+    fetchResumeAt = resumeFetchAt;
+    // A flush is a full restart: an A-stream that speculatively walked
+    // (and retired) a wrong-path HALT must resume after recovery.
+    halted_ = false;
+    ++stats_.counter("flushes");
+}
+
+} // namespace slip

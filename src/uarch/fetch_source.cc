@@ -1,0 +1,248 @@
+#include "uarch/fetch_source.hh"
+
+#include "common/logging.hh"
+#include "isa/regnames.hh"
+
+namespace slip
+{
+
+TraceId
+buildStaticTrace(const Program &program, Addr startPc,
+                 const TracePolicy &policy)
+{
+    TraceId id;
+    id.startPc = startPc;
+    Addr pc = startPc;
+
+    while (id.length < policy.maxLen) {
+        const Addr here = pc;
+        const StaticInst &si = program.fetch(here);
+        ++id.length;
+
+        bool taken = false;
+        if (si.isCondBranch()) {
+            // Backward-taken / forward-not-taken static heuristic.
+            taken = si.imm < 0;
+            if (taken && id.numBranches < 64)
+                id.branchBits |= 1ull << id.numBranches;
+            ++id.numBranches;
+            pc = taken ? here + si.imm * kInstBytes : here + kInstBytes;
+        } else if (si.op == Opcode::JAL) {
+            taken = true;
+            pc = here + si.imm * kInstBytes;
+        } else {
+            pc = here + kInstBytes;
+        }
+        if (endsTraceAfter(policy, si, taken, here, pc))
+            break;
+    }
+    return id;
+}
+
+void
+BlockSlicer::push(const DynInst &d, Addr fetchAddr,
+                  std::deque<FetchBlock> &out)
+{
+    const bool discontinuous = open && fetchAddr != nextAddr;
+    if (open && (discontinuous || current.insts.size() >= maxBlock))
+        finish(out);
+
+    if (!open) {
+        current.startAddr = fetchAddr;
+        open = true;
+    }
+    current.insts.push_back(d);
+    nextAddr = fetchAddr + kInstBytes;
+
+    // Blocks end at taken control flow and after mispredictions (the
+    // core must not see past a front-end redirect point).
+    const bool takenControl = d.exec.isControl && d.exec.taken;
+    if (takenControl || d.mispredicted || d.si.isHalt())
+        finish(out);
+}
+
+void
+BlockSlicer::finish(std::deque<FetchBlock> &out)
+{
+    if (open && !current.insts.empty())
+        out.push_back(std::move(current));
+    current = FetchBlock{};
+    open = false;
+}
+
+TraceFetchSource::TraceFetchSource(const Program &program,
+                                   TracePredictor &predictor,
+                                   unsigned fetchWidth,
+                                   const TracePolicy &policy)
+    : program(program), predictor(predictor), fetchWidth(fetchWidth),
+      policy(policy), port(mem), state_(port),
+      slicer(fetchWidth), stats_("fetch_source")
+{
+    program.loadInto(mem);
+    state_.setPc(program.entry());
+    state_.writeReg(reg::sp, layout::kStackTop);
+}
+
+bool
+TraceFetchSource::exhausted() const
+{
+    return haltWalked && blocks.empty();
+}
+
+bool
+TraceFetchSource::nextBlock(FetchBlock &block)
+{
+    while (blocks.empty()) {
+        if (haltWalked)
+            return false;
+        walkTrace();
+    }
+    block = std::move(blocks.front());
+    blocks.pop_front();
+    return true;
+}
+
+void
+TraceFetchSource::walkTrace()
+{
+    const Addr startPc = state_.pc();
+
+    // --- choose the front end's guess for this trace ---
+    std::optional<TraceId> pred;
+    if (cachedNextPredValid) {
+        pred = cachedNextPred;
+        cachedNextPredValid = false;
+    } else {
+        pred = predictor.predict(history);
+    }
+
+    TraceId guess;
+    if (pred && pred->valid() && pred->startPc == startPc &&
+        program.validPc(startPc)) {
+        guess = *pred;
+        ++stats_.counter("traces_predicted");
+    } else {
+        guess = buildStaticTrace(program, startPc, policy);
+        ++stats_.counter("traces_fallback");
+    }
+
+    const PathHistory historyBefore = history;
+    const uint64_t traceNum = nextTraceNum++;
+
+    // --- walk the trace, executing on the architectural state ---
+    TraceId actual;
+    actual.startPc = startPc;
+    unsigned branchIdx = 0;
+    const unsigned lengthCap =
+        std::min<unsigned>(guess.length ? guess.length : policy.maxLen,
+                           policy.maxLen);
+
+    DynInst last;
+    bool anyEmitted = false;
+    bool truncated = false;
+
+    while (actual.length < lengthCap) {
+        const Addr pc = state_.pc();
+        const StaticInst &si = program.fetch(pc);
+
+        DynInst d;
+        d.seq = nextSeq++;
+        d.pc = pc;
+        d.si = si;
+        d.packetSeq = traceNum;
+        d.packetSlot = static_cast<uint8_t>(actual.length);
+        d.exec = execute(state_, si, &output_);
+        ++actual.length;
+
+        if (si.isCondBranch()) {
+            const bool predTaken =
+                branchIdx < guess.numBranches
+                    ? ((guess.branchBits >> branchIdx) & 1) != 0
+                    : si.imm < 0; // BTFN beyond known bits
+            ++branchIdx;
+            if (d.exec.taken && actual.numBranches < 64)
+                actual.branchBits |= 1ull << actual.numBranches;
+            ++actual.numBranches;
+            if (predTaken != d.exec.taken) {
+                d.mispredicted = true;
+                truncated = true;
+            }
+        } else if (si.op == Opcode::JAL && si.rd == reg::ra) {
+            ras.push(pc + kInstBytes); // call: remember return address
+        } else if (si.isIndirectJump() && si.rd == reg::ra) {
+            ras.push(pc + kInstBytes); // indirect call
+        }
+
+        const bool structuralEnd =
+            endsTraceAfter(policy, si, d.exec.taken, pc, d.exec.nextPc);
+        if (si.isHalt())
+            haltWalked = true;
+
+        slicer.push(d, pc, blocks);
+        last = d;
+        anyEmitted = true;
+
+        if (truncated || structuralEnd)
+            break;
+    }
+
+    SLIP_ASSERT(anyEmitted, "walked an empty trace at pc 0x", std::hex,
+                startPc);
+
+    // --- update speculative history with the actual trace ---
+    history.push(actual);
+    pendingTrain.emplace(
+        traceNum, PendingTrain{historyBefore, actual, last.seq});
+
+    if (truncated)
+        ++stats_.counter("trace_mispredicts");
+
+    if (haltWalked) {
+        slicer.finish(blocks);
+        return;
+    }
+
+    // --- validate the next fetch address (JALR target prediction) ---
+    const Addr actualNext = state_.pc();
+    if (last.si.isIndirectJump() && !truncated) {
+        std::optional<TraceId> next = predictor.predict(history);
+        Addr predictedTarget = 0;
+        if (next && next->valid()) {
+            predictedTarget = next->startPc;
+        } else if (last.si.rs1 == reg::ra &&
+                   last.si.rd == reg::zero) {
+            predictedTarget = ras.pop(); // return: use the RAS
+        }
+        if (predictedTarget != actualNext) {
+            // The front end could not know the target: charge a
+            // misprediction on the indirect jump itself.
+            ++stats_.counter("indirect_mispredicts");
+            // Patch the already-sliced last instruction.
+            SLIP_ASSERT(!blocks.empty() && !blocks.back().insts.empty(),
+                        "indirect jump block missing");
+            blocks.back().insts.back().mispredicted = true;
+        } else if (last.si.rs1 == reg::ra && last.si.rd == reg::zero &&
+                   next && next->valid()) {
+            // Predictor supplied the target; keep the RAS balanced.
+            ras.pop();
+        }
+        cachedNextPred = next;
+        cachedNextPredValid = true;
+    }
+
+    slicer.finish(blocks);
+}
+
+void
+TraceFetchSource::notifyRetire(const DynInst &d)
+{
+    auto it = pendingTrain.find(d.packetSeq);
+    if (it == pendingTrain.end())
+        return;
+    if (d.seq != it->second.lastSeq)
+        return;
+    predictor.update(it->second.history, it->second.actual);
+    pendingTrain.erase(it);
+}
+
+} // namespace slip

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Trace-predictor-driven instruction fetch for the conventional
+ * superscalar models, plus the walk/slice helpers shared with the
+ * slipstream A-stream source.
+ *
+ * The model is execution-driven and correct-path-only: the source
+ * walks the program functionally, slot by slot, following the
+ * *predicted* trace; the first conditional branch whose predicted
+ * direction disagrees with its executed outcome truncates the trace
+ * and is marked mispredicted (the core charges the redirect penalty).
+ * Indirect-jump targets are validated against the next-trace
+ * prediction (with a return-address stack assisting cold starts).
+ *
+ * The same trace predictor serves all processor models, as in the
+ * paper's evaluation ("the same trace predictor is used for accurate
+ * and high-bandwidth control flow prediction in all three processor
+ * models").
+ */
+
+#ifndef SLIPSTREAM_UARCH_FETCH_SOURCE_HH
+#define SLIPSTREAM_UARCH_FETCH_SOURCE_HH
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "assembler/program.hh"
+#include "func/arch_state.hh"
+#include "func/executor.hh"
+#include "mem/memory.hh"
+#include "uarch/branch_pred.hh"
+#include "uarch/core.hh"
+#include "uarch/trace.hh"
+#include "uarch/trace_pred.hh"
+
+namespace slip
+{
+
+/**
+ * Statically construct the trace starting at `startPc`: conditional
+ * branches follow the backward-taken/forward-not-taken heuristic,
+ * direct jumps are followed, and the trace ends per the standard
+ * policy (max length, JALR, HALT). Used when the trace predictor has
+ * no prediction for the current path.
+ */
+TraceId buildStaticTrace(const Program &program, Addr startPc,
+                         const TracePolicy &policy = {});
+
+/**
+ * Slices a stream of walked instructions into fetch blocks: a block
+ * ends at taken control flow, at fetch-width capacity, at any
+ * discontinuity in the fetch address (A-stream skip points), and
+ * after a mispredicted instruction (core contract).
+ */
+class BlockSlicer
+{
+  public:
+    explicit BlockSlicer(unsigned maxBlock)
+        : maxBlock(maxBlock)
+    {}
+
+    /**
+     * Append one instruction.
+     * @param fetchAddr the address the front end fetches this
+     *        instruction from (== d.pc in every current model)
+     * @param out completed blocks are appended here
+     */
+    void push(const DynInst &d, Addr fetchAddr,
+              std::deque<FetchBlock> &out);
+
+    /** Flush the in-progress block (end of trace). */
+    void finish(std::deque<FetchBlock> &out);
+
+  private:
+    unsigned maxBlock;
+    FetchBlock current;
+    Addr nextAddr = 0; // expected fetchAddr for sequential flow
+    bool open = false;
+};
+
+/**
+ * Fetch source for a conventional superscalar processor (the SS(64x4)
+ * and SS(128x8) models): full program, trace-predictor control flow,
+ * self-training at retirement.
+ */
+class TraceFetchSource : public FetchSource
+{
+  public:
+    TraceFetchSource(const Program &program, TracePredictor &predictor,
+                     unsigned fetchWidth = 16,
+                     const TracePolicy &policy = {});
+
+    bool nextBlock(FetchBlock &block) override;
+    bool exhausted() const override;
+
+    /**
+     * Must be called from the core's retire hook for every retired
+     * instruction: trains the trace predictor with the actual trace
+     * once its last instruction retires (modeling update latency).
+     */
+    void notifyRetire(const DynInst &d);
+
+    const std::string &output() const { return output_; }
+    Memory &memory() { return mem; }
+    const ArchState &state() const { return state_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    /** Walk one full trace, appending its fetch blocks. */
+    void walkTrace();
+
+    const Program &program;
+    TracePredictor &predictor;
+    unsigned fetchWidth;
+    TracePolicy policy;
+
+    Memory mem;
+    DirectMemPort port;
+    ArchState state_;
+    std::string output_;
+
+    PathHistory history;
+    ReturnAddressStack ras;
+    std::optional<TraceId> cachedNextPred; // consumed by next walk
+    bool cachedNextPredValid = false;
+
+    std::deque<FetchBlock> blocks;
+    BlockSlicer slicer;
+
+    InstSeqNum nextSeq = 1;
+    uint64_t nextTraceNum = 0;
+    bool haltWalked = false;
+
+    /** Pending predictor training, keyed by trace number. */
+    struct PendingTrain
+    {
+        PathHistory history; // history *before* this trace
+        TraceId actual;
+        InstSeqNum lastSeq;
+    };
+    std::unordered_map<uint64_t, PendingTrain> pendingTrain;
+
+    StatGroup stats_;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_UARCH_FETCH_SOURCE_HH

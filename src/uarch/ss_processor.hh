@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A conventional single-core superscalar processor model: one OoOCore
+ * fed by a TraceFetchSource. Instantiated as SS(64x4) and SS(128x8)
+ * in the paper's evaluation (§5).
+ */
+
+#ifndef SLIPSTREAM_UARCH_SS_PROCESSOR_HH
+#define SLIPSTREAM_UARCH_SS_PROCESSOR_HH
+
+#include <memory>
+#include <string>
+
+#include "assembler/program.hh"
+#include "uarch/core.hh"
+#include "uarch/fetch_source.hh"
+#include "uarch/trace_pred.hh"
+
+namespace slip
+{
+
+/** Results of a timing-simulator run. */
+struct SSRunResult
+{
+    Cycle cycles = 0;
+    uint64_t retired = 0;
+    uint64_t condBranches = 0;
+    uint64_t branchMispredicts = 0;
+    std::string output;
+    bool halted = false;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(retired) / cycles : 0.0;
+    }
+
+    /** Branch mispredictions per 1000 retired instructions. */
+    double
+    mispPer1000() const
+    {
+        return retired
+                   ? 1000.0 * static_cast<double>(branchMispredicts) /
+                         retired
+                   : 0.0;
+    }
+};
+
+/** Single conventional superscalar processor. */
+class SSProcessor
+{
+  public:
+    SSProcessor(const Program &program, const CoreParams &coreParams = {},
+                const TracePredParams &predParams = {},
+                const TracePolicy &tracePolicy = {});
+
+    /**
+     * Run to HALT (or until maxCycles, 0 = unbounded). A watchdog
+     * panics if no instruction retires for a long interval — that is
+     * a model deadlock, not a legal outcome.
+     */
+    SSRunResult run(Cycle maxCycles = 0);
+
+    OoOCore &core() { return *core_; }
+    TraceFetchSource &fetchSource() { return *source_; }
+    TracePredictor &predictor() { return *predictor_; }
+
+  private:
+    std::unique_ptr<TracePredictor> predictor_;
+    std::unique_ptr<TraceFetchSource> source_;
+    std::unique_ptr<OoOCore> core_;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_UARCH_SS_PROCESSOR_HH

@@ -1,0 +1,21 @@
+#include "uarch/trace.hh"
+
+#include <sstream>
+
+namespace slip
+{
+
+std::string
+to_string(const TraceId &id)
+{
+    std::ostringstream os;
+    os << "{pc=0x" << std::hex << id.startPc << std::dec << " len="
+       << unsigned(id.length) << " br=" << unsigned(id.numBranches)
+       << " bits=";
+    for (unsigned i = 0; i < id.numBranches; ++i)
+        os << ((id.branchBits >> i) & 1 ? 'T' : 'N');
+    os << "}";
+    return os.str();
+}
+
+} // namespace slip

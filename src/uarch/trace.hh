@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Trace identification and construction (Jacobson-style path-based
+ * next-trace prediction substrate, paper §2.1.1).
+ *
+ * A trace is a dynamic instruction sequence of up to 32 instructions,
+ * possibly spanning multiple taken branches. A trace id is the start PC
+ * plus the outcomes of the embedded conditional branches; together with
+ * the static program text this uniquely determines the instructions in
+ * the trace.
+ *
+ * The selection policy is deterministic and static (required for trace
+ * alignment between the IR-predictor, the A-stream, and the
+ * IR-detector): a trace ends when it reaches the maximum length, or
+ * just after an indirect jump (JALR) or HALT.
+ */
+
+#ifndef SLIPSTREAM_UARCH_TRACE_HH
+#define SLIPSTREAM_UARCH_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace slip
+{
+
+/** Maximum dynamic instructions per trace (paper: length-32 traces). */
+constexpr unsigned kMaxTraceLen = 32;
+
+/**
+ * Trace selection policy. `endAtBackwardTaken` additionally terminates
+ * traces after a taken backward branch (loop-closing edge). This keeps
+ * trace boundaries phase-aligned with loop iterations, which the
+ * single-confidence-counter-per-trace removal scheme needs: without
+ * it, a loop whose body length does not divide the trace length
+ * produces a different trace id per alignment phase and confidence
+ * never saturates — the "unstable traces" effect the paper's §2.1.3
+ * discusses. The ablation bench sweeps this knob.
+ */
+struct TracePolicy
+{
+    unsigned maxLen = kMaxTraceLen;
+    bool endAtBackwardTaken = true;
+};
+
+/**
+ * Should the trace end *after* this instruction? `taken` is the
+ * instruction's (actual or presumed) direction and `nextPc` its
+ * follow-on fetch address.
+ */
+inline bool
+endsTraceAfter(const TracePolicy &policy, const StaticInst &si,
+               bool taken, Addr pc, Addr nextPc)
+{
+    if (si.isIndirectJump() || si.isHalt())
+        return true;
+    if (policy.endAtBackwardTaken && si.isControl() && taken &&
+        nextPc <= pc) {
+        return true;
+    }
+    return false;
+}
+
+/** Identity of one dynamic trace. */
+struct TraceId
+{
+    Addr startPc = 0;
+    uint64_t branchBits = 0;  // bit i = taken-ness of i-th cond branch
+    uint8_t numBranches = 0;
+    uint8_t length = 0;       // instructions in the trace
+
+    bool operator==(const TraceId &other) const = default;
+
+    bool valid() const { return length > 0; }
+
+    /** 64-bit identity hash for predictor indexing and tags. */
+    uint64_t
+    hash() const
+    {
+        uint64_t h = mix64(startPc);
+        h = hashCombine(h, branchBits);
+        h = hashCombine(h, (uint64_t(numBranches) << 8) | length);
+        return h;
+    }
+};
+
+/**
+ * Incremental trace construction over a retired/walked instruction
+ * stream. Shared by every component that segments the dynamic stream
+ * into traces so the boundary policy exists in exactly one place.
+ */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(const TracePolicy &policy = {})
+        : policy(policy)
+    {}
+
+    /**
+     * Feed the next instruction on the path.
+     *
+     * @param pc     the instruction's address
+     * @param inst   the decoded instruction
+     * @param taken  actual/predicted direction for conditional branches
+     * @param nextPc the follow-on fetch address
+     * @return true if this instruction *completes* the current trace;
+     *         the completed id is then available via take().
+     */
+    bool
+    feed(Addr pc, const StaticInst &inst, bool taken, Addr nextPc)
+    {
+        if (current.length == 0)
+            current.startPc = pc;
+        ++current.length;
+
+        if (inst.isCondBranch() && current.numBranches < 64) {
+            if (taken)
+                current.branchBits |= 1ull << current.numBranches;
+            ++current.numBranches;
+        }
+
+        const bool ends = current.length >= policy.maxLen ||
+                          endsTraceAfter(policy, inst, taken, pc, nextPc);
+        if (ends) {
+            completed = current;
+            current = TraceId{};
+        }
+        return ends;
+    }
+
+    /** The most recently completed trace id. */
+    const TraceId &take() const { return completed; }
+
+    /** Instructions accumulated in the in-progress trace. */
+    unsigned pendingLength() const { return current.length; }
+
+    /** Abandon the in-progress trace (stream redirected externally). */
+    void reset() { current = TraceId{}; }
+
+    unsigned maxLength() const { return policy.maxLen; }
+
+  private:
+    TracePolicy policy;
+    TraceId current;
+    TraceId completed;
+};
+
+/** Human-readable form, e.g. "{pc=0x1000 len=32 br=3 bits=TNT}". */
+std::string to_string(const TraceId &id);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_UARCH_TRACE_HH

@@ -1,0 +1,77 @@
+#include "uarch/trace_pred.hh"
+
+namespace slip
+{
+
+TracePredictor::TracePredictor(const TracePredParams &params)
+    : params(params),
+      correlated(size_t(1) << params.correlatedBits),
+      simple(size_t(1) << params.simpleBits),
+      stats_("trace_pred")
+{
+}
+
+size_t
+TracePredictor::correlatedIndex(const PathHistory &history) const
+{
+    return history.correlatedHash() &
+           ((size_t(1) << params.correlatedBits) - 1);
+}
+
+size_t
+TracePredictor::simpleIndex(const PathHistory &history) const
+{
+    return history.simpleHash() & ((size_t(1) << params.simpleBits) - 1);
+}
+
+std::optional<TraceId>
+TracePredictor::predict(const PathHistory &history) const
+{
+    const Entry &corr = correlated[correlatedIndex(history)];
+    const Entry &simp = simple[simpleIndex(history)];
+
+    // Hybrid selection: the correlated table wins once it has shown
+    // at least one correct prediction for this path.
+    if (corr.valid && corr.counter > 0) {
+        ++stats_.counter("predict_correlated");
+        return corr.pred;
+    }
+    if (simp.valid) {
+        ++stats_.counter("predict_simple");
+        return simp.pred;
+    }
+    if (corr.valid) {
+        ++stats_.counter("predict_correlated_weak");
+        return corr.pred;
+    }
+    ++stats_.counter("predict_none");
+    return std::nullopt;
+}
+
+void
+TracePredictor::trainEntry(Entry &entry, const TraceId &actual)
+{
+    if (entry.valid && entry.pred == actual) {
+        if (entry.counter < 3)
+            ++entry.counter;
+        return;
+    }
+    if (entry.valid && entry.counter > 0) {
+        // 2-bit counter governs replacement: decay before displacing.
+        --entry.counter;
+        return;
+    }
+    entry.valid = true;
+    entry.pred = actual;
+    entry.counter = 0;
+}
+
+void
+TracePredictor::update(const PathHistory &history, const TraceId &actual)
+{
+    ++stats_.counter("updates");
+    trainEntry(correlated[correlatedIndex(history)], actual);
+    trainEntry(simple[simpleIndex(history)], actual);
+}
+
+} // namespace slip

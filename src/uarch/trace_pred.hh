@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hybrid path-based next-trace predictor (Jacobson, Rotenberg, Smith —
+ * "Path-Based Next Trace Prediction"; the paper's §2.1.1 builds its
+ * IR-predictor on this design).
+ *
+ * Two tables predict the id of the next trace:
+ *  - a correlated table indexed by a hash of the last 8 trace ids,
+ *    with the hash favoring bits of more recent ids;
+ *  - a simple table indexed by only the most recent trace id (shorter
+ *    learning time, less aliasing pressure).
+ * Each entry holds a predicted trace id and a 2-bit counter used both
+ * for replacement and as the hybrid selector: the correlated table
+ * wins when its counter is nonzero.
+ *
+ * Path history is owned by the *user* of the predictor (each stream
+ * keeps its own speculative history and repairs it on mispredictions
+ * and recoveries), so history management is explicit here.
+ */
+
+#ifndef SLIPSTREAM_UARCH_TRACE_PRED_HH
+#define SLIPSTREAM_UARCH_TRACE_PRED_HH
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "uarch/trace.hh"
+
+namespace slip
+{
+
+/** Rolling path history of the last N trace ids (as hashes). */
+class PathHistory
+{
+  public:
+    static constexpr unsigned kDepth = 8;
+
+    PathHistory() { clear(); }
+
+    void
+    push(const TraceId &id)
+    {
+        for (unsigned i = kDepth - 1; i > 0; --i)
+            ids[i] = ids[i - 1];
+        ids[0] = id.hash();
+    }
+
+    /** Replace the most recent entry (mispredict repair). */
+    void repairLast(const TraceId &id) { ids[0] = id.hash(); }
+
+    void clear() { ids.fill(0); }
+
+    /**
+     * Index hash over the full path, weighting recent traces more:
+     * older ids are shifted right so fewer of their bits survive into
+     * the low-order index bits.
+     */
+    uint64_t
+    correlatedHash() const
+    {
+        uint64_t h = 0;
+        for (unsigned i = 0; i < kDepth; ++i)
+            h = hashCombine(h, ids[i] >> (2 * i));
+        return h;
+    }
+
+    /** Hash of only the most recent trace id. */
+    uint64_t simpleHash() const { return mix64(ids[0]); }
+
+    /** Copy another stream's history (used at recovery resync). */
+    void copyFrom(const PathHistory &other) { ids = other.ids; }
+
+  private:
+    std::array<uint64_t, kDepth> ids;
+};
+
+/** Configuration for the trace predictor (paper Table 2 defaults). */
+struct TracePredParams
+{
+    unsigned correlatedBits = 16; // 2^16-entry path-based table
+    unsigned simpleBits = 16;     // 2^16-entry simple table
+};
+
+/** The hybrid next-trace predictor. */
+class TracePredictor
+{
+  public:
+    explicit TracePredictor(const TracePredParams &params = {});
+
+    /**
+     * Predict the trace that follows the given path history.
+     * Returns nullopt when neither table has a (plausibly) useful
+     * entry — the fetch unit then falls back to static construction.
+     */
+    std::optional<TraceId> predict(const PathHistory &history) const;
+
+    /**
+     * Train with the actual next trace for the path that *preceded*
+     * it. Both tables update their entry: matching predictions gain
+     * counter confidence, mismatches decay and eventually replace.
+     */
+    void update(const PathHistory &history, const TraceId &actual);
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        TraceId pred;
+        uint8_t counter = 0; // 2-bit saturating
+    };
+
+    static void trainEntry(Entry &entry, const TraceId &actual);
+
+    size_t correlatedIndex(const PathHistory &history) const;
+    size_t simpleIndex(const PathHistory &history) const;
+
+    TracePredParams params;
+    std::vector<Entry> correlated;
+    std::vector<Entry> simple;
+    mutable StatGroup stats_;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_UARCH_TRACE_PRED_HH

@@ -1,0 +1,149 @@
+#include "workloads/workloads.hh"
+
+#include <string>
+
+namespace slip
+{
+
+/**
+ * compress substitute: an LZ-style compressor with a hash chain,
+ * run over pseudo-random (mildly repetitive) text. Like the original
+ * UNIX compress on its SPEC input, the hot loop is dominated by
+ * data-dependent branches — hash hit or miss, match-length compare
+ * loops of unpredictable trip count — so both the trace predictor and
+ * the IR-predictor find little that is stable. The paper shows
+ * compress gaining essentially nothing from slipstreaming; this
+ * workload is designed to land in the same regime.
+ */
+std::string
+wlCompressSource(WorkloadSize size)
+{
+    // Compressing one buffer byte costs ~55 host instructions.
+    unsigned bytes;
+    switch (size) {
+      case WorkloadSize::Test: bytes = 900; break;
+      case WorkloadSize::Small: bytes = 6000; break;
+      default: bytes = 38000; break;
+    }
+
+    std::string src = R"(
+# compress substitute: hash-chain LZ compressor (see wl_compress.cc)
+.equ NBYTES, )" + std::to_string(bytes) + R"(
+
+.data
+.align 8
+seed:    .dword 424242
+.align 8
+htab:    .space 4096            # 512 hash buckets -> last position+1
+.text
+main:
+    # ---- generate input text at dataBase+0x10000 ----
+    li   s0, 0x110000           # text buffer (absolute address)
+    li   s1, NBYTES
+    ld   t2, seed
+    li   t0, 0
+gen:
+    li   t3, 1103515245
+    mul  t2, t2, t3
+    addi t2, t2, 1013
+    li   t3, 0x7fffffff
+    and  t2, t2, t3
+    srli t4, t2, 11
+    andi t4, t4, 15             # 16-symbol alphabet => repetition
+    addi t4, t4, 'a'
+    add  t5, s0, t0
+    sb   t4, 0(t5)
+    addi t0, t0, 1
+    blt  t0, s1, gen
+
+    # ---- LZ pass ----
+    li   s2, 0                  # position
+    li   s3, 0                  # literal count
+    li   s4, 0                  # match count
+    li   s5, 0                  # total match length
+    li   s6, 0                  # rolling checksum
+    addi s7, s1, -3             # last position with a full 3-byte probe
+scan:
+    bge  s2, s7, finish
+    # h = (text[p] * 33 + text[p+1]) * 33 + text[p+2], folded to 9 bits
+    add  t0, s0, s2
+    lbu  t1, 0(t0)
+    lbu  t2, 1(t0)
+    lbu  t3, 2(t0)
+    li   t4, 33
+    mul  t5, t1, t4
+    add  t5, t5, t2
+    mul  t5, t5, t4
+    add  t5, t5, t3
+    srli t6, t5, 9
+    xor  t5, t5, t6
+    li   t6, 511
+    and  t5, t5, t6
+
+    # probe hash bucket
+    la   t6, htab
+    slli t7, t5, 3
+    add  t6, t6, t7
+    ld   t8, 0(t6)              # previous position + 1 (0 = empty)
+    addi t9, s2, 1
+    sd   t9, 0(t6)              # update bucket to current position
+    beqz t8, literal            # miss -> emit literal
+
+    addi t8, t8, -1             # candidate position
+    # verify the 3-byte match (hash may collide)
+    add  t7, s0, t8
+    lbu  t9, 0(t7)
+    bne  t9, t1, literal
+    lbu  t9, 1(t7)
+    bne  t9, t2, literal
+    lbu  t9, 2(t7)
+    bne  t9, t3, literal
+
+    # extend the match (data-dependent trip count)
+    li   t9, 3                  # match length
+extend:
+    add  t0, s2, t9
+    bge  t0, s1, have_match
+    add  t1, s0, t0
+    lbu  t1, 0(t1)
+    add  t2, s0, t8
+    add  t2, t2, t9
+    lbu  t2, 0(t2)
+    bne  t1, t2, have_match
+    addi t9, t9, 1
+    li   t0, 64
+    blt  t9, t0, extend         # cap match length
+have_match:
+    addi s4, s4, 1
+    add  s5, s5, t9
+    # checksum: fold in (offset, length)
+    sub  t0, s2, t8
+    slli t1, s6, 5
+    add  s6, s6, t1
+    add  s6, s6, t0
+    add  s6, s6, t9
+    add  s2, s2, t9             # skip the matched run
+    j    scan
+
+literal:
+    addi s3, s3, 1
+    slli t0, s6, 5
+    add  s6, s6, t0
+    add  s6, s6, t1             # fold the literal byte
+    addi s2, s2, 1
+    j    scan
+
+finish:
+    # report literals, matches, total match length, checksum
+    putn s3
+    putn s4
+    putn s5
+    li   t0, 0xffffff
+    and  s6, s6, t0
+    putn s6
+    halt
+)";
+    return src;
+}
+
+} // namespace slip

@@ -1,0 +1,197 @@
+#include "workloads/workloads.hh"
+
+#include <string>
+
+namespace slip
+{
+
+/**
+ * gcc substitute: a compiler-flavored pass pipeline. A pseudo-random
+ * stream of postfix expression tokens (constants and operators) is
+ * "compiled": evaluated on an operand stack with constant folding,
+ * algebraic simplification (x+0, x*1, x*0 peepholes), and a small
+ * common-subexpression cache keyed by (op, lhs, rhs). The operator
+ * mix is semi-random, so dispatch branches are only moderately
+ * predictable — like gcc's mixed, call-heavy behaviour, there is some
+ * removable work but unstable control flow dilutes it (the paper
+ * measures gcc at a modest 4%).
+ */
+std::string
+wlGccSource(WorkloadSize size)
+{
+    // One token costs roughly 40 host instructions.
+    unsigned tokens;
+    switch (size) {
+      case WorkloadSize::Test: tokens = 1300; break;
+      case WorkloadSize::Small: tokens = 9000; break;
+      default: tokens = 55000; break;
+    }
+
+    std::string src = R"(
+# gcc substitute: token stream -> fold/simplify pipeline (see wl_gcc.cc)
+.equ NTOKENS, )" + std::to_string(tokens) + R"(
+
+.data
+.align 8
+seed:    .dword 20260705
+stack:   .space 2048            # operand stack (256 dwords)
+csetab:  .space 2048            # 128 x {key, value} CSE cache
+stats:   .space 64              # per-op counters (8 dwords)
+
+.text
+main:
+    li   s0, NTOKENS
+    la   s1, stack
+    li   s2, 0                  # stack depth
+    li   s3, 0                  # checksum
+    ld   s4, seed
+    li   s5, 0                  # folds performed
+    li   s6, 0                  # cse hits
+
+token_loop:
+    beqz s0, done
+    addi s0, s0, -1
+
+    # next pseudo-random token
+    li   t0, 1103515245
+    mul  s4, s4, t0
+    addi s4, s4, 1013
+    li   t0, 0x7fffffff
+    and  s4, s4, t0
+    srli t1, s4, 7
+    andi t1, t1, 7              # token class 0..7
+
+    # classes 0..3: push a small constant; 4..7: operator
+    li   t0, 4
+    blt  t1, t0, push_const
+
+    # need two operands; underflow pushes a constant instead
+    li   t0, 2
+    blt  s2, t0, push_const
+
+    # pop rhs, lhs
+    addi s2, s2, -1
+    slli t2, s2, 3
+    add  t2, t2, s1
+    ld   t3, 0(t2)              # rhs
+    addi s2, s2, -1
+    slli t2, s2, 3
+    add  t2, t2, s1
+    ld   t4, 0(t2)              # lhs
+
+    # ---- CSE probe: key = op*1e6 + lhs*1000 + rhs (approx) ----
+    slli t5, t1, 20
+    slli t6, t4, 10
+    add  t5, t5, t6
+    add  t5, t5, t3
+    li   t6, 127
+    srli t7, t5, 7
+    xor  t7, t7, t5
+    and  t7, t7, t6             # cache index
+    la   t8, csetab
+    slli t9, t7, 4
+    add  t8, t8, t9
+    ld   t9, 0(t8)              # cached key
+    bne  t9, t5, cse_miss
+    ld   t9, 8(t8)              # cached value
+    addi s6, s6, 1
+    mv   t6, t9
+    j    push_result
+cse_miss:
+    sd   t5, 0(t8)              # remember key (value stored below)
+
+    # ---- dispatch on operator ----
+    li   t0, 4
+    beq  t1, t0, op_add
+    li   t0, 5
+    beq  t1, t0, op_sub
+    li   t0, 6
+    beq  t1, t0, op_mul
+    # op 7: bitwise mix
+    xor  t6, t4, t3
+    slli t7, t4, 1
+    add  t6, t6, t7
+    j    fold_done
+
+op_add:
+    # peephole: x + 0 -> x
+    bnez t3, add_full
+    mv   t6, t4
+    addi s5, s5, 1
+    j    fold_done
+add_full:
+    add  t6, t4, t3
+    j    fold_done
+
+op_sub:
+    sub  t6, t4, t3
+    # normalize negatives into small positives (keeps values bounded)
+    bgez t6, fold_done
+    neg  t6, t6
+    j    fold_done
+
+op_mul:
+    # peepholes: x * 0 -> 0, x * 1 -> x
+    bnez t3, mul_notzero
+    li   t6, 0
+    addi s5, s5, 1
+    j    fold_done
+mul_notzero:
+    li   t0, 1
+    bne  t3, t0, mul_full
+    mv   t6, t4
+    addi s5, s5, 1
+    j    fold_done
+mul_full:
+    mul  t6, t4, t3
+    li   t0, 0xffff
+    and  t6, t6, t0             # keep magnitudes bounded
+
+fold_done:
+    sd   t6, 8(t8)              # fill the CSE value slot
+    # per-op statistics (write-heavy bookkeeping)
+    la   t0, stats
+    andi t2, t1, 7
+    slli t2, t2, 3
+    add  t0, t0, t2
+    ld   t2, 0(t0)
+    addi t2, t2, 1
+    sd   t2, 0(t0)
+
+push_result:
+    slli t2, s2, 3
+    add  t2, t2, s1
+    sd   t6, 0(t2)
+    addi s2, s2, 1
+    # fold into checksum
+    slli t0, s3, 3
+    add  s3, s3, t0
+    add  s3, s3, t6
+    j    token_loop
+
+push_const:
+    srli t2, s4, 13
+    andi t2, t2, 31             # constants 0..31 (0 and 1 common)
+    li   t0, 256
+    blt  s2, t0, push_ok
+    li   s2, 128                # stack overflow: recycle (rare)
+push_ok:
+    slli t3, s2, 3
+    add  t3, t3, s1
+    sd   t2, 0(t3)
+    addi s2, s2, 1
+    j    token_loop
+
+done:
+    putn s2
+    putn s5
+    putn s6
+    li   t0, 0xffffff
+    and  s3, s3, t0
+    putn s3
+    halt
+)";
+    return src;
+}
+
+} // namespace slip

@@ -1,0 +1,216 @@
+#include "workloads/workloads.hh"
+
+#include <string>
+
+namespace slip
+{
+
+/**
+ * go substitute: positional evaluation over a 9x9 board. Stones are
+ * placed pseudo-randomly, then every point is scored: occupied points
+ * count group liberties through neighbor scans, empty points get
+ * territory influence from adjacent stones. The branch behaviour is
+ * dominated by board contents — essentially random data — so, like
+ * SPEC95 go (one of the least predictable integer codes), neither the
+ * trace predictor nor instruction removal finds much traction.
+ */
+std::string
+wlGoSource(WorkloadSize size)
+{
+    // One position evaluation costs ~9k host instructions.
+    unsigned positions;
+    switch (size) {
+      case WorkloadSize::Test: positions = 6; break;
+      case WorkloadSize::Small: positions = 40; break;
+      default: positions = 260; break;
+    }
+
+    std::string src = R"(
+# go substitute: 9x9 board evaluation (see wl_go.cc)
+.equ NPOS, )" + std::to_string(positions) + R"(
+
+.data
+.align 8
+seed:   .dword 777001
+board:  .space 968              # 11x11 padded board of dwords
+                                # 0 empty, 1 black, 2 white, 3 edge
+
+.text
+main:
+    li   s10, NPOS
+    li   s11, 0                 # total score checksum
+    ld   s9, seed
+
+position_loop:
+    # ---- set up padded board: edges = 3 ----
+    la   s0, board
+    li   t0, 0
+pad_init:
+    li   t1, 3
+    slli t2, t0, 3
+    add  t2, t2, s0
+    sd   t1, 0(t2)
+    addi t0, t0, 1
+    li   t1, 121
+    blt  t0, t1, pad_init
+
+    # ---- scatter stones on the 9x9 interior ----
+    li   t0, 1                  # row 1..9
+fill_row:
+    li   t1, 1                  # col 1..9
+fill_col:
+    li   t3, 1103515245
+    mul  s9, s9, t3
+    addi s9, s9, 1013
+    li   t3, 0x7fffffff
+    and  s9, s9, t3
+    srli t4, s9, 9
+    # ~1/3 empty, 1/3 black, 1/3 white
+    li   t5, 3
+    remu t4, t4, t5
+    li   t5, 11
+    mul  t6, t0, t5
+    add  t6, t6, t1
+    slli t6, t6, 3
+    add  t6, t6, s0
+    sd   t4, 0(t6)
+    addi t1, t1, 1
+    li   t5, 10
+    blt  t1, t5, fill_col
+    addi t0, t0, 1
+    blt  t0, t5, fill_row
+
+    # ---- evaluate every interior point ----
+    li   s1, 0                  # position score
+    li   t0, 1
+eval_row:
+    li   t1, 1
+eval_col:
+    li   t5, 11
+    mul  t2, t0, t5
+    add  t2, t2, t1
+    slli t3, t2, 3
+    add  t3, t3, s0
+    ld   t4, 0(t3)              # point contents
+
+    # neighbor contents
+    addi t5, t2, -11
+    slli t5, t5, 3
+    add  t5, t5, s0
+    ld   t5, 0(t5)              # north
+    addi t6, t2, 11
+    slli t6, t6, 3
+    add  t6, t6, s0
+    ld   t6, 0(t6)              # south
+    addi t7, t2, -1
+    slli t7, t7, 3
+    add  t7, t7, s0
+    ld   t7, 0(t7)              # west
+    addi t8, t2, 1
+    slli t8, t8, 3
+    add  t8, t8, s0
+    ld   t8, 0(t8)              # east
+
+    beqz t4, empty_point
+
+    # occupied: count liberties (empty neighbors)
+    li   t9, 0
+    snez t2, t5
+    xori t2, t2, 1
+    add  t9, t9, t2
+    snez t2, t6
+    xori t2, t2, 1
+    add  t9, t9, t2
+    snez t2, t7
+    xori t2, t2, 1
+    add  t9, t9, t2
+    snez t2, t8
+    xori t2, t2, 1
+    add  t9, t9, t2
+    # atari bonus/penalty: stones with <= 1 liberty are weak
+    li   t2, 2
+    blt  t9, t2, weak_stone
+    # healthy stone: score +liberties for black, -liberties for white
+    li   t2, 1
+    beq  t4, t2, black_stone
+    sub  s1, s1, t9
+    j    next_point
+black_stone:
+    add  s1, s1, t9
+    j    next_point
+weak_stone:
+    li   t2, 1
+    beq  t4, t2, black_weak
+    addi s1, s1, 5              # weak white helps black
+    j    next_point
+black_weak:
+    addi s1, s1, -5
+    j    next_point
+
+empty_point:
+    # territory influence: majority of adjacent stone colors
+    li   t9, 0                  # black neighbors
+    li   t2, 0                  # white neighbors
+    li   t3, 1
+    bne  t5, t3, ep1
+    addi t9, t9, 1
+ep1:
+    li   t3, 2
+    bne  t5, t3, ep2
+    addi t2, t2, 1
+ep2:
+    li   t3, 1
+    bne  t6, t3, ep3
+    addi t9, t9, 1
+ep3:
+    li   t3, 2
+    bne  t6, t3, ep4
+    addi t2, t2, 1
+ep4:
+    li   t3, 1
+    bne  t7, t3, ep5
+    addi t9, t9, 1
+ep5:
+    li   t3, 2
+    bne  t7, t3, ep6
+    addi t2, t2, 1
+ep6:
+    li   t3, 1
+    bne  t8, t3, ep7
+    addi t9, t9, 1
+ep7:
+    li   t3, 2
+    bne  t8, t3, ep8
+    addi t2, t2, 1
+ep8:
+    ble  t9, t2, maybe_white
+    addi s1, s1, 1
+    j    next_point
+maybe_white:
+    bge  t9, t2, next_point     # tie: neutral
+    addi s1, s1, -1
+
+next_point:
+    addi t1, t1, 1
+    li   t5, 10
+    blt  t1, t5, eval_col
+    addi t0, t0, 1
+    blt  t0, t5, eval_row
+
+    # fold the position score into the checksum
+    slli t0, s11, 3
+    add  s11, s11, t0
+    add  s11, s11, s1
+    li   t0, 0xffffff
+    and  s11, s11, t0
+
+    addi s10, s10, -1
+    bnez s10, position_loop
+
+    putn s11
+    halt
+)";
+    return src;
+}
+
+} // namespace slip

@@ -1,0 +1,149 @@
+#include "workloads/workloads.hh"
+
+#include <string>
+
+namespace slip
+{
+
+/**
+ * li substitute: N-queens by backtracking — the actual computation the
+ * paper's li benchmark performs (its input `test.lsp` evaluates
+ * `(queens 7)`). Written in the style a Lisp interpreter induces:
+ * deep call/return recursion, an explicit environment array on the
+ * stack, and per-call bookkeeping writes (a call-depth gauge and an
+ * allocation counter) that are almost never consumed — moderately
+ * predictable control with a removable-write seam, matching li's
+ * mid-pack slipstream behaviour (7-11%).
+ */
+std::string
+wlLiSource(WorkloadSize size)
+{
+    // One full queens(7) solve costs ~190k host instructions.
+    unsigned solves;
+    switch (size) {
+      case WorkloadSize::Test: solves = 1; break;
+      case WorkloadSize::Small: solves = 3; break;
+      default: solves = 12; break;
+    }
+
+    std::string src = R"(
+# li substitute: (queens 7) via backtracking recursion (see wl_li.cc)
+.equ NSOLVES, )" + std::to_string(solves) + R"(
+.equ N, 7
+
+.data
+.align 8
+cols:     .space 64             # queen column per row
+depthg:   .dword 0              # "interpreter" depth gauge (dead-ish)
+alloccnt: .dword 0              # cons-cell counter (never read)
+evalcnt:  .dword 0              # eval-step counter (never read)
+lastrow:  .dword 0              # dead: overwritten per probe
+errflag:  .dword 0              # dead: always zero
+allocg:   .dword 0              # heap gauge (never read back)
+evalg:    .dword 0              # eval counter (never read back)
+evalrow:  .dword 0              # dead: overwritten per probe
+gcflag:   .dword 0              # dead: always zero
+solcount: .dword 0
+
+.text
+# --- solve(row in a0): recursive backtracking ---
+solve:
+    push ra
+    push s1                     # col iterator
+    push s2                     # row
+
+    # interpreter-style bookkeeping (rarely consumed)
+    ld   t0, depthg
+    addi t0, t0, 1
+    sd   t0, depthg
+    ld   t0, alloccnt
+    addi t0, t0, 3
+    sd   t0, alloccnt
+
+    mv   s2, a0
+    li   t0, N
+    blt  s2, t0, try_cols
+    # row == N: found a solution
+    ld   t0, solcount
+    addi t0, t0, 1
+    sd   t0, solcount
+    j    solve_ret
+
+try_cols:
+    li   s1, 0
+col_loop:
+    # check column s1 against rows 0..s2-1
+    li   t0, 0                  # r
+    la   t1, cols
+check:
+    bge  t0, s2, place
+    # per-"eval" bookkeeping, Lisp-interpreter flavored: each probe
+    # acts like an interpreter step — bump the cons-cell counter,
+    # stamp the eval context, clear the error cell — none of which
+    # the program ever reads back
+    ld   t6, 16(s4)             # alloccnt (interpreter heap gauge)
+    addi t6, t6, 2
+    sd   t6, 16(s4)
+    ld   t7, 24(s4)             # evalcnt
+    addi t7, t7, 1
+    sd   t7, 24(s4)
+    sd   t0, 0(s4)              # lastrow: dead (overwritten next probe)
+    sd   s2, 32(s4)             # evalrow: dead (overwritten next probe)
+    sd   zero, 8(s4)            # errflag: same-value store
+    sd   zero, 40(s4)           # gcflag: same-value store
+    slli t2, t0, 3
+    add  t2, t2, t1
+    ld   t3, 0(t2)              # cols[r]
+    beq  t3, s1, conflict       # same column
+    sub  t4, s2, t0             # row distance
+    sub  t5, s1, t3             # column distance
+    bgez t5, absdone
+    neg  t5, t5
+absdone:
+    beq  t4, t5, conflict       # same diagonal
+    addi t0, t0, 1
+    j    check
+
+place:
+    # cols[row] = col; recurse
+    la   t1, cols
+    slli t2, s2, 3
+    add  t2, t2, t1
+    sd   s1, 0(t2)
+    addi a0, s2, 1
+    call solve
+
+conflict:
+    addi s1, s1, 1
+    li   t0, N
+    blt  s1, t0, col_loop
+
+solve_ret:
+    ld   t0, depthg
+    addi t0, t0, -1
+    sd   t0, depthg
+    pop  s2
+    pop  s1
+    pop  ra
+    ret
+
+main:
+    li   s10, NSOLVES
+    li   s11, 0
+    la   s4, lastrow            # bookkeeping base kept in a register
+solve_loop:
+    sd   zero, solcount
+    sd   zero, depthg
+    li   a0, 0
+    call solve
+    ld   t0, solcount
+    add  s11, s11, t0
+    addi s10, s10, -1
+    bnez s10, solve_loop
+    putn s11                    # NSOLVES * 40 (queens(7) has 40)
+    halt
+)";
+    return src;
+}
+
+} // namespace slip

@@ -1,0 +1,227 @@
+#include "workloads/workloads.hh"
+
+#include <cstdint>
+#include <string>
+
+namespace slip
+{
+
+namespace
+{
+
+/** Pack one toy instruction {op, a, b, c} into a bytecode word. */
+constexpr uint64_t
+enc(unsigned op, unsigned a, unsigned b, unsigned c)
+{
+    return uint64_t(op) | (uint64_t(a) << 8) | (uint64_t(b) << 16) |
+           (uint64_t(c) << 24);
+}
+
+/**
+ * The interpreted toy program: a counted loop of ALU busywork.
+ * Toy ISA: 0 ADD, 1 SUB, 2 AND, 3 XOR, 4 LI, 5 JNZ, 6 MOV, 7 END.
+ */
+constexpr uint64_t kToyProgram[] = {
+    enc(4, 1, 0, 25), // LI  r1, 25      (loop counter)
+    enc(4, 2, 0, 0),  // LI  r2, 0       (accumulator)
+    enc(4, 3, 0, 3),  // LI  r3, 3
+    enc(4, 4, 0, 7),  // LI  r4, 7
+    // loop body (toy pc = 4)
+    enc(0, 2, 2, 3),   // ADD r2, r2, r3
+    enc(3, 5, 2, 4),   // XOR r5, r2, r4
+    enc(2, 6, 5, 3),   // AND r6, r5, r3
+    enc(0, 7, 6, 2),   // ADD r7, r6, r2
+    enc(1, 8, 7, 4),   // SUB r8, r7, r4
+    enc(6, 9, 8, 0),   // MOV r9, r8
+    enc(0, 10, 9, 3),  // ADD r10, r9, r3
+    enc(3, 11, 10, 2), // XOR r11, r10, r2
+    enc(0, 12, 2, 11), // ADD r12, r2, r11
+    enc(6, 13, 12, 0), // MOV r13, r12
+    enc(1, 14, 13, 3), // SUB r14, r13, r3
+    enc(0, 15, 14, 4), // ADD r15, r14, r4
+    enc(4, 6, 0, 1),   // LI  r6, 1
+    enc(1, 1, 1, 6),   // SUB r1, r1, r6  (counter--)
+    enc(6, 5, 1, 0),   // MOV r5, r1      (sets Z flag)
+    enc(5, 0, 0, 4),   // JNZ toy pc = 4
+    enc(0, 2, 2, 15),  // ADD r2, r2, r15
+    enc(6, 15, 2, 0),  // MOV r15, r2
+    enc(7, 0, 0, 0),   // END
+};
+
+} // namespace
+
+/**
+ * m88ksim substitute: an instruction-set interpreter for a toy 16-
+ * register CPU, running a fixed bytecode program in a loop. Like the
+ * original (which simulates a Motorola 88100 running dcrand.big):
+ *
+ *  - the dispatch control flow is near-deterministic once learned --
+ *    the interpreted program is constant -- so the trace predictor
+ *    makes it look like straight-line code (the paper's best case,
+ *    1.9 branch misp/1000);
+ *  - every step performs serial work (fetch the packed bytecode word,
+ *    extract fields, index the register array) that bounds the
+ *    baseline superscalar's ILP -- and that the R-stream's delay-
+ *    buffer value predictions dissolve;
+ *  - every ALU step updates condition flags (Z/N/C/V), a last-result
+ *    register, and a step gauge that the program almost never reads:
+ *    dense ineffectual-write removal fodder (the paper removes nearly
+ *    half of m88ksim's instruction stream).
+ */
+std::string
+wlM88kSource(WorkloadSize size)
+{
+    // One toy-program run costs ~11k host instructions.
+    unsigned runs;
+    switch (size) {
+      case WorkloadSize::Test: runs = 5; break;
+      case WorkloadSize::Small: runs = 30; break;
+      default: runs = 190; break;
+    }
+
+    std::string prog;
+    for (uint64_t word : kToyProgram)
+        prog += "    .dword " + std::to_string(word) + "\n";
+
+    std::string src = R"(
+# m88ksim substitute: toy-CPU interpreter (see wl_m88k.cc)
+.equ RUNS, )" + std::to_string(runs) + R"(
+
+.data
+.align 8
+regs:       .space 128          # 16 x 8-byte toy registers
+flagz:      .dword 0
+flagn:      .dword 0
+flagc:      .dword 0            # dead: never read by this program
+flagv:      .dword 0            # dead: always zero (same-value)
+lastres:    .dword 0            # dead: overwritten every ALU op
+stepgauge:  .dword 0            # dead: overwritten every step
+# Toy program: one packed dword per instruction (op|a<<8|b<<16|c<<24).
+prog:
+)" + prog + R"(
+.text
+main:
+    li   s10, RUNS              # outer run counter
+    li   s11, 0                 # grand checksum
+run_loop:
+    # reset toy machine: r0..r15 = 0
+    la   t0, regs
+    li   t1, 16
+clear_regs:
+    sd   zero, 0(t0)
+    addi t0, t0, 8
+    addi t1, t1, -1
+    bnez t1, clear_regs
+
+    li   s0, 0                  # toy pc
+    la   s1, prog
+    la   s2, regs
+step:
+    # fetch and decode the packed toy instruction (serial chain)
+    slli t0, s0, 3
+    add  t0, t0, s1
+    ld   t1, 0(t0)              # packed word
+    andi t2, t1, 255            # op -- decode is serial on the load
+    srli t3, t1, 8
+    andi t3, t3, 255            # a
+    srli t4, t1, 16
+    andi t4, t4, 255            # b
+    srli t5, t1, 24
+    andi t5, t5, 255            # c
+
+    # read toy source registers r[b], r[c]
+    slli t6, t4, 3
+    add  t6, t6, s2
+    ld   t6, 0(t6)              # vb
+    slli t7, t5, 3
+    add  t7, t7, s2
+    ld   t7, 0(t7)              # vc
+
+    # dead bookkeeping: record the step's toy pc (never read)
+    sd   s0, stepgauge
+
+    # dispatch
+    li   t8, 4
+    blt  t2, t8, alu_op
+    beq  t2, t8, op_li
+    li   t8, 5
+    beq  t2, t8, op_jnz
+    li   t8, 6
+    beq  t2, t8, op_mov
+    j    op_end                 # op 7: END
+
+alu_op:
+    beqz t2, do_add
+    li   t8, 1
+    beq  t2, t8, do_sub
+    li   t8, 2
+    beq  t2, t8, do_and
+    xor  t9, t6, t7             # XOR
+    j    writeback
+do_add:
+    add  t9, t6, t7
+    j    writeback
+do_sub:
+    sub  t9, t6, t7
+    j    writeback
+do_and:
+    and  t9, t6, t7
+    j    writeback
+
+op_li:
+    mv   t9, t5
+    j    writeback
+op_mov:
+    mv   t9, t6
+    j    writeback
+
+op_jnz:
+    ld   t8, flagz
+    bnez t8, fallthrough
+    mv   s0, t5                 # taken: toy pc = c
+    j    step
+fallthrough:
+    addi s0, s0, 1
+    j    step
+
+writeback:
+    # r[a] = result
+    slli t8, t3, 3
+    add  t8, t8, s2
+    sd   t9, 0(t8)
+    # condition flags, 88100-style: only Z is ever consumed (by JNZ);
+    # N, C, and V are faithful bookkeeping the program never reads.
+    seqz t8, t9
+    sd   t8, flagz
+    sltz t8, t9
+    sd   t8, flagn              # dead in this program
+    sd   zero, flagc            # dead + same value (the toy ALU is
+                                # 64-bit: a toy op never carries out)
+    sd   zero, flagv            # dead + same value every time
+    sd   t9, lastres            # dead: overwritten every ALU op
+    addi s0, s0, 1
+    j    step
+
+op_end:
+    # fold toy machine state into the checksum: sum of r0..r15
+    la   t0, regs
+    li   t1, 16
+    li   t2, 0
+sum_regs:
+    ld   t3, 0(t0)
+    add  t2, t2, t3
+    addi t0, t0, 8
+    addi t1, t1, -1
+    bnez t1, sum_regs
+    add  s11, s11, t2
+
+    addi s10, s10, -1
+    bnez s10, run_loop
+
+    putn s11
+    halt
+)";
+    return src;
+}
+
+} // namespace slip

@@ -1,0 +1,186 @@
+#include "workloads/workloads.hh"
+
+#include <string>
+
+namespace slip
+{
+
+/**
+ * perl substitute: scrabble-style word scoring over a generated
+ * dictionary — the paper's perl input plays a scrabble game against a
+ * dictionary. Words of length 3..8 are generated from a skewed
+ * letter distribution, scored with a letter-value table plus bonus
+ * rules, and interned into a chained hash table to detect duplicates.
+ * The inner character loops are short but their *pattern* repeats
+ * (the dictionary is scanned repeatedly), making control flow fairly
+ * predictable with steady pockets of removable bookkeeping — perl is
+ * one of the paper's big winners (16%).
+ */
+std::string
+wlPerlSource(WorkloadSize size)
+{
+    // One scoring round costs ~90 host instructions per word.
+    unsigned words, rounds;
+    switch (size) {
+      case WorkloadSize::Test: words = 60; rounds = 6; break;
+      case WorkloadSize::Small: words = 120; rounds = 28; break;
+      default: words = 200; rounds = 110; break;
+    }
+
+    std::string src = R"(
+# perl substitute: scrabble word scoring (see wl_perl.cc)
+.equ NWORDS, )" + std::to_string(words) + R"(
+.equ NROUNDS, )" + std::to_string(rounds) + R"(
+
+.data
+.align 8
+seed:    .dword 13579
+# scrabble letter values for 'a'..'z'
+letval:  .dword 1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3
+         .dword 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10
+words:   .space 1800            # up to 200 words x 9 bytes (len + 8 ch)
+hashtab: .space 1024            # 128 buckets: word index + 1, 0 empty
+hashlnk: .space 1600            # chain links per word
+bestsc:  .dword 0
+bestix:  .dword 0
+lastsc:  .dword 0               # dead: overwritten per word
+errflag: .dword 0               # dead: always zero (same value)
+
+.text
+main:
+    # ---- generate the dictionary ----
+    ld   t0, seed
+    la   s0, words
+    li   s1, 0                  # word index
+gen_word:
+    li   t1, 1103515245
+    mul  t0, t0, t1
+    addi t0, t0, 1013
+    li   t1, 0x7fffffff
+    and  t0, t0, t1
+    srli t2, t0, 6
+    li   t3, 6
+    remu t2, t2, t3
+    addi t2, t2, 3              # length 3..8: the variety makes each
+                                # dictionary position's trace history
+                                # distinctive, so the fixed scan order
+                                # becomes fully predictable by round 2
+    # store length byte
+    li   t4, 9
+    mul  t5, s1, t4
+    add  t5, t5, s0
+    sb   t2, 0(t5)
+    li   t6, 0                  # char position
+gen_char:
+    li   t1, 1103515245
+    mul  t0, t0, t1
+    addi t0, t0, 1013
+    li   t1, 0x7fffffff
+    and  t0, t0, t1
+    srli t7, t0, 8
+    andi t7, t7, 63
+    # skew toward common letters: fold 26..63 down into 0..12
+    li   t8, 26
+    blt  t7, t8, store_char
+    li   t8, 13
+    remu t7, t7, t8
+store_char:
+    addi t7, t7, 'a'
+    addi t8, t5, 1
+    add  t8, t8, t6
+    sb   t7, 0(t8)
+    addi t6, t6, 1
+    blt  t6, t2, gen_char
+    addi s1, s1, 1
+    li   t1, NWORDS
+    blt  s1, t1, gen_word
+    sd   t0, seed
+
+    # ---- scoring rounds ----
+    li   s10, NROUNDS
+    li   s11, 0                 # grand total
+round_loop:
+    sd   zero, bestsc
+    sd   zero, bestix
+    li   s1, 0                  # word index
+score_loop:
+    li   t4, 9
+    mul  t5, s1, t4
+    la   t6, words
+    add  t5, t5, t6
+    lbu  t2, 0(t5)              # length
+    li   t7, 0                  # position
+    li   t8, 0                  # word score
+    li   t9, 0                  # word hash
+score_char:
+    addi t0, t5, 1
+    add  t0, t0, t7
+    lbu  t0, 0(t0)              # letter
+    addi t1, t0, -'a'
+    la   t3, letval
+    slli t1, t1, 3
+    add  t1, t1, t3
+    ld   t1, 0(t1)              # letter value
+    add  t8, t8, t1
+    # hash = hash*31 + letter
+    slli t1, t9, 5
+    sub  t9, t1, t9
+    add  t9, t9, t0
+    addi t7, t7, 1
+    blt  t7, t2, score_char
+
+    # bonus rules: 7+ letters doubles, q/z presence adds 10 (checked
+    # via value >= 8 letters seen — approximation keeps loops tight)
+    li   t0, 7
+    blt  t2, t0, no_len_bonus
+    slli t8, t8, 1
+no_len_bonus:
+
+    # dedup via hash table; first sighting scores, repeats score half
+    li   t0, 127
+    srli t1, t9, 7
+    xor  t1, t1, t9
+    and  t1, t1, t0
+    la   t3, hashtab
+    slli t0, t1, 3
+    add  t3, t3, t0
+    ld   t0, 0(t3)              # bucket head (index+1)
+    bnez t0, seen_before
+    addi t0, s1, 1
+    sd   t0, 0(t3)
+    j    tally_full
+seen_before:
+    # repeat sighting: half score (common, predictable after round 1)
+    srai t8, t8, 1
+
+tally_full:
+    # interpreter-style bookkeeping the program never consumes
+    sd   t8, lastsc             # dead: overwritten by the next word
+    sd   zero, errflag          # same-value store
+    add  s11, s11, t8
+    # track the best word this round
+    ld   t0, bestsc
+    ble  t8, t0, not_best
+    sd   t8, bestsc
+    sd   s1, bestix
+not_best:
+    addi s1, s1, 1
+    li   t0, NWORDS
+    blt  s1, t0, score_loop
+
+    ld   t0, bestix
+    add  s11, s11, t0
+    addi s10, s10, -1
+    bnez s10, round_loop
+
+    li   t0, 0xffffff
+    and  s11, s11, t0
+    putn s11
+    ld   t0, bestsc
+    putn t0
+    halt
+)";
+    return src;
+}
+
+} // namespace slip

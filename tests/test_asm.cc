@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "isa/regnames.hh"
+#include "mem/memory.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(Assembler, MinimalProgram)
+{
+    Program p = assemble("main: halt\n");
+    EXPECT_EQ(p.numInsts(), 1u);
+    EXPECT_EQ(p.entry(), layout::kTextBase);
+    EXPECT_EQ(p.fetch(p.entry()).op, Opcode::HALT);
+}
+
+TEST(Assembler, EntryDefaultsToTextBaseWithoutMain)
+{
+    Program p = assemble("start: nop\nhalt\n");
+    EXPECT_EQ(p.entry(), layout::kTextBase);
+    EXPECT_EQ(p.symbol("start"), layout::kTextBase);
+}
+
+TEST(Assembler, BranchOffsetsResolveForwardAndBackward)
+{
+    Program p = assemble(R"(
+main:
+    beq  a0, a1, fwd
+back:
+    nop
+fwd:
+    bne  a0, a1, back
+    halt
+)");
+    const StaticInst &beq = p.fetch(layout::kTextBase);
+    EXPECT_EQ(beq.op, Opcode::BEQ);
+    EXPECT_EQ(beq.imm, 2); // skips `back: nop`
+    const StaticInst &bne = p.fetch(layout::kTextBase + 8);
+    EXPECT_EQ(bne.imm, -1);
+}
+
+TEST(Assembler, PseudoLiSmall)
+{
+    Program p = assemble("main: li a0, 42\nhalt\n");
+    const StaticInst &i = p.fetch(p.entry());
+    EXPECT_EQ(i.op, Opcode::ADDI);
+    EXPECT_EQ(i.rs1, reg::zero);
+    EXPECT_EQ(i.imm, 42);
+}
+
+TEST(Assembler, PseudoLiMedium)
+{
+    // Needs lui+addi (always exactly two instructions).
+    Program p = assemble("main: li a0, 100000\nnop\nhalt\n");
+    EXPECT_EQ(p.fetch(p.entry()).op, Opcode::LUI);
+    EXPECT_EQ(p.fetch(p.entry() + 4).op, Opcode::ADDI);
+    EXPECT_EQ(p.fetch(p.entry() + 8).op, Opcode::NOP);
+}
+
+TEST(Assembler, LaResolvesDataAddress)
+{
+    Program p = assemble(R"(
+.data
+x: .dword 7
+y: .dword 9
+.text
+main:
+    la a0, y
+    halt
+)");
+    EXPECT_EQ(p.symbol("x"), layout::kDataBase);
+    EXPECT_EQ(p.symbol("y"), layout::kDataBase + 8);
+}
+
+TEST(Assembler, DataDirectivesLayOutCorrectly)
+{
+    Program p = assemble(R"(
+.data
+b:  .byte 1, 2
+h:  .half 0x1234
+.align 8
+d:  .dword -1
+s:  .asciz "ab"
+sp: .space 3, 0x7f
+.text
+main: halt
+)");
+    Memory mem;
+    p.loadInto(mem);
+    const Addr base = layout::kDataBase;
+    EXPECT_EQ(p.symbol("b"), base);
+    EXPECT_EQ(mem.read(base, 1), 1u);
+    EXPECT_EQ(mem.read(base + 1, 1), 2u);
+    EXPECT_EQ(p.symbol("h"), base + 2);
+    EXPECT_EQ(mem.read(base + 2, 2), 0x1234u);
+    EXPECT_EQ(p.symbol("d"), base + 8); // aligned
+    EXPECT_EQ(mem.read(base + 8, 8), ~0ull);
+    EXPECT_EQ(p.symbol("s"), base + 16);
+    EXPECT_EQ(mem.read(base + 16, 1), uint64_t('a'));
+    EXPECT_EQ(mem.read(base + 18, 1), 0u); // NUL
+    EXPECT_EQ(p.symbol("sp"), base + 19);
+    EXPECT_EQ(mem.read(base + 19, 1), 0x7fu);
+}
+
+TEST(Assembler, EquConstants)
+{
+    Program p = assemble(R"(
+.equ LIMIT, 5
+.text
+main:
+    li a0, LIMIT
+    halt
+)");
+    EXPECT_EQ(p.fetch(p.entry()).op, Opcode::LUI); // symbolic: lui+addi
+}
+
+TEST(Assembler, DwordCanHoldSymbols)
+{
+    Program p = assemble(R"(
+.data
+ptr: .dword target
+target: .dword 0
+.text
+main: halt
+)");
+    Memory mem;
+    p.loadInto(mem);
+    EXPECT_EQ(mem.read(p.symbol("ptr"), 8), p.symbol("target"));
+}
+
+TEST(Assembler, PushPopAndCallRet)
+{
+    Program p = assemble(R"(
+main:
+    call f
+    halt
+f:
+    push s0
+    pop  s0
+    ret
+)");
+    // call = jal ra; ret = jalr zero, 0(ra)
+    EXPECT_EQ(p.fetch(p.entry()).op, Opcode::JAL);
+    EXPECT_EQ(p.fetch(p.entry()).rd, reg::ra);
+    const Addr f = p.symbol("f");
+    EXPECT_EQ(p.fetch(f).op, Opcode::ADDI);      // sp -= 8
+    EXPECT_EQ(p.fetch(f + 4).op, Opcode::SD);
+    EXPECT_EQ(p.fetch(f + 8).op, Opcode::LD);
+    EXPECT_EQ(p.fetch(f + 12).op, Opcode::ADDI); // sp += 8
+    EXPECT_EQ(p.fetch(f + 16).op, Opcode::JALR);
+}
+
+TEST(Assembler, SwappedAndZeroBranchPseudos)
+{
+    Program p = assemble(R"(
+main:
+    bgt a0, a1, main
+    beqz a2, main
+    blez a3, main
+    halt
+)");
+    const StaticInst &bgt = p.fetch(p.entry());
+    EXPECT_EQ(bgt.op, Opcode::BLT);
+    EXPECT_EQ(bgt.rs1, reg::a0 + 1); // operands swapped
+    const StaticInst &beqz = p.fetch(p.entry() + 4);
+    EXPECT_EQ(beqz.op, Opcode::BEQ);
+    EXPECT_EQ(beqz.rs2, reg::zero);
+    const StaticInst &blez = p.fetch(p.entry() + 8);
+    EXPECT_EQ(blez.op, Opcode::BGE);
+    EXPECT_EQ(blez.rs1, reg::zero);
+}
+
+TEST(Assembler, GlobalLoadStorePseudoUsesScratch)
+{
+    Program p = assemble(R"(
+.data
+v: .dword 0
+.text
+main:
+    ld a0, v
+    sd a0, v
+    halt
+)");
+    // Each expands to la k9 (2 insts) + access.
+    EXPECT_EQ(p.numInsts(), 7u);
+    EXPECT_EQ(p.fetch(p.entry() + 8).op, Opcode::LD);
+    EXPECT_EQ(p.fetch(p.entry() + 8).rs1, reg::k0 + 9);
+}
+
+TEST(Assembler, UserErrorsAreFatalWithoutCrashing)
+{
+    EXPECT_THROW(assemble("main: bad_mnemonic a0\n"), FatalError);
+    EXPECT_THROW(assemble("main: addi a0, a1, 99999\n"), FatalError);
+    EXPECT_THROW(assemble("main: j nowhere\n"), FatalError);
+    EXPECT_THROW(assemble("x: nop\nx: nop\n"), FatalError); // dup label
+    EXPECT_THROW(assemble(".data\nw: .word 1\nnop\n"), FatalError);
+    EXPECT_THROW(assemble("main: add a0, a1\n"), FatalError);
+    EXPECT_THROW(assemble(".text\n.word 3\n"), FatalError);
+}
+
+TEST(Assembler, ValidPcChecks)
+{
+    Program p = assemble("main: nop\nhalt\n");
+    EXPECT_TRUE(p.validPc(p.entry()));
+    EXPECT_TRUE(p.validPc(p.entry() + 4));
+    EXPECT_FALSE(p.validPc(p.entry() + 8));
+    EXPECT_FALSE(p.validPc(p.entry() + 2));
+    EXPECT_FALSE(p.validPc(0));
+    // Invalid pc fetches park on HALT rather than crashing.
+    EXPECT_EQ(p.fetch(0xdead000).op, Opcode::HALT);
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(BitUtils, BitsExtractsFields)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 4), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 4, 4), 0xeu);
+    EXPECT_EQ(bits(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+    EXPECT_EQ(bits(0x80, 7, 1), 1u);
+}
+
+TEST(BitUtils, InsertBitsRoundTrips)
+{
+    uint64_t w = 0;
+    w = insertBits(w, 24, 8, 0x5a);
+    w = insertBits(w, 0, 12, 0xabc);
+    EXPECT_EQ(bits(w, 24, 8), 0x5au);
+    EXPECT_EQ(bits(w, 0, 12), 0xabcu);
+    // Overwriting a field replaces it completely.
+    w = insertBits(w, 0, 12, 0x001);
+    EXPECT_EQ(bits(w, 0, 12), 0x001u);
+    EXPECT_EQ(bits(w, 24, 8), 0x5au);
+}
+
+TEST(BitUtils, InsertBitsMasksOversizedField)
+{
+    const uint64_t w = insertBits(0, 4, 4, 0xff);
+    EXPECT_EQ(w, 0xf0u);
+}
+
+TEST(BitUtils, SignExtension)
+{
+    EXPECT_EQ(sext(0xfff, 12), -1);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+    EXPECT_EQ(sext(0x7ff, 12), 2047);
+    EXPECT_EQ(sext(0, 12), 0);
+    EXPECT_EQ(sext(0x2ffff, 18), -65537);
+}
+
+TEST(BitUtils, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(2047, 12));
+    EXPECT_TRUE(fitsSigned(-2048, 12));
+    EXPECT_FALSE(fitsSigned(2048, 12));
+    EXPECT_FALSE(fitsSigned(-2049, 12));
+    EXPECT_TRUE(fitsSigned(0, 1));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+}
+
+TEST(BitUtils, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(255, 8));
+    EXPECT_FALSE(fitsUnsigned(256, 8));
+    EXPECT_TRUE(fitsUnsigned(~0ull, 64));
+}
+
+TEST(BitUtils, Mix64IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(1), mix64(2));
+    // Nearby inputs should differ in many bits (avalanche smoke test).
+    EXPECT_GT(popCount(mix64(100) ^ mix64(101)), 10u);
+}
+
+TEST(BitUtils, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(48));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+}
+
+TEST(BitUtils, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~0ull), 64u);
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "slipstream/delay_buffer.hh"
+
+namespace slip
+{
+namespace
+{
+
+Packet
+packetOf(uint64_t num, unsigned slots, unsigned executed)
+{
+    Packet p;
+    p.num = num;
+    p.actualId = TraceId{0x1000, 0, 0, uint8_t(slots)};
+    p.slots.resize(slots);
+    for (unsigned i = 0; i < executed; ++i)
+        p.slots[i].executedInA = true;
+    p.executedCount = executed;
+    return p;
+}
+
+TEST(DelayBuffer, FifoOrder)
+{
+    DelayBuffer db;
+    db.push(packetOf(1, 4, 4));
+    db.push(packetOf(2, 4, 4));
+    EXPECT_EQ(db.front().num, 1u);
+    EXPECT_EQ(db.pop().num, 1u);
+    EXPECT_EQ(db.pop().num, 2u);
+    EXPECT_TRUE(db.empty());
+}
+
+TEST(DelayBuffer, OccupancyAccounting)
+{
+    DelayBuffer db;
+    db.push(packetOf(1, 8, 5));
+    db.push(packetOf(2, 8, 3));
+    EXPECT_EQ(db.controlEntries(), 2u);
+    EXPECT_EQ(db.dataEntries(), 8u);
+    db.pop();
+    EXPECT_EQ(db.dataEntries(), 3u);
+    db.pop();
+    EXPECT_EQ(db.dataEntries(), 0u);
+}
+
+TEST(DelayBuffer, ControlCapacityLimit)
+{
+    DelayBufferParams params;
+    params.controlCapacity = 2;
+    params.dataCapacity = 1000;
+    DelayBuffer db(params);
+    EXPECT_TRUE(db.canPush(1));
+    db.push(packetOf(1, 1, 1));
+    db.push(packetOf(2, 1, 1));
+    EXPECT_FALSE(db.canPush(1));
+    db.pop();
+    EXPECT_TRUE(db.canPush(1));
+}
+
+TEST(DelayBuffer, DataCapacityLimit)
+{
+    DelayBufferParams params;
+    params.controlCapacity = 100;
+    params.dataCapacity = 10;
+    DelayBuffer db(params);
+    db.push(packetOf(1, 8, 8));
+    EXPECT_TRUE(db.canPush(2));
+    EXPECT_FALSE(db.canPush(3));
+    // Fully-removed traces consume only a control entry.
+    EXPECT_TRUE(db.canPush(0));
+}
+
+TEST(DelayBuffer, PushBeyondCapacityPanics)
+{
+    DelayBufferParams params;
+    params.controlCapacity = 1;
+    DelayBuffer db(params);
+    db.push(packetOf(1, 1, 1));
+    EXPECT_THROW(db.push(packetOf(2, 1, 1)), PanicError);
+}
+
+TEST(DelayBuffer, ClearFlushesEverything)
+{
+    DelayBuffer db;
+    db.push(packetOf(1, 4, 4));
+    db.clear();
+    EXPECT_TRUE(db.empty());
+    EXPECT_EQ(db.dataEntries(), 0u);
+    EXPECT_EQ(db.stats().get("flushes"), 1u);
+}
+
+TEST(DelayBuffer, EmptyAccessPanics)
+{
+    DelayBuffer db;
+    EXPECT_THROW(db.front(), PanicError);
+    EXPECT_THROW(db.pop(), PanicError);
+}
+
+TEST(DelayBuffer, PaperDefaultsMatchTable2)
+{
+    DelayBuffer db;
+    EXPECT_EQ(db.params().controlCapacity, 128u);
+    EXPECT_EQ(db.params().dataCapacity, 256u);
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "isa/regnames.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(Disasm, RType)
+{
+    StaticInst in{Opcode::ADD, reg::a0, reg::t0, RegIndex(reg::t0 + 1), 0};
+    EXPECT_EQ(disassemble(in), "add a0, t0, t1");
+}
+
+TEST(Disasm, IType)
+{
+    StaticInst in{Opcode::ADDI, RegIndex(reg::t0 + 2), reg::zero, 0, -7};
+    EXPECT_EQ(disassemble(in), "addi t2, zero, -7");
+}
+
+TEST(Disasm, LoadStoreUseDisplacementForm)
+{
+    StaticInst ld{Opcode::LD, RegIndex(reg::a0 + 1), reg::sp, 0, 16};
+    EXPECT_EQ(disassemble(ld), "ld a1, 16(sp)");
+    StaticInst sd{Opcode::SD, 0, reg::sp, RegIndex(reg::a0 + 1), -8};
+    EXPECT_EQ(disassemble(sd), "sd a1, -8(sp)");
+}
+
+TEST(Disasm, BranchTargetsAbsoluteAndRelative)
+{
+    StaticInst br{Opcode::BNE, 0, reg::t0, reg::zero, -2};
+    EXPECT_EQ(disassemble(br, 0x1010), "bne t0, zero, 0x1008");
+    EXPECT_EQ(disassemble(br, 0x1010, false), "bne t0, zero, -2");
+}
+
+TEST(Disasm, JumpAndLui)
+{
+    StaticInst jal{Opcode::JAL, reg::ra, 0, 0, 4};
+    EXPECT_EQ(disassemble(jal, 0x1000), "jal ra, 0x1010");
+    StaticInst lui{Opcode::LUI, reg::a0, 0, 0, 256};
+    EXPECT_EQ(disassemble(lui), "lui a0, 256");
+}
+
+TEST(Disasm, SysOps)
+{
+    StaticInst putn{Opcode::PUTN, 0, reg::a0, 0, 0};
+    EXPECT_EQ(disassemble(putn), "putn a0");
+    StaticInst halt{Opcode::HALT, 0, 0, 0, 0};
+    EXPECT_EQ(disassemble(halt), "halt");
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/encoding.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(Encoding, RTypeRoundTrip)
+{
+    StaticInst in{Opcode::ADD, 7, 13, 63, 0};
+    EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Encoding, ITypeImmediateExtremes)
+{
+    for (int64_t imm : {-2048ll, -1ll, 0ll, 1ll, 2047ll}) {
+        StaticInst in{Opcode::ADDI, 5, 6, 0, imm};
+        EXPECT_EQ(decode(encode(in)), in) << "imm=" << imm;
+    }
+}
+
+TEST(Encoding, JTypeImmediateExtremes)
+{
+    for (int64_t imm : {-131072ll, -1ll, 0ll, 131071ll}) {
+        StaticInst in{Opcode::JAL, 1, 0, 0, imm};
+        EXPECT_EQ(decode(encode(in)), in) << "imm=" << imm;
+    }
+}
+
+TEST(Encoding, StoreAndBranchFormats)
+{
+    StaticInst st{Opcode::SD, 0, 2, 17, -8};
+    EXPECT_EQ(decode(encode(st)), st);
+    StaticInst br{Opcode::BLTU, 0, 3, 4, 100};
+    EXPECT_EQ(decode(encode(br)), br);
+}
+
+TEST(Encoding, SysOps)
+{
+    StaticInst putc{Opcode::PUTC, 0, 33, 0, 0};
+    EXPECT_EQ(decode(encode(putc)), putc);
+    StaticInst halt{Opcode::HALT, 0, 0, 0, 0};
+    EXPECT_EQ(decode(encode(halt)), halt);
+    StaticInst nop{Opcode::NOP, 0, 0, 0, 0};
+    EXPECT_EQ(decode(encode(nop)), nop);
+}
+
+TEST(Encoding, IllegalOpcodeByteIsFatal)
+{
+    const uint32_t bad = 0xff000000u;
+    EXPECT_THROW(decode(bad), FatalError);
+}
+
+TEST(Encoding, OutOfRangeImmediatePanics)
+{
+    StaticInst in{Opcode::ADDI, 1, 1, 0, 4096};
+    EXPECT_THROW(encode(in), PanicError);
+}
+
+TEST(Encoding, OutOfRangeRegisterPanics)
+{
+    StaticInst in{Opcode::ADD, 64, 0, 0, 0};
+    EXPECT_THROW(encode(in), PanicError);
+}
+
+/** Property: encode/decode round-trips for random legal instructions. */
+TEST(Encoding, RandomRoundTripProperty)
+{
+    Rng rng(2024);
+    for (int i = 0; i < 5000; ++i) {
+        StaticInst in;
+        in.op = static_cast<Opcode>(
+            rng.below(uint64_t(Opcode::NumOpcodes)));
+        switch (in.format()) {
+          case Format::R:
+            in.rd = RegIndex(rng.below(64));
+            in.rs1 = RegIndex(rng.below(64));
+            in.rs2 = RegIndex(rng.below(64));
+            break;
+          case Format::I:
+            in.rd = RegIndex(rng.below(64));
+            in.rs1 = RegIndex(rng.below(64));
+            in.imm = rng.range(-2048, 2047);
+            break;
+          case Format::S:
+          case Format::B:
+            in.rs1 = RegIndex(rng.below(64));
+            in.rs2 = RegIndex(rng.below(64));
+            in.imm = rng.range(-2048, 2047);
+            break;
+          case Format::J:
+            in.rd = RegIndex(rng.below(64));
+            in.imm = rng.range(-131072, 131071);
+            break;
+          case Format::Sys:
+            if (in.op == Opcode::PUTC || in.op == Opcode::PUTN)
+                in.rs1 = RegIndex(rng.below(64));
+            break;
+        }
+        EXPECT_EQ(decode(encode(in)), in)
+            << "op=" << opcodeName(in.op) << " iter=" << i;
+    }
+}
+
+} // namespace
+} // namespace slip

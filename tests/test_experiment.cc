@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "harness/experiment.hh"
+
+namespace slip
+{
+namespace
+{
+
+const char *kTinyWorkload = R"(
+main:
+    li  s0, 300
+loop:
+    addi s1, s1, 2
+    addi s0, s0, -1
+    bnez s0, loop
+    putn s1
+    halt
+)";
+
+TEST(Experiment, ParamsMatchPaperTable2)
+{
+    const CoreParams ss = ss64x4Params();
+    EXPECT_EQ(ss.robSize, 64u);
+    EXPECT_EQ(ss.issueWidth, 4u);
+    const CoreParams wide = ss128x8Params();
+    EXPECT_EQ(wide.robSize, 128u);
+    EXPECT_EQ(wide.issueWidth, 8u);
+    const SlipstreamParams cmp = cmp2x64x4Params();
+    EXPECT_EQ(cmp.aCore.robSize, 64u);
+    EXPECT_EQ(cmp.rCore.robSize, 64u);
+    EXPECT_EQ(cmp.irPred.confidenceThreshold, 32u);
+    EXPECT_EQ(cmp.detector.scopeTraces, 8u);
+    EXPECT_EQ(cmp.delayBuffer.dataCapacity, 256u);
+    EXPECT_EQ(cmp.delayBuffer.controlCapacity, 128u);
+}
+
+TEST(Experiment, GoldenOutputComesFromFunctionalSim)
+{
+    const Program p = assemble(kTinyWorkload);
+    EXPECT_EQ(goldenOutput(p), "600\n");
+}
+
+TEST(Experiment, GoldenOutputDetectsNonTermination)
+{
+    const Program p = assemble("main: j main\n");
+    EXPECT_THROW(goldenOutput(p), FatalError);
+}
+
+TEST(Experiment, RunSSFillsMetrics)
+{
+    const Program p = assemble(kTinyWorkload);
+    const std::string want = goldenOutput(p);
+    const RunMetrics m = runSS(p, ss64x4Params(), "SS(64x4)", want);
+    EXPECT_EQ(m.model, "SS(64x4)");
+    EXPECT_TRUE(m.outputCorrect);
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_GT(m.ipc, 0.0);
+    EXPECT_EQ(m.removedFraction, 0.0); // SS models remove nothing
+}
+
+TEST(Experiment, RunSSFlagsWrongGolden)
+{
+    const Program p = assemble(kTinyWorkload);
+    const RunMetrics m =
+        runSS(p, ss64x4Params(), "SS(64x4)", "wrong\n");
+    EXPECT_FALSE(m.outputCorrect);
+}
+
+TEST(Experiment, RunSlipstreamFillsSlipstreamMetrics)
+{
+    const Program p = assemble(kTinyWorkload);
+    const std::string want = goldenOutput(p);
+    const RunMetrics m = runSlipstream(p, cmp2x64x4Params(), want);
+    EXPECT_EQ(m.model, "CMP(2x64x4)");
+    EXPECT_TRUE(m.outputCorrect);
+    EXPECT_GE(m.removedFraction, 0.0);
+    EXPECT_LE(m.removedFraction, 1.0);
+}
+
+TEST(Experiment, RunAllModelsCoversThePaperTrio)
+{
+    Workload w{"tiny", "n/a", "tiny loop", kTinyWorkload};
+    const auto results = runAllModels(w);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results.count("SS(64x4)"));
+    EXPECT_TRUE(results.count("SS(128x8)"));
+    EXPECT_TRUE(results.count("CMP(2x64x4)"));
+    for (const auto &[name, m] : results)
+        EXPECT_TRUE(m.outputCorrect) << name;
+}
+
+} // namespace
+} // namespace slip

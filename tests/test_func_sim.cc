@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "func/func_sim.hh"
+#include "isa/regnames.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(FuncSim, RunsToHaltAndCapturesOutput)
+{
+    Program p = assemble(R"(
+main:
+    li a0, 3
+loop:
+    putn a0
+    addi a0, a0, -1
+    bnez a0, loop
+    halt
+)");
+    FuncSim sim(p);
+    const FuncRunResult r = sim.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.output, "3\n2\n1\n");
+    EXPECT_EQ(r.instCount, 1u + 3 * 3 + 1u);
+}
+
+TEST(FuncSim, StackPointerInitialized)
+{
+    Program p = assemble(R"(
+main:
+    push a0
+    pop  a1
+    halt
+)");
+    FuncSim sim(p);
+    EXPECT_EQ(sim.state().readReg(reg::sp), layout::kStackTop);
+    sim.run();
+    EXPECT_EQ(sim.state().readReg(reg::sp), layout::kStackTop);
+}
+
+TEST(FuncSim, InstructionLimitStopsRunaways)
+{
+    Program p = assemble("main: j main\n");
+    FuncSim sim(p);
+    const FuncRunResult r = sim.run(100);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.instCount, 100u);
+}
+
+TEST(FuncSim, DataImageLoaded)
+{
+    Program p = assemble(R"(
+.data
+v: .dword 1234
+.text
+main:
+    ld a0, v
+    putn a0
+    halt
+)");
+    FuncSim sim(p);
+    EXPECT_EQ(sim.run().output, "1234\n");
+}
+
+TEST(FuncSim, StepInterface)
+{
+    Program p = assemble("main: li a0, 1\nhalt\n");
+    FuncSim sim(p);
+    const ExecResult r1 = sim.step();
+    EXPECT_TRUE(r1.wroteReg);
+    EXPECT_FALSE(sim.halted());
+    sim.step();
+    EXPECT_TRUE(sim.halted());
+}
+
+TEST(FuncSim, ObserverSeesEveryRetirement)
+{
+    Program p = assemble("main: nop\nnop\nhalt\n");
+    FuncSim sim(p);
+    std::vector<Addr> pcs;
+    sim.runWithObserver(
+        [&](Addr pc, const StaticInst &, const ExecResult &) {
+            pcs.push_back(pc);
+        });
+    ASSERT_EQ(pcs.size(), 3u);
+    EXPECT_EQ(pcs[0], p.entry());
+    EXPECT_EQ(pcs[2], p.entry() + 8);
+}
+
+TEST(FuncSim, RecursionWithStack)
+{
+    // sum(n) = n + sum(n-1); sum(0) = 0 — exercises call/ret/push/pop.
+    Program p = assemble(R"(
+main:
+    li   a0, 10
+    call sum
+    putn a1
+    halt
+sum:
+    push ra
+    beqz a0, base
+    push a0
+    addi a0, a0, -1
+    call sum
+    pop  a0
+    add  a1, a1, a0
+    pop  ra
+    ret
+base:
+    li   a1, 0
+    pop  ra
+    ret
+)");
+    FuncSim sim(p);
+    EXPECT_EQ(sim.run().output, "55\n");
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "assembler/lexer.hh"
+#include "common/logging.hh"
+
+namespace slip
+{
+namespace
+{
+
+std::vector<Token>
+lex(const std::string &s)
+{
+    return tokenize(s);
+}
+
+TEST(Lexer, IdentifiersAndPunctuation)
+{
+    auto t = lex("add a0, a1, a2\n");
+    ASSERT_EQ(t.size(), 7u);
+    EXPECT_EQ(t[0].kind, TokKind::Identifier);
+    EXPECT_EQ(t[0].text, "add");
+    EXPECT_EQ(t[1].text, "a0");
+    EXPECT_EQ(t[2].kind, TokKind::Comma);
+    EXPECT_EQ(t[6].kind, TokKind::EndOfLine);
+}
+
+TEST(Lexer, DecimalHexAndCharLiterals)
+{
+    auto t = lex("42 0x2a '*' '\\n'\n");
+    ASSERT_GE(t.size(), 4u);
+    EXPECT_EQ(t[0].value, 42);
+    EXPECT_EQ(t[1].value, 42);
+    EXPECT_EQ(t[2].value, int64_t('*'));
+    EXPECT_EQ(t[3].value, int64_t('\n'));
+}
+
+TEST(Lexer, NegativeNumbersLexAsMinusThenInteger)
+{
+    auto t = lex("-5\n");
+    EXPECT_EQ(t[0].kind, TokKind::Minus);
+    EXPECT_EQ(t[1].kind, TokKind::Integer);
+    EXPECT_EQ(t[1].value, 5);
+}
+
+TEST(Lexer, StringsWithEscapes)
+{
+    auto t = lex(".asciz \"hi\\n\\t\\\"q\\\"\"\n");
+    ASSERT_GE(t.size(), 2u);
+    EXPECT_EQ(t[1].kind, TokKind::String);
+    EXPECT_EQ(t[1].text, "hi\n\t\"q\"");
+}
+
+TEST(Lexer, CommentsRunToEndOfLine)
+{
+    auto t = lex("add # this, is, a comment\nsub ; semicolon too\n");
+    // add EOL sub EOL
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].text, "add");
+    EXPECT_EQ(t[2].text, "sub");
+}
+
+TEST(Lexer, LineNumbersAdvance)
+{
+    auto t = lex("a\nb\n\nc\n");
+    EXPECT_EQ(t[0].line, 1);
+    EXPECT_EQ(t[2].line, 2);
+    EXPECT_EQ(t.back().line, 4);
+}
+
+TEST(Lexer, DirectivesLexAsIdentifiers)
+{
+    auto t = lex(".data\n");
+    EXPECT_EQ(t[0].kind, TokKind::Identifier);
+    EXPECT_EQ(t[0].text, ".data");
+}
+
+TEST(Lexer, MemOperandPunctuation)
+{
+    auto t = lex("ld a0, 8(sp)\n");
+    // ld a0 , 8 ( sp ) EOL
+    ASSERT_EQ(t.size(), 8u);
+    EXPECT_EQ(t[4].kind, TokKind::LParen);
+    EXPECT_EQ(t[6].kind, TokKind::RParen);
+}
+
+TEST(Lexer, FinalLineWithoutNewlineGetsEol)
+{
+    auto t = lex("halt");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[1].kind, TokKind::EndOfLine);
+}
+
+TEST(Lexer, MalformedLiteralsAreFatal)
+{
+    EXPECT_THROW(lex("0x\n"), FatalError);
+    EXPECT_THROW(lex("'a\n"), FatalError);
+    EXPECT_THROW(lex("\"unterminated\n"), FatalError);
+    EXPECT_THROW(lex("$\n"), FatalError);
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    try {
+        SLIP_FATAL("bad input ", 42);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad input 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    try {
+        SLIP_PANIC("invariant ", "broken");
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("invariant broken"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(SLIP_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(Logging, AssertPanicsOnFalse)
+{
+    EXPECT_THROW(SLIP_ASSERT(false, "should fire"), PanicError);
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    setLogQuiet(false);
+    EXPECT_FALSE(logQuiet());
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.hh"
+#include "mem/memory.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(Memory, UntouchedReadsZero)
+{
+    Memory m;
+    EXPECT_EQ(m.read(0x1234, 8), 0u);
+    EXPECT_EQ(m.numPages(), 0u); // reads allocate nothing
+}
+
+TEST(Memory, ReadBackAllSizes)
+{
+    Memory m;
+    m.write(0x100, 8, 0x1122334455667788ull);
+    EXPECT_EQ(m.read(0x100, 8), 0x1122334455667788ull);
+    EXPECT_EQ(m.read(0x100, 4), 0x55667788u);
+    EXPECT_EQ(m.read(0x100, 2), 0x7788u);
+    EXPECT_EQ(m.read(0x100, 1), 0x88u);
+    EXPECT_EQ(m.read(0x104, 4), 0x11223344u); // little endian
+}
+
+TEST(Memory, UnalignedAndPageCrossing)
+{
+    Memory m;
+    const Addr edge = Memory::kPageBytes - 3;
+    m.write(edge, 8, 0xa1b2c3d4e5f60718ull);
+    EXPECT_EQ(m.read(edge, 8), 0xa1b2c3d4e5f60718ull);
+    EXPECT_EQ(m.numPages(), 2u);
+    EXPECT_EQ(m.read(edge + 3, 1), 0xe5u);
+}
+
+TEST(Memory, PartialOverwrite)
+{
+    Memory m;
+    m.write(0x40, 8, ~0ull);
+    m.write(0x42, 2, 0);
+    EXPECT_EQ(m.read(0x40, 8), 0xffffffff0000ffffull);
+}
+
+TEST(Memory, WildAddressesCostOnePage)
+{
+    Memory m;
+    m.write(0xdeadbeefcafe, 1, 0x5a);
+    EXPECT_EQ(m.read(0xdeadbeefcafe, 1), 0x5au);
+    EXPECT_EQ(m.numPages(), 1u);
+}
+
+TEST(Memory, WriteBlockSpansPages)
+{
+    Memory m;
+    std::vector<uint8_t> data(Memory::kPageBytes + 100, 0xab);
+    data[0] = 1;
+    data.back() = 2;
+    m.writeBlock(Memory::kPageBytes - 50, data.data(), data.size());
+    EXPECT_EQ(m.read(Memory::kPageBytes - 50, 1), 1u);
+    EXPECT_EQ(m.read(Memory::kPageBytes - 50 + data.size() - 1, 1), 2u);
+    EXPECT_EQ(m.read(Memory::kPageBytes, 1), 0xabu);
+}
+
+TEST(Memory, CloneIsDeepAndEqualRespectsZeroPages)
+{
+    Memory m;
+    m.write(0x10, 8, 77);
+    Memory c = m.clone();
+    EXPECT_TRUE(m.equals(c));
+    c.write(0x10, 8, 78);
+    EXPECT_FALSE(m.equals(c));
+    EXPECT_EQ(m.read(0x10, 8), 77u);
+
+    // An explicitly zeroed page equals an absent page.
+    Memory z;
+    z.write(0x5000, 8, 1);
+    z.write(0x5000, 8, 0);
+    Memory empty;
+    EXPECT_TRUE(z.equals(empty));
+    EXPECT_TRUE(empty.equals(z));
+}
+
+TEST(Memory, RandomizedReadWriteConsistency)
+{
+    Memory m;
+    std::vector<std::pair<Addr, uint8_t>> shadowWrites;
+    Rng rng(31);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.below(1 << 16);
+        const unsigned size = 1u << rng.below(4);
+        const uint64_t v = rng.next();
+        m.write(a, size, v);
+        for (unsigned b = 0; b < size; ++b)
+            shadowWrites.push_back({a + b, uint8_t(v >> (8 * b))});
+    }
+    // Last write per byte wins (insertion order preserves that).
+    std::map<Addr, uint8_t> shadow;
+    for (auto &[a, v] : shadowWrites)
+        shadow[a] = v;
+    for (auto &[a, v] : shadow)
+        EXPECT_EQ(m.read(a, 1), v) << "addr " << a;
+}
+
+} // namespace
+} // namespace slip

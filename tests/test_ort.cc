@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "slipstream/operand_rename_table.hh"
+
+namespace slip
+{
+namespace
+{
+
+OrtProducer
+prod(uint64_t packet, uint8_t slot)
+{
+    return OrtProducer{packet, slot};
+}
+
+TEST(Ort, FreshWriteKillsNothing)
+{
+    OperandRenameTable ort;
+    const OrtWriteResult w = ort.writeReg(5, 100, prod(1, 0));
+    EXPECT_FALSE(w.nonModifying);
+    EXPECT_FALSE(w.killedValid);
+}
+
+TEST(Ort, SameValueWriteIsNonModifying)
+{
+    OperandRenameTable ort;
+    ort.writeReg(5, 100, prod(1, 0));
+    const OrtWriteResult w = ort.writeReg(5, 100, prod(1, 3));
+    EXPECT_TRUE(w.nonModifying);
+    EXPECT_FALSE(w.killedValid);
+    // The old producer stays live: a later different write kills the
+    // ORIGINAL producer, not the non-modifying one.
+    const OrtWriteResult w2 = ort.writeReg(5, 200, prod(1, 5));
+    ASSERT_TRUE(w2.killedValid);
+    EXPECT_EQ(w2.killed, prod(1, 0));
+}
+
+TEST(Ort, DifferentValueKillsAndReportsUnreferenced)
+{
+    OperandRenameTable ort;
+    ort.writeReg(5, 100, prod(1, 0));
+    const OrtWriteResult w = ort.writeReg(5, 200, prod(1, 4));
+    ASSERT_TRUE(w.killedValid);
+    EXPECT_EQ(w.killed, prod(1, 0));
+    EXPECT_TRUE(w.killedUnreferenced); // never read
+}
+
+TEST(Ort, ReadSetsReferenceBit)
+{
+    OperandRenameTable ort;
+    ort.writeReg(5, 100, prod(1, 0));
+    const OrtProducer *p = ort.readReg(5);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, prod(1, 0));
+    const OrtWriteResult w = ort.writeReg(5, 200, prod(1, 4));
+    ASSERT_TRUE(w.killedValid);
+    EXPECT_FALSE(w.killedUnreferenced);
+}
+
+TEST(Ort, ZeroRegisterIsInert)
+{
+    OperandRenameTable ort;
+    EXPECT_EQ(ort.readReg(kZeroReg), nullptr);
+    const OrtWriteResult w = ort.writeReg(kZeroReg, 5, prod(1, 0));
+    EXPECT_FALSE(w.nonModifying);
+    EXPECT_FALSE(w.killedValid);
+    EXPECT_EQ(ort.readReg(kZeroReg), nullptr);
+}
+
+TEST(Ort, MemoryLocationsTrackedLikeRegisters)
+{
+    OperandRenameTable ort;
+    ort.writeMem(0x2000, 8, 42, prod(1, 1));
+    EXPECT_TRUE(ort.writeMem(0x2000, 8, 42, prod(1, 2)).nonModifying);
+    const OrtProducer *p = ort.readMem(0x2000, 8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, prod(1, 1));
+    const OrtWriteResult w = ort.writeMem(0x2000, 8, 43, prod(2, 0));
+    ASSERT_TRUE(w.killedValid);
+    EXPECT_FALSE(w.killedUnreferenced);
+}
+
+TEST(Ort, DifferentSizesAreDistinctLocations)
+{
+    OperandRenameTable ort;
+    ort.writeMem(0x2000, 8, 42, prod(1, 0));
+    // A 4-byte write to the same address is a different tracked
+    // location: no kill, no non-modifying detection.
+    const OrtWriteResult w = ort.writeMem(0x2000, 4, 42, prod(1, 1));
+    EXPECT_FALSE(w.nonModifying);
+    EXPECT_FALSE(w.killedValid);
+    EXPECT_EQ(ort.memEntryCount(), 2u);
+}
+
+TEST(Ort, InvalidateProducerKeepsValueForSvDetection)
+{
+    OperandRenameTable ort;
+    ort.writeReg(5, 100, prod(1, 0));
+    ort.invalidateProducer(1);
+    // Producer gone: reads find no producer, overwrites kill nothing.
+    EXPECT_EQ(ort.readReg(5), nullptr);
+    // But the value survives: a same-value write is still detected.
+    EXPECT_TRUE(ort.writeReg(5, 100, prod(2, 0)).nonModifying);
+}
+
+TEST(Ort, InvalidateProducerSkipsNewerProducers)
+{
+    OperandRenameTable ort;
+    ort.writeReg(5, 100, prod(1, 0));
+    ort.writeReg(5, 200, prod(2, 0));
+    ort.invalidateProducer(1); // r5's producer is now packet 2
+    const OrtProducer *p = ort.readReg(5);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->packetNum, 2u);
+}
+
+TEST(Ort, KillAfterInvalidationYieldsNoVictim)
+{
+    OperandRenameTable ort;
+    ort.writeMem(0x100, 8, 1, prod(1, 0));
+    ort.invalidateProducer(1);
+    const OrtWriteResult w = ort.writeMem(0x100, 8, 2, prod(9, 0));
+    EXPECT_FALSE(w.killedValid);
+}
+
+TEST(Ort, ResetClearsEverything)
+{
+    OperandRenameTable ort;
+    ort.writeReg(5, 1, prod(1, 0));
+    ort.writeMem(0x100, 8, 1, prod(1, 1));
+    ort.reset();
+    EXPECT_EQ(ort.readReg(5), nullptr);
+    EXPECT_EQ(ort.readMem(0x100, 8), nullptr);
+    EXPECT_EQ(ort.memEntryCount(), 0u);
+    // Values did not survive: same-value write is not non-modifying.
+    EXPECT_FALSE(ort.writeReg(5, 1, prod(2, 0)).nonModifying);
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "assembler/parser.hh"
+#include "common/logging.hh"
+
+namespace slip
+{
+namespace
+{
+
+std::vector<Stmt>
+parseStr(const std::string &s)
+{
+    return parse(tokenize(s));
+}
+
+TEST(Parser, LabelThenInstructionOnOneLine)
+{
+    auto stmts = parseStr("loop: addi t0, t0, 1\n");
+    ASSERT_EQ(stmts.size(), 2u);
+    EXPECT_EQ(stmts[0].kind, Stmt::Kind::Label);
+    EXPECT_EQ(stmts[0].name, "loop");
+    EXPECT_EQ(stmts[1].kind, Stmt::Kind::Instruction);
+    EXPECT_EQ(stmts[1].name, "addi");
+    ASSERT_EQ(stmts[1].operands.size(), 3u);
+}
+
+TEST(Parser, MultipleLabels)
+{
+    auto stmts = parseStr("a: b: nop\n");
+    ASSERT_EQ(stmts.size(), 3u);
+    EXPECT_EQ(stmts[0].name, "a");
+    EXPECT_EQ(stmts[1].name, "b");
+}
+
+TEST(Parser, RegisterOperands)
+{
+    auto stmts = parseStr("add a0, t3, s2\n");
+    const auto &ops = stmts[0].operands;
+    ASSERT_EQ(ops.size(), 3u);
+    for (const auto &op : ops)
+        EXPECT_EQ(op.kind, Operand::Kind::Reg);
+    EXPECT_EQ(ops[1].reg, 17); // t3 = r14+3
+}
+
+TEST(Parser, ImmediateAndSymbolExpressions)
+{
+    auto stmts = parseStr("li t0, -42\nla t1, buf+8\nla t2, buf-4\n");
+    EXPECT_EQ(stmts[0].operands[1].kind, Operand::Kind::Imm);
+    EXPECT_EQ(stmts[0].operands[1].expr.offset, -42);
+    EXPECT_TRUE(stmts[0].operands[1].expr.isLiteral());
+
+    EXPECT_EQ(stmts[1].operands[1].expr.symbol, "buf");
+    EXPECT_EQ(stmts[1].operands[1].expr.offset, 8);
+    EXPECT_EQ(stmts[2].operands[1].expr.offset, -4);
+}
+
+TEST(Parser, MemoryOperands)
+{
+    auto stmts = parseStr("ld a0, -16(sp)\nsw a1, 0(t0)\n");
+    const Operand &mem = stmts[0].operands[1];
+    EXPECT_EQ(mem.kind, Operand::Kind::Mem);
+    EXPECT_EQ(mem.reg, 2); // sp
+    EXPECT_EQ(mem.expr.offset, -16);
+}
+
+TEST(Parser, SymbolDisplacementMemOperand)
+{
+    auto stmts = parseStr("ld a0, tbl(t0)\n");
+    const Operand &mem = stmts[0].operands[1];
+    EXPECT_EQ(mem.kind, Operand::Kind::Mem);
+    EXPECT_EQ(mem.expr.symbol, "tbl");
+}
+
+TEST(Parser, DirectivesWithLists)
+{
+    auto stmts = parseStr(".word 1, 2, 3\n.asciz \"hey\"\n");
+    EXPECT_EQ(stmts[0].kind, Stmt::Kind::Directive);
+    EXPECT_EQ(stmts[0].name, ".word");
+    EXPECT_EQ(stmts[0].operands.size(), 3u);
+    EXPECT_EQ(stmts[1].operands[0].kind, Operand::Kind::Str);
+    EXPECT_EQ(stmts[1].operands[0].str, "hey");
+}
+
+TEST(Parser, NoOperandInstruction)
+{
+    auto stmts = parseStr("ret\nhalt\n");
+    EXPECT_TRUE(stmts[0].operands.empty());
+    EXPECT_TRUE(stmts[1].operands.empty());
+}
+
+TEST(Parser, LineNumbersAttached)
+{
+    auto stmts = parseStr("nop\n\nnop\n");
+    EXPECT_EQ(stmts[0].line, 1);
+    EXPECT_EQ(stmts[1].line, 3);
+}
+
+TEST(Parser, GrammarErrorsAreFatal)
+{
+    EXPECT_THROW(parseStr("add a0 a1\n"), FatalError);     // missing comma
+    EXPECT_THROW(parseStr("ld a0, 8(sp\n"), FatalError);   // missing ')'
+    EXPECT_THROW(parseStr("ld a0, 8(99)\n"), FatalError);  // not a register
+    EXPECT_THROW(parseStr(": nope\n"), FatalError);        // empty label
+    EXPECT_THROW(parseStr("add a0, ,\n"), FatalError);     // empty operand
+}
+
+} // namespace
+} // namespace slip

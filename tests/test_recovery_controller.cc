@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "slipstream/recovery_controller.hh"
+
+namespace slip
+{
+namespace
+{
+
+class RecoveryTest : public ::testing::Test
+{
+  protected:
+    RecoveryTest()
+        : rc(rMem)
+    {
+    }
+
+    Memory rMem;
+    RecoveryController rc;
+};
+
+TEST_F(RecoveryTest, AStreamReadsSeeOverlayOverBase)
+{
+    rMem.write(0x100, 8, 111);
+    EXPECT_EQ(rc.read(0x100, 8), 111u); // falls through to R memory
+    rc.write(0x100, 8, 222);            // A-stream store
+    EXPECT_EQ(rc.read(0x100, 8), 222u); // A sees its own store
+    EXPECT_EQ(rMem.read(0x100, 8), 111u); // R memory untouched
+}
+
+TEST_F(RecoveryTest, PartialOverlayComposition)
+{
+    rMem.write(0x200, 8, 0x1111111111111111ull);
+    rc.write(0x202, 2, 0xaabb); // A stores 2 bytes in the middle
+    EXPECT_EQ(rc.read(0x200, 8), 0x11111111aabb1111ull);
+}
+
+TEST_F(RecoveryTest, UndoWindowClosesWhenRStoreRetires)
+{
+    rc.write(0x300, 8, 42);
+    EXPECT_EQ(rc.trackedAddresses(), 1u);
+    // The companion R-stream store retires with the same data.
+    rMem.write(0x300, 8, 42);
+    rc.onRStoreRetired(0x300, 8);
+    EXPECT_EQ(rc.trackedAddresses(), 0u);
+    EXPECT_EQ(rc.read(0x300, 8), 42u); // still reads correctly
+}
+
+TEST_F(RecoveryTest, PendingYoungerStoreKeepsTracking)
+{
+    rc.write(0x300, 8, 1); // older A store
+    rc.write(0x300, 8, 2); // younger A store, still in flight
+    rMem.write(0x300, 8, 1);
+    rc.onRStoreRetired(0x300, 8); // matches the older store only
+    // The younger store is outstanding: overlay must persist.
+    EXPECT_EQ(rc.trackedAddresses(), 1u);
+    EXPECT_EQ(rc.read(0x300, 8), 2u);
+    rMem.write(0x300, 8, 2);
+    rc.onRStoreRetired(0x300, 8);
+    EXPECT_EQ(rc.trackedAddresses(), 0u);
+}
+
+TEST_F(RecoveryTest, DivergentValueKeepsUndoEntry)
+{
+    rc.write(0x400, 8, 99); // A wrote a (possibly wrong) value
+    rMem.write(0x400, 8, 77); // R computed something else
+    rc.onRStoreRetired(0x400, 8);
+    // Disagreement: the byte stays tracked until recovery.
+    EXPECT_EQ(rc.trackedAddresses(), 1u);
+}
+
+TEST_F(RecoveryTest, DoSetTracksSkippedStoresUntilVerified)
+{
+    rc.onSkippedStoreRetired(5, 0x500, 8);
+    rc.onSkippedStoreRetired(5, 0x508, 8);
+    rc.onSkippedStoreRetired(6, 0x600, 8);
+    EXPECT_EQ(rc.trackedAddresses(), 3u);
+    rc.onTraceVerified(5);
+    EXPECT_EQ(rc.trackedAddresses(), 1u);
+    rc.onTraceVerified(6);
+    EXPECT_EQ(rc.trackedAddresses(), 0u);
+    rc.onTraceVerified(7); // unknown trace: harmless
+}
+
+TEST_F(RecoveryTest, RecoveryCollapsesOntoRMemory)
+{
+    rMem.write(0x700, 8, 1);
+    rc.write(0x700, 8, 2);
+    rc.onSkippedStoreRetired(3, 0x710, 8);
+    rc.recover();
+    EXPECT_EQ(rc.trackedAddresses(), 0u);
+    EXPECT_EQ(rc.read(0x700, 8), 1u); // overlay discarded
+}
+
+TEST_F(RecoveryTest, LatencyModelMatchesTable2)
+{
+    // Minimum: 5 startup + 64 regs / 4 per cycle = 21 cycles.
+    EXPECT_EQ(rc.recover(), 21u);
+
+    // With 8 tracked granules: + ceil(8/4) = 2 memory cycles.
+    for (int i = 0; i < 8; ++i)
+        rc.write(0x800 + 8 * i, 8, i);
+    EXPECT_EQ(rc.trackedAddresses(), 8u);
+    EXPECT_EQ(rc.recover(), 23u);
+}
+
+TEST_F(RecoveryTest, TrackedCountUsesGranules)
+{
+    // 8 single-byte A-stores within one 8-byte granule = 1 tracked.
+    for (int i = 0; i < 8; ++i)
+        rc.write(0x900 + i, 1, i);
+    EXPECT_EQ(rc.trackedAddresses(), 1u);
+}
+
+TEST_F(RecoveryTest, StatsRecordRecoveries)
+{
+    rc.write(0xa00, 8, 5);
+    rc.recover();
+    EXPECT_EQ(rc.stats().get("recoveries"), 1u);
+    EXPECT_EQ(rc.stats().getDistribution("tracked_at_recovery").max(),
+              1u);
+}
+
+} // namespace
+} // namespace slip

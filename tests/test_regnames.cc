@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "isa/regnames.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(RegNames, CanonicalNames)
+{
+    EXPECT_EQ(regName(0), "zero");
+    EXPECT_EQ(regName(1), "ra");
+    EXPECT_EQ(regName(2), "sp");
+    EXPECT_EQ(regName(3), "fp");
+    EXPECT_EQ(regName(4), "a0");
+    EXPECT_EQ(regName(13), "a9");
+    EXPECT_EQ(regName(14), "t0");
+    EXPECT_EQ(regName(33), "t19");
+    EXPECT_EQ(regName(34), "s0");
+    EXPECT_EQ(regName(53), "s19");
+    EXPECT_EQ(regName(54), "k0");
+    EXPECT_EQ(regName(63), "k9");
+}
+
+TEST(RegNames, ParseAliases)
+{
+    EXPECT_EQ(parseRegName("zero"), std::optional<RegIndex>(0));
+    EXPECT_EQ(parseRegName("sp"), std::optional<RegIndex>(2));
+    EXPECT_EQ(parseRegName("a3"), std::optional<RegIndex>(7));
+    EXPECT_EQ(parseRegName("t10"), std::optional<RegIndex>(24));
+    EXPECT_EQ(parseRegName("s19"), std::optional<RegIndex>(53));
+    EXPECT_EQ(parseRegName("k9"), std::optional<RegIndex>(63));
+}
+
+TEST(RegNames, ParseRawForm)
+{
+    EXPECT_EQ(parseRegName("r0"), std::optional<RegIndex>(0));
+    EXPECT_EQ(parseRegName("r63"), std::optional<RegIndex>(63));
+}
+
+TEST(RegNames, RejectsOutOfRangeAndJunk)
+{
+    EXPECT_FALSE(parseRegName("r64").has_value());
+    EXPECT_FALSE(parseRegName("a10").has_value());
+    EXPECT_FALSE(parseRegName("t20").has_value());
+    EXPECT_FALSE(parseRegName("s20").has_value());
+    EXPECT_FALSE(parseRegName("x1").has_value());
+    EXPECT_FALSE(parseRegName("").has_value());
+    EXPECT_FALSE(parseRegName("t").has_value());
+    EXPECT_FALSE(parseRegName("t1x").has_value());
+}
+
+TEST(RegNames, RoundTripAllRegisters)
+{
+    for (unsigned r = 0; r < kNumRegs; ++r) {
+        auto parsed = parseRegName(regName(RegIndex(r)));
+        ASSERT_TRUE(parsed.has_value()) << regName(RegIndex(r));
+        EXPECT_EQ(*parsed, r);
+    }
+}
+
+} // namespace
+} // namespace slip

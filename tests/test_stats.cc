@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(Stats, CounterStartsAtZeroAndIncrements)
+{
+    StatGroup g("g");
+    EXPECT_EQ(g.get("c"), 0u);
+    ++g.counter("c");
+    g.counter("c") += 4;
+    EXPECT_EQ(g.get("c"), 5u);
+}
+
+TEST(Stats, MissingCounterReadsZero)
+{
+    StatGroup g("g");
+    EXPECT_EQ(g.get("never_created"), 0u);
+    EXPECT_FALSE(g.hasCounter("never_created"));
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    StatGroup g("g");
+    auto &d = g.distribution("lat");
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.min(), 10u);
+    EXPECT_EQ(d.max(), 30u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+}
+
+TEST(Stats, EmptyDistribution)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Stats, ResetZeroesEverything)
+{
+    StatGroup g("g");
+    g.counter("c") += 7;
+    g.distribution("d").sample(3);
+    g.reset();
+    EXPECT_EQ(g.get("c"), 0u);
+    EXPECT_EQ(g.getDistribution("d").count(), 0u);
+}
+
+TEST(Stats, DumpIsPrefixedAndSorted)
+{
+    StatGroup g("core");
+    g.counter("b") += 2;
+    g.counter("a") += 1;
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("core.a 1"), std::string::npos);
+    EXPECT_NE(out.find("core.b 2"), std::string::npos);
+    EXPECT_LT(out.find("core.a"), out.find("core.b"));
+}
+
+TEST(Stats, GetMissingDistributionPanics)
+{
+    StatGroup g("g");
+    EXPECT_THROW(g.getDistribution("nope"), PanicError);
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "harness/table.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // First column left-aligned: both rows start at column 0.
+    EXPECT_EQ(out.find("a "), out.find('\n') * 0 + out.find("a "));
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Second column right-aligned: "22" ends at the same offset as
+    // the header's "value".
+    std::istringstream is(out);
+    std::string header, rule, row1, row2;
+    std::getline(is, header);
+    std::getline(is, rule);
+    std::getline(is, row1);
+    std::getline(is, row2);
+    EXPECT_EQ(header.size(), row1.size());
+    EXPECT_EQ(row1.size(), row2.size());
+    EXPECT_EQ(rule.size(), header.size());
+}
+
+TEST(Table, NumericHelpers)
+{
+    EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fixed(2.0, 0), "2");
+    EXPECT_EQ(Table::percent(0.0734), "7.3%");
+    EXPECT_EQ(Table::percent(-0.021, 1), "-2.1%");
+    EXPECT_EQ(Table::count(12345), "12345");
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, EmptyTablePrintsHeaderAndRule)
+{
+    Table t({"col"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "uarch/fetch_source.hh"
+#include "uarch/trace.hh"
+
+namespace slip
+{
+namespace
+{
+
+StaticInst
+alu()
+{
+    return {Opcode::ADDI, 5, 5, 0, 1};
+}
+
+StaticInst
+branch(int64_t off)
+{
+    return {Opcode::BNE, 0, 5, 0, off};
+}
+
+TEST(TraceId, HashDistinguishesComponents)
+{
+    TraceId a{0x1000, 0b101, 3, 10};
+    TraceId b = a;
+    EXPECT_EQ(a.hash(), b.hash());
+    b.branchBits = 0b100;
+    EXPECT_NE(a.hash(), b.hash());
+    b = a;
+    b.startPc = 0x1004;
+    EXPECT_NE(a.hash(), b.hash());
+    b = a;
+    b.length = 11;
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(TraceBuilder, CutsAtMaxLength)
+{
+    TraceBuilder tb(TracePolicy{4, false});
+    Addr pc = 0x1000;
+    EXPECT_FALSE(tb.feed(pc, alu(), false, pc + 4));
+    EXPECT_FALSE(tb.feed(pc + 4, alu(), false, pc + 8));
+    EXPECT_FALSE(tb.feed(pc + 8, alu(), false, pc + 12));
+    EXPECT_TRUE(tb.feed(pc + 12, alu(), false, pc + 16));
+    const TraceId id = tb.take();
+    EXPECT_EQ(id.startPc, 0x1000u);
+    EXPECT_EQ(id.length, 4);
+    EXPECT_EQ(id.numBranches, 0);
+    EXPECT_EQ(tb.pendingLength(), 0u);
+}
+
+TEST(TraceBuilder, RecordsBranchBitsInOrder)
+{
+    TraceBuilder tb(TracePolicy{32, false});
+    Addr pc = 0x1000;
+    tb.feed(pc, branch(10), true, pc + 40);       // T (forward)
+    tb.feed(pc + 40, branch(5), false, pc + 44);  // N
+    tb.feed(pc + 44, branch(8), true, pc + 76);   // T
+    const StaticInst jalr{Opcode::JALR, 0, 1, 0, 0};
+    EXPECT_TRUE(tb.feed(pc + 76, jalr, true, 0x2000));
+    const TraceId id = tb.take();
+    EXPECT_EQ(id.numBranches, 3);
+    EXPECT_EQ(id.branchBits, 0b101u);
+    EXPECT_EQ(id.length, 4);
+}
+
+TEST(TraceBuilder, EndsAtIndirectAndHalt)
+{
+    TraceBuilder tb{TracePolicy{}};
+    EXPECT_TRUE(tb.feed(0x1000, {Opcode::JALR, 0, 1, 0, 0}, true, 0x2000));
+    EXPECT_TRUE(tb.feed(0x2000, {Opcode::HALT, 0, 0, 0, 0}, false,
+                        0x2000));
+}
+
+TEST(TraceBuilder, BackwardTakenPolicy)
+{
+    TracePolicy loopEnd{32, true};
+    TraceBuilder tb(loopEnd);
+    EXPECT_FALSE(tb.feed(0x1000, alu(), false, 0x1004));
+    // Backward taken branch closes the trace.
+    EXPECT_TRUE(tb.feed(0x1004, branch(-1), true, 0x1000));
+    EXPECT_EQ(tb.take().length, 2);
+
+    // With the policy off, the same branch does not end the trace.
+    TraceBuilder tb2(TracePolicy{32, false});
+    EXPECT_FALSE(tb2.feed(0x1000, alu(), false, 0x1004));
+    EXPECT_FALSE(tb2.feed(0x1004, branch(-1), true, 0x1000));
+}
+
+TEST(TraceBuilder, ForwardTakenDoesNotEndTrace)
+{
+    TraceBuilder tb{TracePolicy{}};
+    EXPECT_FALSE(tb.feed(0x1000, branch(4), true, 0x1010));
+}
+
+TEST(TracePolicy, EndsTraceAfterPredicate)
+{
+    const TracePolicy p{};
+    EXPECT_TRUE(endsTraceAfter(p, {Opcode::HALT, 0, 0, 0, 0}, false,
+                               0x1000, 0x1000));
+    EXPECT_TRUE(endsTraceAfter(p, {Opcode::JALR, 0, 1, 0, 0}, true,
+                               0x1000, 0x2000));
+    EXPECT_TRUE(endsTraceAfter(p, branch(-2), true, 0x1008, 0x1000));
+    EXPECT_FALSE(endsTraceAfter(p, branch(-2), false, 0x1008, 0x100c));
+    EXPECT_FALSE(endsTraceAfter(p, alu(), false, 0x1000, 0x1004));
+    // Backward JAL (loop via jump) also ends the trace.
+    EXPECT_TRUE(endsTraceAfter(p, {Opcode::JAL, 0, 0, 0, -4}, true,
+                               0x1010, 0x1000));
+}
+
+TEST(BuildStaticTrace, FollowsBtfnHeuristic)
+{
+    Program p = assemble(R"(
+main:
+    addi t0, t0, 1
+    beq  t0, t1, fwd    # forward: predicted not-taken
+    addi t0, t0, 2
+fwd:
+    blt  t0, t1, main   # backward: predicted taken -> ends trace
+    halt
+)");
+    const TraceId id = buildStaticTrace(p, p.entry());
+    EXPECT_EQ(id.startPc, p.entry());
+    // addi, beq(NT), addi, blt(T) -> 4 instructions, bits 0b10.
+    EXPECT_EQ(id.length, 4);
+    EXPECT_EQ(id.numBranches, 2);
+    EXPECT_EQ(id.branchBits, 0b10u);
+}
+
+TEST(BuildStaticTrace, StopsAtHalt)
+{
+    Program p = assemble("main: nop\nhalt\n");
+    const TraceId id = buildStaticTrace(p, p.entry());
+    EXPECT_EQ(id.length, 2);
+}
+
+TEST(TraceToString, Readable)
+{
+    TraceId id{0x1000, 0b01, 2, 5};
+    const std::string s = to_string(id);
+    EXPECT_NE(s.find("pc=0x1000"), std::string::npos);
+    EXPECT_NE(s.find("TN"), std::string::npos);
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "uarch/trace_pred.hh"
+
+namespace slip
+{
+namespace
+{
+
+TraceId
+traceAt(Addr pc, uint8_t len = 8)
+{
+    return TraceId{pc, 0, 0, len};
+}
+
+TEST(PathHistory, PushShiftsAndRepairReplacesLast)
+{
+    PathHistory h;
+    const uint64_t empty = h.correlatedHash();
+    h.push(traceAt(0x1000));
+    EXPECT_NE(h.correlatedHash(), empty);
+
+    PathHistory h2;
+    h2.push(traceAt(0x2000));
+    h2.repairLast(traceAt(0x1000));
+    EXPECT_EQ(h2.simpleHash(), [&] {
+        PathHistory h3;
+        h3.push(traceAt(0x1000));
+        return h3.simpleHash();
+    }());
+}
+
+TEST(PathHistory, CopyFrom)
+{
+    PathHistory a, b;
+    a.push(traceAt(0x1000));
+    a.push(traceAt(0x2000));
+    b.copyFrom(a);
+    EXPECT_EQ(a.correlatedHash(), b.correlatedHash());
+}
+
+TEST(TracePredictor, ColdPredictorReturnsNothing)
+{
+    TracePredictor pred;
+    PathHistory h;
+    EXPECT_FALSE(pred.predict(h).has_value());
+}
+
+TEST(TracePredictor, LearnsASequence)
+{
+    TracePredictor pred;
+    const TraceId a = traceAt(0x1000);
+    const TraceId b = traceAt(0x2000);
+
+    PathHistory h;
+    // Teach: after [.. a] comes b; after [.. b] comes a.
+    for (int i = 0; i < 4; ++i) {
+        pred.update(h, a);
+        h.push(a);
+        pred.update(h, b);
+        h.push(b);
+    }
+    auto got = pred.predict(h); // history ends with b
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, a);
+    h.push(a);
+    got = pred.predict(h);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, b);
+}
+
+TEST(TracePredictor, CorrelatedBeatsSimpleOnContext)
+{
+    // Sequence: a x a y a x a y ... — the trace after `a` depends on
+    // deeper history, which only the correlated table can capture.
+    TracePredictor pred;
+    const TraceId a = traceAt(0xa000);
+    const TraceId x = traceAt(0xb000);
+    const TraceId y = traceAt(0xc000);
+
+    PathHistory h;
+    const TraceId pattern[] = {a, x, a, y};
+    for (int round = 0; round < 64; ++round) {
+        for (const TraceId &next : pattern) {
+            pred.update(h, next);
+            h.push(next);
+        }
+    }
+    // After ... y a the next is x; after ... x a the next is y.
+    int correct = 0, total = 0;
+    for (const TraceId &next : pattern) {
+        auto got = pred.predict(h);
+        correct += got && *got == next;
+        ++total;
+        pred.update(h, next);
+        h.push(next);
+    }
+    EXPECT_EQ(correct, total);
+}
+
+TEST(TracePredictor, CounterDecaysBeforeReplacement)
+{
+    TracePredictor pred;
+    PathHistory h;
+    const TraceId a = traceAt(0x1000);
+    const TraceId b = traceAt(0x2000);
+
+    // Build confidence in `a` for the empty history.
+    for (int i = 0; i < 4; ++i)
+        pred.update(h, a);
+    // One conflicting update must not displace it.
+    pred.update(h, b);
+    auto got = pred.predict(h);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, a);
+    // Enough conflicts eventually displace.
+    for (int i = 0; i < 8; ++i)
+        pred.update(h, b);
+    got = pred.predict(h);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, b);
+}
+
+TEST(TracePredictor, StatsCountPredictions)
+{
+    TracePredictor pred;
+    PathHistory h;
+    pred.predict(h);
+    EXPECT_EQ(pred.stats().get("predict_none"), 1u);
+    pred.update(h, traceAt(0x1000));
+    pred.predict(h);
+    EXPECT_GE(pred.stats().get("predict_simple") +
+                  pred.stats().get("predict_correlated") +
+                  pred.stats().get("predict_correlated_weak"),
+              1u);
+}
+
+} // namespace
+} // namespace slip

@@ -1,0 +1,126 @@
+/**
+ * Guards the calibration of the SPEC95 substitutes: each workload was
+ * designed to land in a particular branch-predictability /
+ * ineffectual-write regime (DESIGN.md §1), because those regimes are
+ * what drive the paper's per-benchmark results. These tests pin the
+ * *relative* characteristics so a workload edit that destroys its
+ * character fails loudly, without over-constraining absolute numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "assembler/assembler.hh"
+#include "harness/experiment.hh"
+#include "workloads/workloads.hh"
+
+namespace slip
+{
+namespace
+{
+
+struct Profile
+{
+    double ssIpc = 0.0;
+    double mispPer1000 = 0.0;
+    double removedFraction = 0.0;
+    bool correct = false;
+};
+
+const std::map<std::string, Profile> &
+profiles()
+{
+    static std::map<std::string, Profile> cache;
+    if (cache.empty()) {
+        for (const Workload &w : allWorkloads(WorkloadSize::Test)) {
+            const Program p = assemble(w.source);
+            const std::string want = goldenOutput(p);
+            const RunMetrics ss =
+                runSS(p, ss64x4Params(), "SS(64x4)", want);
+            const RunMetrics cmp =
+                runSlipstream(p, cmp2x64x4Params(), want);
+            cache[w.name] = {ss.ipc, ss.branchMispPer1000,
+                             cmp.removedFraction,
+                             ss.outputCorrect && cmp.outputCorrect};
+        }
+    }
+    return cache;
+}
+
+TEST(WorkloadCharacter, EveryModelRunIsArchitecturallyCorrect)
+{
+    for (const auto &[name, p] : profiles())
+        EXPECT_TRUE(p.correct) << name;
+}
+
+TEST(WorkloadCharacter, M88ksimIsTheMostRemovable)
+{
+    // The paper's headline: the interpreter's dead flag writes and
+    // deterministic dispatch make m88ksim the removal champion.
+    const auto &p = profiles();
+    for (const auto &[name, prof] : p) {
+        if (name == "m88ksim")
+            continue;
+        EXPECT_GE(p.at("m88ksim").removedFraction,
+                  prof.removedFraction * 0.9)
+            << "m88ksim should be at or near the top; " << name
+            << " removes more";
+    }
+    EXPECT_GT(p.at("m88ksim").removedFraction, 0.10);
+}
+
+TEST(WorkloadCharacter, PredictableBenchmarksAreBranchQuiet)
+{
+    // Table 3's correlation: vortex/m88ksim/jpeg are the most
+    // predictable codes; li/go/gcc the least.
+    const auto &p = profiles();
+    const double quiet =
+        std::max({p.at("m88ksim").mispPer1000,
+                  p.at("vortex").mispPer1000,
+                  p.at("jpeg").mispPer1000});
+    const double noisy =
+        std::min({p.at("li").mispPer1000, p.at("go").mispPer1000,
+                  p.at("gcc").mispPer1000});
+    EXPECT_LT(quiet, noisy)
+        << "the predictable trio should mispredict less than the "
+           "data-dependent trio";
+}
+
+TEST(WorkloadCharacter, DataDependentBenchmarksResistRemoval)
+{
+    // compress/go: data-dependent control flow -> little stable
+    // removal (the paper's flat bars in Figure 6).
+    const auto &p = profiles();
+    EXPECT_LT(p.at("compress").removedFraction,
+              p.at("m88ksim").removedFraction);
+    EXPECT_LT(p.at("go").removedFraction,
+              p.at("m88ksim").removedFraction);
+}
+
+TEST(WorkloadCharacter, JpegHasHighBaselineIlp)
+{
+    // The DCT kernel should already run fast on the baseline — the
+    // reason slipstreaming has no headroom there.
+    const auto &p = profiles();
+    for (const auto &[name, prof] : p) {
+        if (name == "jpeg" || name == "m88ksim")
+            continue;
+        EXPECT_GE(p.at("jpeg").ssIpc, prof.ssIpc) << name;
+    }
+    EXPECT_GT(p.at("jpeg").ssIpc, 3.0);
+}
+
+TEST(WorkloadCharacter, BaselineIpcsAreInThePlausibleBand)
+{
+    // The paper's SS(64x4) IPCs span 1.72 (compress) to 3.24
+    // (jpeg/vortex). Ours should live in a similar band — no
+    // benchmark degenerate (IPC < 1) or superscalar-impossible.
+    for (const auto &[name, p] : profiles()) {
+        EXPECT_GT(p.ssIpc, 1.0) << name;
+        EXPECT_LE(p.ssIpc, 4.0) << name;
+    }
+}
+
+} // namespace
+} // namespace slip
