@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delay_buffer.dir/ablation_delay_buffer.cc.o"
+  "CMakeFiles/ablation_delay_buffer.dir/ablation_delay_buffer.cc.o.d"
+  "ablation_delay_buffer"
+  "ablation_delay_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delay_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_slipstream_speedup.dir/fig6_slipstream_speedup.cc.o"
+  "CMakeFiles/fig6_slipstream_speedup.dir/fig6_slipstream_speedup.cc.o.d"
+  "fig6_slipstream_speedup"
+  "fig6_slipstream_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_slipstream_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_mode_overhead.dir/reliable_mode_overhead.cc.o"
+  "CMakeFiles/reliable_mode_overhead.dir/reliable_mode_overhead.cc.o.d"
+  "reliable_mode_overhead"
+  "reliable_mode_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_mode_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_mispredictions.dir/table3_mispredictions.cc.o"
+  "CMakeFiles/table3_mispredictions.dir/table3_mispredictions.cc.o.d"
+  "table3_mispredictions"
+  "table3_mispredictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mispredictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/removal_explorer.dir/removal_explorer.cpp.o"
+  "CMakeFiles/removal_explorer.dir/removal_explorer.cpp.o.d"
+  "removal_explorer"
+  "removal_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/removal_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/assembler.cc" "src/CMakeFiles/slipstream.dir/assembler/assembler.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/assembler/assembler.cc.o.d"
+  "/root/repo/src/assembler/lexer.cc" "src/CMakeFiles/slipstream.dir/assembler/lexer.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/assembler/lexer.cc.o.d"
+  "/root/repo/src/assembler/parser.cc" "src/CMakeFiles/slipstream.dir/assembler/parser.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/assembler/parser.cc.o.d"
+  "/root/repo/src/assembler/program.cc" "src/CMakeFiles/slipstream.dir/assembler/program.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/assembler/program.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/slipstream.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/slipstream.dir/common/random.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/slipstream.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/common/stats.cc.o.d"
+  "/root/repo/src/func/arch_state.cc" "src/CMakeFiles/slipstream.dir/func/arch_state.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/func/arch_state.cc.o.d"
+  "/root/repo/src/func/executor.cc" "src/CMakeFiles/slipstream.dir/func/executor.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/func/executor.cc.o.d"
+  "/root/repo/src/func/func_sim.cc" "src/CMakeFiles/slipstream.dir/func/func_sim.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/func/func_sim.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/slipstream.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/slipstream.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/harness/table.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/slipstream.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/CMakeFiles/slipstream.dir/isa/encoding.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/isa/encoding.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/slipstream.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/isa/isa.cc.o.d"
+  "/root/repo/src/isa/regnames.cc" "src/CMakeFiles/slipstream.dir/isa/regnames.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/isa/regnames.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/slipstream.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/slipstream.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/mem/memory.cc.o.d"
+  "/root/repo/src/slipstream/a_stream.cc" "src/CMakeFiles/slipstream.dir/slipstream/a_stream.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/slipstream/a_stream.cc.o.d"
+  "/root/repo/src/slipstream/delay_buffer.cc" "src/CMakeFiles/slipstream.dir/slipstream/delay_buffer.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/slipstream/delay_buffer.cc.o.d"
+  "/root/repo/src/slipstream/fault_injector.cc" "src/CMakeFiles/slipstream.dir/slipstream/fault_injector.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/slipstream/fault_injector.cc.o.d"
+  "/root/repo/src/slipstream/ir_detector.cc" "src/CMakeFiles/slipstream.dir/slipstream/ir_detector.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/slipstream/ir_detector.cc.o.d"
+  "/root/repo/src/slipstream/ir_predictor.cc" "src/CMakeFiles/slipstream.dir/slipstream/ir_predictor.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/slipstream/ir_predictor.cc.o.d"
+  "/root/repo/src/slipstream/operand_rename_table.cc" "src/CMakeFiles/slipstream.dir/slipstream/operand_rename_table.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/slipstream/operand_rename_table.cc.o.d"
+  "/root/repo/src/slipstream/r_stream.cc" "src/CMakeFiles/slipstream.dir/slipstream/r_stream.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/slipstream/r_stream.cc.o.d"
+  "/root/repo/src/slipstream/rdfg.cc" "src/CMakeFiles/slipstream.dir/slipstream/rdfg.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/slipstream/rdfg.cc.o.d"
+  "/root/repo/src/slipstream/recovery_controller.cc" "src/CMakeFiles/slipstream.dir/slipstream/recovery_controller.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/slipstream/recovery_controller.cc.o.d"
+  "/root/repo/src/slipstream/slipstream_processor.cc" "src/CMakeFiles/slipstream.dir/slipstream/slipstream_processor.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/slipstream/slipstream_processor.cc.o.d"
+  "/root/repo/src/uarch/branch_pred.cc" "src/CMakeFiles/slipstream.dir/uarch/branch_pred.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/uarch/branch_pred.cc.o.d"
+  "/root/repo/src/uarch/core.cc" "src/CMakeFiles/slipstream.dir/uarch/core.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/uarch/core.cc.o.d"
+  "/root/repo/src/uarch/fetch_source.cc" "src/CMakeFiles/slipstream.dir/uarch/fetch_source.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/uarch/fetch_source.cc.o.d"
+  "/root/repo/src/uarch/ss_processor.cc" "src/CMakeFiles/slipstream.dir/uarch/ss_processor.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/uarch/ss_processor.cc.o.d"
+  "/root/repo/src/uarch/trace.cc" "src/CMakeFiles/slipstream.dir/uarch/trace.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/uarch/trace.cc.o.d"
+  "/root/repo/src/uarch/trace_pred.cc" "src/CMakeFiles/slipstream.dir/uarch/trace_pred.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/uarch/trace_pred.cc.o.d"
+  "/root/repo/src/workloads/wl_compress.cc" "src/CMakeFiles/slipstream.dir/workloads/wl_compress.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/workloads/wl_compress.cc.o.d"
+  "/root/repo/src/workloads/wl_gcc.cc" "src/CMakeFiles/slipstream.dir/workloads/wl_gcc.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/workloads/wl_gcc.cc.o.d"
+  "/root/repo/src/workloads/wl_go.cc" "src/CMakeFiles/slipstream.dir/workloads/wl_go.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/workloads/wl_go.cc.o.d"
+  "/root/repo/src/workloads/wl_jpeg.cc" "src/CMakeFiles/slipstream.dir/workloads/wl_jpeg.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/workloads/wl_jpeg.cc.o.d"
+  "/root/repo/src/workloads/wl_li.cc" "src/CMakeFiles/slipstream.dir/workloads/wl_li.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/workloads/wl_li.cc.o.d"
+  "/root/repo/src/workloads/wl_m88k.cc" "src/CMakeFiles/slipstream.dir/workloads/wl_m88k.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/workloads/wl_m88k.cc.o.d"
+  "/root/repo/src/workloads/wl_perl.cc" "src/CMakeFiles/slipstream.dir/workloads/wl_perl.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/workloads/wl_perl.cc.o.d"
+  "/root/repo/src/workloads/wl_vortex.cc" "src/CMakeFiles/slipstream.dir/workloads/wl_vortex.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/workloads/wl_vortex.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/slipstream.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assembler.dir/test_asm.cc.o"
+  "CMakeFiles/test_assembler.dir/test_asm.cc.o.d"
+  "CMakeFiles/test_assembler.dir/test_lexer.cc.o"
+  "CMakeFiles/test_assembler.dir/test_lexer.cc.o.d"
+  "CMakeFiles/test_assembler.dir/test_parser.cc.o"
+  "CMakeFiles/test_assembler.dir/test_parser.cc.o.d"
+  "CMakeFiles/test_assembler.dir/test_roundtrip.cc.o"
+  "CMakeFiles/test_assembler.dir/test_roundtrip.cc.o.d"
+  "test_assembler"
+  "test_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/test_bitutils.cc.o"
+  "CMakeFiles/test_common.dir/test_bitutils.cc.o.d"
+  "CMakeFiles/test_common.dir/test_logging.cc.o"
+  "CMakeFiles/test_common.dir/test_logging.cc.o.d"
+  "CMakeFiles/test_common.dir/test_random.cc.o"
+  "CMakeFiles/test_common.dir/test_random.cc.o.d"
+  "CMakeFiles/test_common.dir/test_stats.cc.o"
+  "CMakeFiles/test_common.dir/test_stats.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_func.dir/test_executor.cc.o"
+  "CMakeFiles/test_func.dir/test_executor.cc.o.d"
+  "CMakeFiles/test_func.dir/test_executor_mem.cc.o"
+  "CMakeFiles/test_func.dir/test_executor_mem.cc.o.d"
+  "CMakeFiles/test_func.dir/test_func_sim.cc.o"
+  "CMakeFiles/test_func.dir/test_func_sim.cc.o.d"
+  "test_func"
+  "test_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/test_disasm.cc.o"
+  "CMakeFiles/test_isa.dir/test_disasm.cc.o.d"
+  "CMakeFiles/test_isa.dir/test_encoding.cc.o"
+  "CMakeFiles/test_isa.dir/test_encoding.cc.o.d"
+  "CMakeFiles/test_isa.dir/test_isa.cc.o"
+  "CMakeFiles/test_isa.dir/test_isa.cc.o.d"
+  "CMakeFiles/test_isa.dir/test_regnames.cc.o"
+  "CMakeFiles/test_isa.dir/test_regnames.cc.o.d"
+  "test_isa"
+  "test_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_delay_buffer.cc" "tests/CMakeFiles/test_slipstream_components.dir/test_delay_buffer.cc.o" "gcc" "tests/CMakeFiles/test_slipstream_components.dir/test_delay_buffer.cc.o.d"
+  "/root/repo/tests/test_ir_detector.cc" "tests/CMakeFiles/test_slipstream_components.dir/test_ir_detector.cc.o" "gcc" "tests/CMakeFiles/test_slipstream_components.dir/test_ir_detector.cc.o.d"
+  "/root/repo/tests/test_ir_predictor.cc" "tests/CMakeFiles/test_slipstream_components.dir/test_ir_predictor.cc.o" "gcc" "tests/CMakeFiles/test_slipstream_components.dir/test_ir_predictor.cc.o.d"
+  "/root/repo/tests/test_ort.cc" "tests/CMakeFiles/test_slipstream_components.dir/test_ort.cc.o" "gcc" "tests/CMakeFiles/test_slipstream_components.dir/test_ort.cc.o.d"
+  "/root/repo/tests/test_rdfg.cc" "tests/CMakeFiles/test_slipstream_components.dir/test_rdfg.cc.o" "gcc" "tests/CMakeFiles/test_slipstream_components.dir/test_rdfg.cc.o.d"
+  "/root/repo/tests/test_recovery_controller.cc" "tests/CMakeFiles/test_slipstream_components.dir/test_recovery_controller.cc.o" "gcc" "tests/CMakeFiles/test_slipstream_components.dir/test_recovery_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slipstream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

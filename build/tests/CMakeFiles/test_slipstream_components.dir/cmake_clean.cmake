@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slipstream_components.dir/test_delay_buffer.cc.o"
+  "CMakeFiles/test_slipstream_components.dir/test_delay_buffer.cc.o.d"
+  "CMakeFiles/test_slipstream_components.dir/test_ir_detector.cc.o"
+  "CMakeFiles/test_slipstream_components.dir/test_ir_detector.cc.o.d"
+  "CMakeFiles/test_slipstream_components.dir/test_ir_predictor.cc.o"
+  "CMakeFiles/test_slipstream_components.dir/test_ir_predictor.cc.o.d"
+  "CMakeFiles/test_slipstream_components.dir/test_ort.cc.o"
+  "CMakeFiles/test_slipstream_components.dir/test_ort.cc.o.d"
+  "CMakeFiles/test_slipstream_components.dir/test_rdfg.cc.o"
+  "CMakeFiles/test_slipstream_components.dir/test_rdfg.cc.o.d"
+  "CMakeFiles/test_slipstream_components.dir/test_recovery_controller.cc.o"
+  "CMakeFiles/test_slipstream_components.dir/test_recovery_controller.cc.o.d"
+  "test_slipstream_components"
+  "test_slipstream_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slipstream_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

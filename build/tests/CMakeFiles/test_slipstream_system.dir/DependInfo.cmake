@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault_tolerance.cc" "tests/CMakeFiles/test_slipstream_system.dir/test_fault_tolerance.cc.o" "gcc" "tests/CMakeFiles/test_slipstream_system.dir/test_fault_tolerance.cc.o.d"
+  "/root/repo/tests/test_slipstream.cc" "tests/CMakeFiles/test_slipstream_system.dir/test_slipstream.cc.o" "gcc" "tests/CMakeFiles/test_slipstream_system.dir/test_slipstream.cc.o.d"
+  "/root/repo/tests/test_streams.cc" "tests/CMakeFiles/test_slipstream_system.dir/test_streams.cc.o" "gcc" "tests/CMakeFiles/test_slipstream_system.dir/test_streams.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slipstream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slipstream_system.dir/test_fault_tolerance.cc.o"
+  "CMakeFiles/test_slipstream_system.dir/test_fault_tolerance.cc.o.d"
+  "CMakeFiles/test_slipstream_system.dir/test_slipstream.cc.o"
+  "CMakeFiles/test_slipstream_system.dir/test_slipstream.cc.o.d"
+  "CMakeFiles/test_slipstream_system.dir/test_streams.cc.o"
+  "CMakeFiles/test_slipstream_system.dir/test_streams.cc.o.d"
+  "test_slipstream_system"
+  "test_slipstream_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slipstream_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

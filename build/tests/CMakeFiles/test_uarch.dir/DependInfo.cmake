@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_branch_pred.cc" "tests/CMakeFiles/test_uarch.dir/test_branch_pred.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_branch_pred.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/test_uarch.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_ss_processor.cc" "tests/CMakeFiles/test_uarch.dir/test_ss_processor.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_ss_processor.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/test_uarch.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trace_pred.cc" "tests/CMakeFiles/test_uarch.dir/test_trace_pred.cc.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_trace_pred.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/slipstream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch.dir/test_branch_pred.cc.o"
+  "CMakeFiles/test_uarch.dir/test_branch_pred.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_core.cc.o"
+  "CMakeFiles/test_uarch.dir/test_core.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_ss_processor.cc.o"
+  "CMakeFiles/test_uarch.dir/test_ss_processor.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_trace.cc.o"
+  "CMakeFiles/test_uarch.dir/test_trace.cc.o.d"
+  "CMakeFiles/test_uarch.dir/test_trace_pred.cc.o"
+  "CMakeFiles/test_uarch.dir/test_trace_pred.cc.o.d"
+  "test_uarch"
+  "test_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;slip_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_isa "/root/repo/build/tests/test_isa")
+set_tests_properties(test_isa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;slip_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_assembler "/root/repo/build/tests/test_assembler")
+set_tests_properties(test_assembler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;24;slip_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mem "/root/repo/build/tests/test_mem")
+set_tests_properties(test_mem PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;31;slip_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_func "/root/repo/build/tests/test_func")
+set_tests_properties(test_func PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;37;slip_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_uarch "/root/repo/build/tests/test_uarch")
+set_tests_properties(test_uarch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;43;slip_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_slipstream_components "/root/repo/build/tests/test_slipstream_components")
+set_tests_properties(test_slipstream_components PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;51;slip_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_slipstream_system "/root/repo/build/tests/test_slipstream_system")
+set_tests_properties(test_slipstream_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;60;slip_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build/tests/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;66;slip_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;71;slip_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_harness "/root/repo/build/tests/test_harness")
+set_tests_properties(test_harness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;75;slip_test;/root/repo/tests/CMakeLists.txt;0;")
