@@ -8,7 +8,7 @@
  * bracket the suite: m88ksim (most removable) and compress (least).
  */
 
-#include "assembler/assembler.hh"
+#include "bench/bench_timing.hh"
 #include "bench_common.hh"
 
 int
@@ -18,25 +18,45 @@ main()
     bench::banner("Ablation: confidence threshold sweep",
                   "paper fixes 32 (Table 2); trade-off visualization");
 
-    for (const char *name : {"m88ksim", "compress"}) {
-        const Workload w = getWorkload(name, bench::benchSize());
-        const Program p = assemble(w.source);
-        const std::string want = goldenOutput(p);
-        const RunMetrics base =
-            runSS(p, ss64x4Params(), "SS(64x4)", want);
+    const std::vector<std::string> names = {"m88ksim", "compress"};
+    const std::vector<unsigned> thresholds = {1u,  4u,  8u, 16u,
+                                              32u, 64u, 128u};
 
-        std::cout << "---- " << name << " (SS IPC "
+    SimJobRunner runner;
+    bench::Timing timing("ablation_confidence", runner.jobs());
+    for (const std::string &name : names) {
+        const ProgramCache::Entry &e =
+            ProgramCache::global().get(name, bench::benchSize());
+        runner.add([&e] {
+            return runSS(e.program, ss64x4Params(), "SS(64x4)",
+                         e.golden);
+        });
+        for (unsigned threshold : thresholds) {
+            runner.add([&e, threshold] {
+                SlipstreamParams params = cmp2x64x4Params();
+                params.irPred.confidenceThreshold = threshold;
+                return runSlipstream(e.program, params, e.golden);
+            });
+        }
+    }
+    const std::vector<RunMetrics> results = runner.run();
+
+    const size_t stride = 1 + thresholds.size();
+    for (size_t i = 0; i < names.size(); ++i) {
+        const RunMetrics &base = results[i * stride];
+        timing.addCycles(base.cycles);
+        std::cout << "---- " << names[i] << " (SS IPC "
                   << Table::fixed(base.ipc) << ") ----\n";
         Table table({"threshold", "IPC", "vs SS", "removed",
                      "IR-misp/1k", "avg penalty"});
-        for (unsigned threshold : {1u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-            SlipstreamParams params = cmp2x64x4Params();
-            params.irPred.confidenceThreshold = threshold;
-            const RunMetrics m = runSlipstream(p, params, want);
+        for (size_t k = 0; k < thresholds.size(); ++k) {
+            const RunMetrics &m = results[i * stride + 1 + k];
+            timing.addCycles(m.cycles);
             if (!m.outputCorrect)
-                SLIP_FATAL(name, ": output mismatch at threshold ",
-                           threshold);
-            table.addRow({Table::count(threshold), Table::fixed(m.ipc),
+                SLIP_FATAL(names[i], ": output mismatch at threshold ",
+                           thresholds[k]);
+            table.addRow({Table::count(thresholds[k]),
+                          Table::fixed(m.ipc),
                           Table::percent(m.ipc / base.ipc - 1.0),
                           Table::percent(m.removedFraction),
                           Table::fixed(m.irMispPer1000, 3),

@@ -9,7 +9,7 @@
  * and the history-vs-trace-id keying of removal confidence.
  */
 
-#include "assembler/assembler.hh"
+#include "bench/bench_timing.hh"
 #include "bench_common.hh"
 
 int
@@ -19,19 +19,59 @@ main()
     bench::banner("Ablation: trace length / detector scope / keying",
                   "paper: length-32 traces, 8-trace scope (Table 2)");
 
-    const Workload w = getWorkload("m88ksim", bench::benchSize());
-    const Program p = assemble(w.source);
-    const std::string want = goldenOutput(p);
-    const RunMetrics base = runSS(p, ss64x4Params(), "SS(64x4)", want);
+    const std::vector<unsigned> lengths = {8u, 16u, 32u, 64u};
+    const std::vector<unsigned> scopes = {1u, 2u, 4u, 8u, 16u};
+    const std::vector<std::string> variantNames = {
+        "paper (history-keyed, loop-aligned)",
+        "no backward-taken trace ends",
+        "confidence keyed by trace id",
+    };
+
+    const ProgramCache::Entry &e =
+        ProgramCache::global().get("m88ksim", bench::benchSize());
+
+    SimJobRunner runner;
+    bench::Timing timing("ablation_trace_scope", runner.jobs());
+    runner.add([&e] {
+        return runSS(e.program, ss64x4Params(), "SS(64x4)", e.golden);
+    });
+    for (unsigned len : lengths) {
+        runner.add([&e, len] {
+            SlipstreamParams params = cmp2x64x4Params();
+            params.tracePolicy.maxLen = len;
+            return runSlipstream(e.program, params, e.golden);
+        });
+    }
+    for (unsigned scope : scopes) {
+        runner.add([&e, scope] {
+            SlipstreamParams params = cmp2x64x4Params();
+            params.detector.scopeTraces = scope;
+            return runSlipstream(e.program, params, e.golden);
+        });
+    }
+    for (int variant = 0; variant < 3; ++variant) {
+        runner.add([&e, variant] {
+            SlipstreamParams params = cmp2x64x4Params();
+            if (variant == 1)
+                params.tracePolicy.endAtBackwardTaken = false;
+            else if (variant == 2)
+                params.irPred.keyByTraceId = true;
+            return runSlipstream(e.program, params, e.golden);
+        });
+    }
+    const std::vector<RunMetrics> results = runner.run();
+    for (const RunMetrics &m : results)
+        timing.addCycles(m.cycles);
+
+    const RunMetrics &base = results[0];
     std::cout << "m88ksim, SS(64x4) IPC " << Table::fixed(base.ipc)
               << "\n\n";
+    size_t next = 1;
 
     {
         Table table({"trace length", "IPC", "vs SS", "removed"});
-        for (unsigned len : {8u, 16u, 32u, 64u}) {
-            SlipstreamParams params = cmp2x64x4Params();
-            params.tracePolicy.maxLen = len;
-            const RunMetrics m = runSlipstream(p, params, want);
+        for (unsigned len : lengths) {
+            const RunMetrics &m = results[next++];
             if (!m.outputCorrect)
                 SLIP_FATAL("mismatch at length ", len);
             table.addRow({Table::count(len), Table::fixed(m.ipc),
@@ -44,10 +84,8 @@ main()
 
     {
         Table table({"detector scope", "IPC", "removed", "IR-misp/1k"});
-        for (unsigned scope : {1u, 2u, 4u, 8u, 16u}) {
-            SlipstreamParams params = cmp2x64x4Params();
-            params.detector.scopeTraces = scope;
-            const RunMetrics m = runSlipstream(p, params, want);
+        for (unsigned scope : scopes) {
+            const RunMetrics &m = results[next++];
             if (!m.outputCorrect)
                 SLIP_FATAL("mismatch at scope ", scope);
             table.addRow({Table::count(scope), Table::fixed(m.ipc),
@@ -60,26 +98,12 @@ main()
 
     {
         Table table({"variant", "IPC", "removed", "IR-misp/1k"});
-        for (int variant = 0; variant < 3; ++variant) {
-            SlipstreamParams params = cmp2x64x4Params();
-            std::string name;
-            switch (variant) {
-              case 0:
-                name = "paper (history-keyed, loop-aligned)";
-                break;
-              case 1:
-                name = "no backward-taken trace ends";
-                params.tracePolicy.endAtBackwardTaken = false;
-                break;
-              default:
-                name = "confidence keyed by trace id";
-                params.irPred.keyByTraceId = true;
-                break;
-            }
-            const RunMetrics m = runSlipstream(p, params, want);
+        for (size_t variant = 0; variant < variantNames.size();
+             ++variant) {
+            const RunMetrics &m = results[next++];
             if (!m.outputCorrect)
                 SLIP_FATAL("mismatch in variant ", variant);
-            table.addRow({name, Table::fixed(m.ipc),
+            table.addRow({variantNames[variant], Table::fixed(m.ipc),
                           Table::percent(m.removedFraction),
                           Table::fixed(m.irMispPer1000, 3)});
         }

@@ -3,7 +3,7 @@
  * Shared plumbing for the table/figure reproduction binaries: size
  * selection via the SLIPSTREAM_BENCH_SIZE environment variable
  * (test | small | default; the paper-style runs use `default`),
- * banner printing, and cached golden outputs.
+ * worker-count reporting, and banner printing.
  */
 
 #ifndef SLIPSTREAM_BENCH_BENCH_COMMON_HH
@@ -15,47 +15,59 @@
 
 #include "common/logging.hh"
 #include "harness/experiment.hh"
+#include "harness/sim_runner.hh"
 #include "harness/table.hh"
 #include "workloads/workloads.hh"
 
 namespace slip::bench
 {
 
-/** Workload scale from $SLIPSTREAM_BENCH_SIZE (default: small). */
+/**
+ * Workload scale from $SLIPSTREAM_BENCH_SIZE (default: small). The
+ * environment is read once — benches call this from many loops — and
+ * an unrecognised value earns a warning instead of silently running
+ * `small`.
+ */
 inline WorkloadSize
 benchSize()
 {
-    const char *env = std::getenv("SLIPSTREAM_BENCH_SIZE");
-    const std::string s = env ? env : "small";
-    if (s == "test")
-        return WorkloadSize::Test;
-    if (s == "default" || s == "full")
-        return WorkloadSize::Default;
-    return WorkloadSize::Small;
+    static const WorkloadSize cached = [] {
+        const char *env = std::getenv("SLIPSTREAM_BENCH_SIZE");
+        const std::string s = env ? env : "small";
+        if (s == "test")
+            return WorkloadSize::Test;
+        if (s == "small")
+            return WorkloadSize::Small;
+        if (s == "default" || s == "full")
+            return WorkloadSize::Default;
+        SLIP_WARN("unknown SLIPSTREAM_BENCH_SIZE='", s,
+                  "' (want test|small|default); using 'small'");
+        return WorkloadSize::Small;
+    }();
+    return cached;
 }
 
 inline const char *
 benchSizeName()
 {
-    switch (benchSize()) {
-      case WorkloadSize::Test:
-        return "test";
-      case WorkloadSize::Small:
-        return "small";
-      default:
-        return "default";
-    }
+    return sizeName(benchSize());
 }
 
 /** Standard banner naming the paper artifact being regenerated. */
 inline void
 banner(const std::string &artifact, const std::string &paperNote)
 {
+    // Resolve the size and job count before muting warnings so bad
+    // SLIPSTREAM_BENCH_SIZE / SLIPSTREAM_JOBS values are reported.
+    const char *size = benchSizeName();
+    const unsigned jobs = defaultJobs();
     slip::setLogQuiet(true);
     std::cout << "=== " << artifact << " ===\n"
               << "paper: " << paperNote << "\n"
-              << "workload size: " << benchSizeName()
-              << " (set SLIPSTREAM_BENCH_SIZE=test|small|default)\n\n";
+              << "workload size: " << size
+              << " (set SLIPSTREAM_BENCH_SIZE=test|small|default)\n"
+              << "parallel jobs: " << jobs
+              << " (set SLIPSTREAM_JOBS=N)\n\n";
 }
 
 } // namespace slip::bench

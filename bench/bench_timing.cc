@@ -1,0 +1,102 @@
+#include "bench/bench_timing.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace slip::bench
+{
+
+namespace
+{
+
+std::string
+perfJsonPath()
+{
+    if (const char *env = std::getenv("SLIPSTREAM_PERF_JSON"))
+        return env;
+    return "results/bench_perf.json";
+}
+
+/**
+ * Read an existing record array's contents (everything between the
+ * outer brackets), or "" if the file is absent or unusable.
+ */
+std::string
+existingRecords(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    const size_t open = text.find('[');
+    const size_t close = text.rfind(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open)
+        return "";
+    std::string body = text.substr(open + 1, close - open - 1);
+    // Trim whitespace so an empty array round-trips cleanly.
+    const size_t first = body.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos)
+        return "";
+    const size_t last = body.find_last_not_of(" \t\r\n,");
+    return body.substr(first, last - first + 1);
+}
+
+} // namespace
+
+Timing::Timing(std::string artifact, unsigned jobs)
+    : artifact_(std::move(artifact)), jobs_(jobs),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+double
+Timing::elapsedSeconds() const
+{
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(dt).count();
+}
+
+Timing::~Timing()
+{
+    try {
+        const double seconds = elapsedSeconds();
+        const double rate =
+            seconds > 0.0 ? double(cycles_) / seconds : 0.0;
+
+        std::ostringstream rec;
+        rec << "{\"artifact\": \"" << artifact_ << "\""
+            << ", \"jobs\": " << jobs_
+            << ", \"seconds\": " << seconds
+            << ", \"simulated_cycles\": " << cycles_
+            << ", \"cycles_per_sec\": " << rate << "}";
+
+        const std::string path = perfJsonPath();
+        const std::filesystem::path dir =
+            std::filesystem::path(path).parent_path();
+        if (!dir.empty())
+            std::filesystem::create_directories(dir);
+
+        const std::string prior = existingRecords(path);
+        std::ofstream out(path, std::ios::trunc);
+        if (!out)
+            return;
+        out << "[\n";
+        if (!prior.empty())
+            out << "  " << prior << ",\n";
+        out << "  " << rec.str() << "\n]\n";
+
+        std::cout << "\n[" << artifact_ << "] " << seconds
+                  << " s wall, " << jobs_ << " job(s), " << cycles_
+                  << " simulated cycles -> " << path << "\n";
+    } catch (...) {
+        // Timing must never take down a bench run.
+    }
+}
+
+} // namespace slip::bench

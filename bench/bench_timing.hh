@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Wall-clock timing for the bench binaries, with a machine-readable
+ * trail: each Timing object measures its own lifetime and, on
+ * destruction, appends a record to results/bench_perf.json
+ * (override the path with $SLIPSTREAM_PERF_JSON):
+ *
+ *   {"artifact": "fig6", "jobs": 8, "seconds": 12.3,
+ *    "simulated_cycles": 123456789, "cycles_per_sec": 1.0e7}
+ *
+ * The file holds a JSON array, one record per bench invocation, so
+ * successive runs (e.g. SLIPSTREAM_JOBS=1 vs =N) can be compared by
+ * any JSON consumer. Recording is best-effort and never throws.
+ */
+
+#ifndef SLIPSTREAM_BENCH_BENCH_TIMING_HH
+#define SLIPSTREAM_BENCH_BENCH_TIMING_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace slip::bench
+{
+
+class Timing
+{
+  public:
+    /** Starts the clock. `jobs` is recorded verbatim. */
+    Timing(std::string artifact, unsigned jobs);
+
+    /** Stops the clock and appends the JSON record. */
+    ~Timing();
+
+    Timing(const Timing &) = delete;
+    Timing &operator=(const Timing &) = delete;
+
+    /** Accumulate simulated cycles covered by this timing window. */
+    void addCycles(uint64_t cycles) { cycles_ += cycles; }
+
+    /** Seconds elapsed since construction. */
+    double elapsedSeconds() const;
+
+  private:
+    std::string artifact_;
+    unsigned jobs_;
+    uint64_t cycles_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace slip::bench
+
+#endif // SLIPSTREAM_BENCH_BENCH_TIMING_HH

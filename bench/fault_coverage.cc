@@ -18,13 +18,15 @@
  * Run in both slipstream mode (partial redundancy -> a coverage hole
  * proportional to removal) and reliable/AR-SMT mode (full redundancy
  * -> no silent corruption).
+ *
+ * Fault plans are drawn serially (one Rng stream per mode, as ever)
+ * so the campaign is reproducible; the trials themselves — each a
+ * full simulation — run as parallel jobs.
  */
 
-#include "assembler/assembler.hh"
+#include "bench/bench_timing.hh"
 #include "bench_common.hh"
 #include "common/random.hh"
-#include "func/func_sim.hh"
-#include "slipstream/slipstream_processor.hh"
 
 namespace
 {
@@ -39,42 +41,25 @@ struct Tally
     unsigned noVictim = 0;
 };
 
-Tally
-campaign(const Program &p, const std::string &want, bool reliable,
-         unsigned trials, uint64_t dynCount, Rng &rng)
+void
+classify(Tally &tally, const FaultPlan &plan, const RunMetrics &m)
 {
-    Tally tally;
-    for (unsigned t = 0; t < trials; ++t) {
-        SlipstreamParams params = cmp2x64x4Params();
-        if (reliable)
-            params.irPred.enabled = false;
-        SlipstreamProcessor proc(p, params);
-        FaultPlan plan;
-        plan.target = (t % 2) ? FaultTarget::AStream
-                              : FaultTarget::RPipeline;
-        // Inject in the steady-state half of the run.
-        plan.dynIndex = dynCount / 4 + rng.below(dynCount / 2);
-        plan.bit = unsigned(rng.below(64));
-        proc.faultInjector().arm(plan);
-        const SlipstreamRunResult r = proc.run();
-        if (!r.faultOutcome.injected) {
-            ++tally.noVictim;
-        } else if (r.faultOutcome.detected) {
-            ++tally.detected;
-            if (r.output != want)
-                SLIP_FATAL("detected fault but output corrupt!");
-        } else if (plan.target == FaultTarget::AStream &&
-                   !r.faultOutcome.targetWasRedundant) {
-            // A-stream target was a skipped instruction: no physical
-            // victim existed (nothing executed to corrupt).
-            ++tally.noVictim;
-        } else if (r.output == want) {
-            ++tally.silentBenign;
-        } else {
-            ++tally.silentCorrupt;
-        }
+    if (!m.faultOutcome.injected) {
+        ++tally.noVictim;
+    } else if (m.faultOutcome.detected) {
+        ++tally.detected;
+        if (!m.outputCorrect)
+            SLIP_FATAL("detected fault but output corrupt!");
+    } else if (plan.target == FaultTarget::AStream &&
+               !m.faultOutcome.targetWasRedundant) {
+        // A-stream target was a skipped instruction: no physical
+        // victim existed (nothing executed to corrupt).
+        ++tally.noVictim;
+    } else if (m.outputCorrect) {
+        ++tally.silentBenign;
+    } else {
+        ++tally.silentCorrupt;
     }
-    return tally;
 }
 
 } // namespace
@@ -89,23 +74,57 @@ main()
     const unsigned trials =
         bench::benchSize() == WorkloadSize::Test ? 10 : 24;
 
+    // Use the fast Test-size inputs for fault campaigns: each trial
+    // is a full simulation.
+    const std::vector<Workload> workloads =
+        allWorkloads(WorkloadSize::Test);
+
+    SimJobRunner runner;
+    bench::Timing timing("fault_coverage", runner.jobs());
+
     for (bool reliable : {false, true}) {
         std::cout << "---- "
                   << (reliable ? "reliable mode (AR-SMT, no removal)"
                                : "slipstream mode (partial redundancy)")
                   << " ----\n";
+
+        // Draw every plan up front, in the fixed serial order.
+        Rng rng(20260705);
+        std::vector<FaultPlan> plans;
+        for (const Workload &w : workloads) {
+            const ProgramCache::Entry &e =
+                ProgramCache::global().get(w.name,
+                                           WorkloadSize::Test);
+            for (unsigned t = 0; t < trials; ++t) {
+                FaultPlan plan;
+                plan.target = (t % 2) ? FaultTarget::AStream
+                                      : FaultTarget::RPipeline;
+                // Inject in the steady-state half of the run.
+                plan.dynIndex = e.goldenInstCount / 4 +
+                                rng.below(e.goldenInstCount / 2);
+                plan.bit = unsigned(rng.below(64));
+                plans.push_back(plan);
+                runner.add([&e, plan, reliable] {
+                    SlipstreamParams params = cmp2x64x4Params();
+                    if (reliable)
+                        params.irPred.enabled = false;
+                    return runSlipstream(e.program, params, e.golden,
+                                         &plan);
+                });
+            }
+        }
+        const std::vector<RunMetrics> results = runner.run();
+
         Table table({"benchmark", "trials", "detected+recovered",
                      "silent-corrupt", "silent-benign", "no-victim"});
-        Rng rng(20260705);
-        // Use the fast Test-size inputs for fault campaigns: each
-        // trial is a full simulation.
-        for (const Workload &w : allWorkloads(WorkloadSize::Test)) {
-            const Program p = assemble(w.source);
-            FuncSim sim(p);
-            const FuncRunResult golden = sim.run();
-            const Tally t = campaign(p, golden.output, reliable,
-                                     trials, golden.instCount, rng);
-            table.addRow({w.name, Table::count(trials),
+        for (size_t i = 0; i < workloads.size(); ++i) {
+            Tally t;
+            for (unsigned k = 0; k < trials; ++k) {
+                const size_t idx = i * trials + k;
+                timing.addCycles(results[idx].cycles);
+                classify(t, plans[idx], results[idx]);
+            }
+            table.addRow({workloads[i].name, Table::count(trials),
                           Table::count(t.detected),
                           Table::count(t.silentCorrupt),
                           Table::count(t.silentBenign),

@@ -8,7 +8,7 @@
  * of this with potentially better cycle time.
  */
 
-#include "assembler/assembler.hh"
+#include "bench/bench_timing.hh"
 #include "bench_common.hh"
 
 int
@@ -19,22 +19,37 @@ main()
                   "% IPC improvement from doubling window+width; "
                   "paper avg ~28%");
 
+    const std::vector<Workload> workloads =
+        allWorkloads(bench::benchSize());
+
+    SimJobRunner runner;
+    bench::Timing timing("fig7", runner.jobs());
+    for (const Workload &w : workloads) {
+        const ProgramCache::Entry &e =
+            ProgramCache::global().get(w.name, bench::benchSize());
+        runner.add([&e] {
+            return runSS(e.program, ss64x4Params(), "SS(64x4)",
+                         e.golden);
+        });
+        runner.add([&e] {
+            return runSS(e.program, ss128x8Params(), "SS(128x8)",
+                         e.golden);
+        });
+    }
+    const std::vector<RunMetrics> results = runner.run();
+
     Table table({"benchmark", "SS(64x4) IPC", "SS(128x8) IPC",
                  "improvement", "output ok"});
     double sum = 0.0;
     unsigned count = 0;
-
-    for (const Workload &w : allWorkloads(bench::benchSize())) {
-        const Program p = assemble(w.source);
-        const std::string want = goldenOutput(p);
-        const RunMetrics narrow =
-            runSS(p, ss64x4Params(), "SS(64x4)", want);
-        const RunMetrics wide =
-            runSS(p, ss128x8Params(), "SS(128x8)", want);
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const RunMetrics &narrow = results[2 * i];
+        const RunMetrics &wide = results[2 * i + 1];
+        timing.addCycles(narrow.cycles + wide.cycles);
         const double improvement = wide.ipc / narrow.ipc - 1.0;
         sum += improvement;
         ++count;
-        table.addRow({w.name, Table::fixed(narrow.ipc),
+        table.addRow({workloads[i].name, Table::fixed(narrow.ipc),
                       Table::fixed(wide.ipc),
                       Table::percent(improvement),
                       narrow.outputCorrect && wide.outputCorrect

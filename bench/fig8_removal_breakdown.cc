@@ -11,7 +11,7 @@
  * benchmarks because unrelated writes no longer dilute confidence).
  */
 
-#include "assembler/assembler.hh"
+#include "bench/bench_timing.hh"
 #include "bench_common.hh"
 
 namespace
@@ -20,19 +20,18 @@ namespace
 using namespace slip;
 
 void
-runBreakdown(bool removeWrites, const char *title)
+printBreakdown(const std::vector<Workload> &workloads,
+               const std::vector<RunMetrics> &results,
+               const char *title)
 {
     std::cout << "---- " << title << " ----\n";
     Table table({"benchmark", "removed", "BR", "WW", "SV", "P:*",
                  "other"});
-    for (const Workload &w : allWorkloads(bench::benchSize())) {
-        const Program p = assemble(w.source);
-        const std::string want = goldenOutput(p);
-        SlipstreamParams params = cmp2x64x4Params();
-        params.detector.removeWrites = removeWrites;
-        const RunMetrics m = runSlipstream(p, params, want);
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const RunMetrics &m = results[i];
         if (!m.outputCorrect)
-            SLIP_FATAL(w.name, ": slipstream output mismatch");
+            SLIP_FATAL(workloads[i].name,
+                       ": slipstream output mismatch");
 
         uint64_t br = 0, ww = 0, sv = 0, prop = 0, other = 0;
         uint64_t total = 0;
@@ -52,9 +51,9 @@ runBreakdown(bool removeWrites, const char *title)
         const auto frac = [&](uint64_t n) {
             return total ? Table::percent(double(n) / total) : "-";
         };
-        table.addRow({w.name, Table::percent(m.removedFraction),
-                      frac(br), frac(ww), frac(sv), frac(prop),
-                      frac(other)});
+        table.addRow({workloads[i].name,
+                      Table::percent(m.removedFraction), frac(br),
+                      frac(ww), frac(sv), frac(prop), frac(other)});
     }
     table.print(std::cout);
     std::cout << "\n";
@@ -69,7 +68,32 @@ main()
     bench::banner("Figure 8: breakdown of removed A-stream instructions",
                   "removal fraction and source categories");
 
-    runBreakdown(true, "branches and ineffectual writes removed");
-    runBreakdown(false, "only branches removed (lower graph)");
+    const std::vector<Workload> workloads =
+        allWorkloads(bench::benchSize());
+
+    // Two modes x all workloads, one grid.
+    SimJobRunner runner;
+    bench::Timing timing("fig8", runner.jobs());
+    for (bool removeWrites : {true, false}) {
+        for (const Workload &w : workloads) {
+            const ProgramCache::Entry &e =
+                ProgramCache::global().get(w.name, bench::benchSize());
+            runner.add([&e, removeWrites] {
+                SlipstreamParams params = cmp2x64x4Params();
+                params.detector.removeWrites = removeWrites;
+                return runSlipstream(e.program, params, e.golden);
+            });
+        }
+    }
+    const std::vector<RunMetrics> results = runner.run();
+    for (const RunMetrics &m : results)
+        timing.addCycles(m.cycles);
+
+    const size_t n = workloads.size();
+    printBreakdown(workloads,
+                   {results.begin(), results.begin() + n},
+                   "branches and ineffectual writes removed");
+    printBreakdown(workloads, {results.begin() + n, results.end()},
+                   "only branches removed (lower graph)");
     return 0;
 }

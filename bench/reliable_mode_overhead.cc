@@ -12,7 +12,7 @@
  *   - slipstream CMP: partial redundancy traded for speed.
  */
 
-#include "assembler/assembler.hh"
+#include "bench/bench_timing.hh"
 #include "bench_common.hh"
 
 int
@@ -22,28 +22,46 @@ main()
     bench::banner("Operating modes: reliability vs performance",
                   "SS baseline vs reliable (AR-SMT) vs slipstream");
 
+    const std::vector<Workload> workloads =
+        allWorkloads(bench::benchSize());
+
+    SimJobRunner runner;
+    bench::Timing timing("reliable_mode_overhead", runner.jobs());
+    for (const Workload &w : workloads) {
+        const ProgramCache::Entry &e =
+            ProgramCache::global().get(w.name, bench::benchSize());
+        runner.add([&e] {
+            return runSS(e.program, ss64x4Params(), "SS(64x4)",
+                         e.golden);
+        });
+        runner.add([&e] {
+            SlipstreamParams params = cmp2x64x4Params();
+            params.irPred.enabled = false;
+            return runSlipstream(e.program, params, e.golden);
+        });
+        runner.add([&e] {
+            return runSlipstream(e.program, cmp2x64x4Params(),
+                                 e.golden);
+        });
+    }
+    const std::vector<RunMetrics> results = runner.run();
+
     Table table({"benchmark", "SS IPC", "reliable IPC", "vs SS",
                  "slipstream IPC", "vs SS", "coverage"});
-    for (const Workload &w : allWorkloads(bench::benchSize())) {
-        const Program p = assemble(w.source);
-        const std::string want = goldenOutput(p);
-        const RunMetrics ss =
-            runSS(p, ss64x4Params(), "SS(64x4)", want);
-
-        SlipstreamParams reliableParams = cmp2x64x4Params();
-        reliableParams.irPred.enabled = false;
-        const RunMetrics rel = runSlipstream(p, reliableParams, want);
-
-        const RunMetrics slip =
-            runSlipstream(p, cmp2x64x4Params(), want);
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const RunMetrics &ss = results[3 * i];
+        const RunMetrics &rel = results[3 * i + 1];
+        const RunMetrics &slip = results[3 * i + 2];
+        timing.addCycles(ss.cycles + rel.cycles + slip.cycles);
 
         if (!ss.outputCorrect || !rel.outputCorrect ||
             !slip.outputCorrect) {
-            SLIP_FATAL(w.name, ": output mismatch");
+            SLIP_FATAL(workloads[i].name, ": output mismatch");
         }
 
         table.addRow(
-            {w.name, Table::fixed(ss.ipc), Table::fixed(rel.ipc),
+            {workloads[i].name, Table::fixed(ss.ipc),
+             Table::fixed(rel.ipc),
              Table::percent(rel.ipc / ss.ipc - 1.0),
              Table::fixed(slip.ipc),
              Table::percent(slip.ipc / ss.ipc - 1.0),

@@ -5,6 +5,7 @@
  * configuration used by every other bench is externally auditable.
  */
 
+#include "bench/bench_timing.hh"
 #include "bench_common.hh"
 
 int
@@ -13,6 +14,7 @@ main()
     using namespace slip;
     bench::banner("Table 2: Microarchitecture configuration",
                   "single processor + slipstream components");
+    bench::Timing timing("table2", 1);
 
     const CoreParams ss = ss64x4Params();
     const CoreParams wide = ss128x8Params();

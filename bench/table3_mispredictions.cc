@@ -10,7 +10,7 @@
  *     to the 21-cycle minimum).
  */
 
-#include "assembler/assembler.hh"
+#include "bench/bench_timing.hh"
 #include "bench_common.hh"
 
 int
@@ -20,17 +20,34 @@ main()
     bench::banner("Table 3: misprediction measurements",
                   "branch misp/1000, IR-misp/1000, IR penalty");
 
+    const std::vector<Workload> workloads =
+        allWorkloads(bench::benchSize());
+
+    SimJobRunner runner;
+    bench::Timing timing("table3", runner.jobs());
+    for (const Workload &w : workloads) {
+        const ProgramCache::Entry &e =
+            ProgramCache::global().get(w.name, bench::benchSize());
+        runner.add([&e] {
+            return runSS(e.program, ss64x4Params(), "SS(64x4)",
+                         e.golden);
+        });
+        runner.add([&e] {
+            return runSlipstream(e.program, cmp2x64x4Params(),
+                                 e.golden);
+        });
+    }
+    const std::vector<RunMetrics> results = runner.run();
+
     Table table({"benchmark", "SS IPC", "SS misp/1k", "CMP misp/1k",
                  "IR-misp/1k", "avg IR penalty"});
-    for (const Workload &w : allWorkloads(bench::benchSize())) {
-        const Program p = assemble(w.source);
-        const std::string want = goldenOutput(p);
-        const RunMetrics ss =
-            runSS(p, ss64x4Params(), "SS(64x4)", want);
-        const RunMetrics cmp = runSlipstream(p, cmp2x64x4Params(), want);
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const RunMetrics &ss = results[2 * i];
+        const RunMetrics &cmp = results[2 * i + 1];
+        timing.addCycles(ss.cycles + cmp.cycles);
         if (!ss.outputCorrect || !cmp.outputCorrect)
-            SLIP_FATAL(w.name, ": output mismatch");
-        table.addRow({w.name, Table::fixed(ss.ipc),
+            SLIP_FATAL(workloads[i].name, ": output mismatch");
+        table.addRow({workloads[i].name, Table::fixed(ss.ipc),
                       Table::fixed(ss.branchMispPer1000, 1),
                       Table::fixed(cmp.branchMispPer1000, 1),
                       Table::fixed(cmp.irMispPer1000, 3),

@@ -19,7 +19,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/func/executor.cc" "src/CMakeFiles/slipstream.dir/func/executor.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/func/executor.cc.o.d"
   "/root/repo/src/func/func_sim.cc" "src/CMakeFiles/slipstream.dir/func/func_sim.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/func/func_sim.cc.o.d"
   "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/slipstream.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/sim_runner.cc" "src/CMakeFiles/slipstream.dir/harness/sim_runner.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/harness/sim_runner.cc.o.d"
   "/root/repo/src/harness/table.cc" "src/CMakeFiles/slipstream.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/harness/table.cc.o.d"
+  "/root/repo/src/harness/thread_pool.cc" "src/CMakeFiles/slipstream.dir/harness/thread_pool.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/harness/thread_pool.cc.o.d"
   "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/slipstream.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/isa/disasm.cc.o.d"
   "/root/repo/src/isa/encoding.cc" "src/CMakeFiles/slipstream.dir/isa/encoding.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/isa/encoding.cc.o.d"
   "/root/repo/src/isa/isa.cc" "src/CMakeFiles/slipstream.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/slipstream.dir/isa/isa.cc.o.d"

@@ -239,4 +239,9 @@ src/CMakeFiles/slipstream.dir/harness/experiment.cc.o: \
  /root/repo/src/slipstream/r_stream.hh \
  /root/repo/src/uarch/ss_processor.hh \
  /root/repo/src/workloads/workloads.hh \
- /root/repo/src/assembler/assembler.hh /root/repo/src/func/func_sim.hh
+ /root/repo/src/assembler/assembler.hh /root/repo/src/func/func_sim.hh \
+ /root/repo/src/harness/sim_runner.hh /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -171,7 +171,7 @@ src/CMakeFiles/slipstream.dir/slipstream/ir_predictor.cc.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/slipstream/removal.hh /root/repo/src/common/types.hh \
- /root/repo/src/uarch/trace.hh /root/repo/src/common/bitutils.hh \
- /root/repo/src/isa/isa.hh /root/repo/src/uarch/trace_pred.hh \
- /usr/include/c++/12/array
+ /root/repo/src/slipstream/removal.hh /usr/include/c++/12/array \
+ /root/repo/src/common/types.hh /root/repo/src/uarch/trace.hh \
+ /root/repo/src/common/bitutils.hh /root/repo/src/isa/isa.hh \
+ /root/repo/src/uarch/trace_pred.hh

@@ -293,4 +293,28 @@ tests/CMakeFiles/test_common.dir/test_stats.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/stats.hh /root/repo/src/common/logging.hh
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/assembler/assembler.hh \
+ /root/repo/src/assembler/program.hh /root/repo/src/common/types.hh \
+ /root/repo/src/isa/isa.hh /root/repo/src/common/stats.hh \
+ /root/repo/src/common/logging.hh \
+ /root/repo/src/slipstream/slipstream_processor.hh \
+ /root/repo/src/slipstream/a_stream.hh /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/func/arch_state.hh \
+ /root/repo/src/slipstream/delay_buffer.hh \
+ /root/repo/src/func/executor.hh /root/repo/src/uarch/trace.hh \
+ /root/repo/src/common/bitutils.hh \
+ /root/repo/src/slipstream/ir_predictor.hh \
+ /root/repo/src/slipstream/removal.hh /root/repo/src/uarch/trace_pred.hh \
+ /root/repo/src/slipstream/recovery_controller.hh \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/memory.hh \
+ /root/repo/src/uarch/branch_pred.hh /root/repo/src/uarch/fetch_source.hh \
+ /root/repo/src/uarch/core.hh /root/repo/src/mem/cache.hh \
+ /root/repo/src/slipstream/fault_injector.hh \
+ /root/repo/src/slipstream/ir_detector.hh \
+ /root/repo/src/slipstream/operand_rename_table.hh \
+ /root/repo/src/slipstream/rdfg.hh /root/repo/src/slipstream/r_stream.hh \
+ /root/repo/src/workloads/workloads.hh

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/test_harness.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/test_harness.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_sim_runner.cc" "tests/CMakeFiles/test_harness.dir/test_sim_runner.cc.o" "gcc" "tests/CMakeFiles/test_harness.dir/test_sim_runner.cc.o.d"
   "/root/repo/tests/test_table.cc" "tests/CMakeFiles/test_harness.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/test_harness.dir/test_table.cc.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_harness.dir/test_experiment.cc.o"
   "CMakeFiles/test_harness.dir/test_experiment.cc.o.d"
+  "CMakeFiles/test_harness.dir/test_sim_runner.cc.o"
+  "CMakeFiles/test_harness.dir/test_sim_runner.cc.o.d"
   "CMakeFiles/test_harness.dir/test_table.cc.o"
   "CMakeFiles/test_harness.dir/test_table.cc.o.d"
   "test_harness"

@@ -13,7 +13,19 @@ StatGroup::StatGroup(std::string name)
 Counter &
 StatGroup::counter(const std::string &name)
 {
+    SLIP_ASSERT(external.find(name) == external.end(),
+                "counter '", name, "' in group '", name_,
+                "' is linked to an external value");
     return counters[name];
+}
+
+void
+StatGroup::link(const std::string &name, uint64_t &value)
+{
+    SLIP_ASSERT(counters.find(name) == counters.end(),
+                "cannot link '", name, "' in group '", name_,
+                "': an owned counter with that name exists");
+    external[name] = &value;
 }
 
 Distribution &
@@ -26,7 +38,10 @@ uint64_t
 StatGroup::get(const std::string &name) const
 {
     auto it = counters.find(name);
-    return it == counters.end() ? 0 : it->second.value();
+    if (it != counters.end())
+        return it->second.value();
+    auto ext = external.find(name);
+    return ext == external.end() ? 0 : *ext->second;
 }
 
 const Distribution &
@@ -41,15 +56,23 @@ StatGroup::getDistribution(const std::string &name) const
 bool
 StatGroup::hasCounter(const std::string &name) const
 {
-    return counters.count(name) != 0;
+    return counters.count(name) != 0 || external.count(name) != 0;
 }
 
 void
 StatGroup::dump(std::ostream &os) const
 {
     const std::string prefix = name_.empty() ? "" : name_ + ".";
+
+    // Merge owned and linked counters so output stays name-sorted.
+    std::map<std::string, uint64_t> merged;
     for (const auto &[name, c] : counters)
-        os << prefix << name << " " << c.value() << "\n";
+        merged[name] = c.value();
+    for (const auto &[name, p] : external)
+        merged[name] = *p;
+
+    for (const auto &[name, v] : merged)
+        os << prefix << name << " " << v << "\n";
     for (const auto &[name, d] : distributions) {
         os << prefix << name << ".count " << d.count() << "\n"
            << prefix << name << ".mean " << std::fixed
@@ -64,6 +87,8 @@ StatGroup::reset()
 {
     for (auto &[name, c] : counters)
         c.reset();
+    for (auto &[name, p] : external)
+        *p = 0;
     for (auto &[name, d] : distributions)
         d.reset();
 }

@@ -78,14 +78,63 @@ class Distribution
 /**
  * A registry of named counters and distributions. Components create
  * stats lazily by name; dump() prints them sorted for stable output.
+ *
+ * Two mechanisms keep string lookups off simulation hot paths:
+ *
+ *  - Handle: resolves the name to its Counter once (counters have
+ *    stable addresses; the registry is node-based), so per-event code
+ *    pays a pointer increment instead of a map lookup.
+ *  - link(): registers an external plain uint64_t that the component
+ *    increments directly; the group folds it into get()/dump()/reset()
+ *    on demand. Used for the per-instruction core and cache counters.
  */
 class StatGroup
 {
   public:
+    /**
+     * A pre-resolved counter reference. Obtain via handle(); the
+     * default-constructed state is unbound and must not be
+     * incremented.
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        // Increment mutates the referenced Counter, not the Handle,
+        // so these are const: usable from const methods alongside a
+        // `mutable StatGroup` (the established stats idiom here).
+        const Handle &operator++() const { ++*c_; return *this; }
+        const Handle &operator+=(uint64_t n) const { *c_ += n; return *this; }
+
+        uint64_t value() const { return c_ ? c_->value() : 0; }
+        bool bound() const { return c_ != nullptr; }
+
+      private:
+        friend class StatGroup;
+        explicit Handle(Counter &c) : c_(&c) {}
+
+        Counter *c_ = nullptr;
+    };
+
     explicit StatGroup(std::string name = "");
 
     /** Find-or-create a counter with the given name. */
     Counter &counter(const std::string &name);
+
+    /**
+     * Find-or-create a counter and return a pre-resolved Handle to
+     * it: the string key is paid once, at construction time.
+     */
+    Handle handle(const std::string &name) { return Handle(counter(name)); }
+
+    /**
+     * Register an external counter: a plain integer the owner bumps
+     * directly on its hot path. The group reads it through the
+     * pointer in get()/hasCounter()/dump() and zeroes it in reset().
+     * `value` must outlive the group.
+     */
+    void link(const std::string &name, uint64_t &value);
 
     /** Find-or-create a distribution with the given name. */
     Distribution &distribution(const std::string &name);
@@ -109,6 +158,7 @@ class StatGroup
   private:
     std::string name_;
     std::map<std::string, Counter> counters;
+    std::map<std::string, uint64_t *> external;
     std::map<std::string, Distribution> distributions;
 };
 

@@ -3,6 +3,7 @@
 #include "assembler/assembler.hh"
 #include "common/logging.hh"
 #include "func/func_sim.hh"
+#include "harness/sim_runner.hh"
 
 namespace slip
 {
@@ -54,14 +55,17 @@ runSS(const Program &program, const CoreParams &core,
     m.ipc = r.ipc();
     m.branchMispPer1000 = r.mispPer1000();
     m.outputCorrect = r.halted && r.output == golden;
+    m.outputBytes = r.output.size();
     return m;
 }
 
 RunMetrics
 runSlipstream(const Program &program, const SlipstreamParams &params,
-              const std::string &golden)
+              const std::string &golden, const FaultPlan *fault)
 {
     SlipstreamProcessor proc(program, params);
+    if (fault)
+        proc.faultInjector().arm(*fault);
     const SlipstreamRunResult r = proc.run();
 
     RunMetrics m;
@@ -71,11 +75,15 @@ runSlipstream(const Program &program, const SlipstreamParams &params,
     m.ipc = r.ipc();
     m.branchMispPer1000 = r.mispPer1000();
     m.outputCorrect = r.halted && r.output == golden;
+    m.outputBytes = r.output.size();
     m.removedFraction = r.removedFraction();
     m.removedByReason = r.removedByReason;
+    m.removedByReasonMask = r.removedByReasonMask;
     m.irMispPer1000 = r.irMispPer1000();
     m.avgIRPenalty = r.avgIRPenalty();
     m.recoveries = r.irMispredicts;
+    if (fault)
+        m.faultOutcome = proc.faultInjector().outcome();
     return m;
 }
 
@@ -85,13 +93,21 @@ runAllModels(const Workload &workload)
     const Program program = assemble(workload.source);
     const std::string golden = goldenOutput(program);
 
+    SimJobRunner runner;
+    runner.add([&] {
+        return runSS(program, ss64x4Params(), "SS(64x4)", golden);
+    });
+    runner.add([&] {
+        return runSS(program, ss128x8Params(), "SS(128x8)", golden);
+    });
+    runner.add([&] {
+        return runSlipstream(program, cmp2x64x4Params(), golden);
+    });
+    const std::vector<RunMetrics> results = runner.run();
+
     std::map<std::string, RunMetrics> out;
-    out["SS(64x4)"] =
-        runSS(program, ss64x4Params(), "SS(64x4)", golden);
-    out["SS(128x8)"] =
-        runSS(program, ss128x8Params(), "SS(128x8)", golden);
-    out["CMP(2x64x4)"] =
-        runSlipstream(program, cmp2x64x4Params(), golden);
+    for (const RunMetrics &m : results)
+        out[m.model] = m;
     return out;
 }
 

@@ -30,13 +30,18 @@ struct RunMetrics
     double ipc = 0.0;
     double branchMispPer1000 = 0.0;
     bool outputCorrect = false;
+    uint64_t outputBytes = 0;
 
     // Slipstream-only metrics (zero for the SS models).
     double removedFraction = 0.0;
     std::map<std::string, uint64_t> removedByReason;
+    ReasonCounts removedByReasonMask{};
     double irMispPer1000 = 0.0;
     double avgIRPenalty = 0.0;
     uint64_t recoveries = 0;
+
+    // Fault-campaign result (meaningful when a FaultPlan was armed).
+    FaultOutcome faultOutcome;
 };
 
 /** The paper's core processor configurations. */
@@ -55,14 +60,20 @@ RunMetrics runSS(const Program &program, const CoreParams &core,
                  const std::string &modelName,
                  const std::string &golden);
 
-/** Run a program on the slipstream CMP model. */
+/**
+ * Run a program on the slipstream CMP model. When `fault` is given,
+ * the injector is armed with it before the run and the outcome lands
+ * in RunMetrics::faultOutcome.
+ */
 RunMetrics runSlipstream(const Program &program,
                          const SlipstreamParams &params,
-                         const std::string &golden);
+                         const std::string &golden,
+                         const FaultPlan *fault = nullptr);
 
 /**
  * Run one workload on all three models (assembling once), validating
- * outputs. Keyed by model name.
+ * outputs. Keyed by model name. The three model runs execute as
+ * parallel jobs when defaultJobs() allows.
  */
 std::map<std::string, RunMetrics> runAllModels(const Workload &workload);
 

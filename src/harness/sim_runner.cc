@@ -1,0 +1,110 @@
+#include "harness/sim_runner.hh"
+
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "assembler/assembler.hh"
+#include "common/logging.hh"
+#include "func/func_sim.hh"
+#include "harness/thread_pool.hh"
+
+namespace slip
+{
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("SLIPSTREAM_JOBS")) {
+        char *end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0)
+            return unsigned(n);
+        SLIP_WARN("ignoring SLIPSTREAM_JOBS='", env,
+                  "' (want a positive integer); using hardware "
+                  "concurrency");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+const ProgramCache::Entry &
+ProgramCache::get(const std::string &name, WorkloadSize size)
+{
+    Slot *slot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        slot = &slots_[name + "#" + sizeName(size)];
+    }
+    std::call_once(slot->once, [&] {
+        const Workload w = getWorkload(name, size);
+        Program program = assemble(w.source);
+        FuncSim sim(program);
+        const FuncRunResult r = sim.run();
+        if (!r.halted)
+            SLIP_FATAL("workload '", name,
+                       "' did not halt within the functional "
+                       "simulator's instruction limit");
+        slot->entry = std::make_unique<Entry>(
+            Entry{std::move(program), r.output, r.instCount});
+    });
+    return *slot->entry;
+}
+
+ProgramCache &
+ProgramCache::global()
+{
+    static ProgramCache cache;
+    return cache;
+}
+
+SimJobRunner::SimJobRunner(unsigned jobs)
+    : jobs_(jobs > 0 ? jobs : defaultJobs())
+{
+}
+
+size_t
+SimJobRunner::add(std::function<RunMetrics()> job)
+{
+    pending_.push_back(std::move(job));
+    return pending_.size() - 1;
+}
+
+std::vector<RunMetrics>
+SimJobRunner::run()
+{
+    std::vector<std::function<RunMetrics()>> batch;
+    batch.swap(pending_);
+
+    std::vector<RunMetrics> results(batch.size());
+
+    if (jobs_ <= 1 || batch.size() <= 1) {
+        // Serial baseline: no pool, no thread hop.
+        for (size_t i = 0; i < batch.size(); ++i)
+            results[i] = batch[i]();
+        return results;
+    }
+
+    std::vector<std::exception_ptr> errors(batch.size());
+    {
+        ThreadPool pool(jobs_);
+        for (size_t i = 0; i < batch.size(); ++i) {
+            pool.submit([&, i] {
+                try {
+                    results[i] = batch[i]();
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (const std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+} // namespace slip

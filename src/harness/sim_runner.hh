@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The parallel experiment engine: simulation runs in a grid (workload
+ * x model x configuration) are independent, so the harness expresses
+ * each run as a job and executes the jobs on a work-stealing thread
+ * pool. Three pieces:
+ *
+ *  - defaultJobs(): worker-count policy ($SLIPSTREAM_JOBS, else the
+ *    hardware concurrency).
+ *  - ProgramCache: a process-wide memo of assembled programs and
+ *    their golden (functional-simulator) outputs, keyed by workload
+ *    name + size. Assembly and golden execution happen exactly once
+ *    per workload even when many jobs share it, and the resulting
+ *    Entry is immutable, so jobs on different threads share it
+ *    freely.
+ *  - SimJobRunner: collects RunMetrics-producing jobs and runs them
+ *    across the pool, returning results in submission order — output
+ *    is byte-identical whatever the worker count, because each job is
+ *    a pure function of const inputs.
+ */
+
+#ifndef SLIPSTREAM_HARNESS_SIM_RUNNER_HH
+#define SLIPSTREAM_HARNESS_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "harness/experiment.hh"
+#include "workloads/workloads.hh"
+
+namespace slip
+{
+
+/**
+ * Worker count for experiment harnesses: $SLIPSTREAM_JOBS if set and
+ * a positive integer (else a warning), otherwise the hardware
+ * concurrency (at least 1). Re-reads the environment on every call so
+ * tests can override per-run.
+ */
+unsigned defaultJobs();
+
+/**
+ * Process-wide memo of assembled workloads. get() assembles the
+ * program and computes its golden output the first time a given
+ * {name, size} is requested; every later request — from any thread —
+ * returns the same immutable entry.
+ */
+class ProgramCache
+{
+  public:
+    struct Entry
+    {
+        Program program;
+        std::string golden;        // functional-simulator output
+        uint64_t goldenInstCount;  // dynamic instructions to halt
+    };
+
+    /** Look up a registry workload (getWorkload semantics). */
+    const Entry &get(const std::string &name, WorkloadSize size);
+
+    /** The shared instance used by benches and runAllModels(). */
+    static ProgramCache &global();
+
+  private:
+    struct Slot
+    {
+        std::once_flag once;
+        std::unique_ptr<Entry> entry;
+    };
+
+    std::mutex mu_; // guards the map shape only; Slots are stable
+    std::map<std::string, Slot> slots_;
+};
+
+/**
+ * Runs a batch of simulation jobs on a thread pool. Usage:
+ *
+ *   SimJobRunner runner;                   // defaultJobs() workers
+ *   for (...) runner.add([=] { return runSS(...); });
+ *   std::vector<RunMetrics> results = runner.run();
+ *
+ * run() returns results in add() order regardless of completion
+ * order. With jobs() == 1 the batch executes inline on the calling
+ * thread — a true serial baseline with no pool machinery. A job that
+ * throws has its exception rethrown from run(), first-added wins.
+ */
+class SimJobRunner
+{
+  public:
+    /** `jobs` == 0 means defaultJobs(). */
+    explicit SimJobRunner(unsigned jobs = 0);
+
+    /** Queue one job; returns its index in the result vector. */
+    size_t add(std::function<RunMetrics()> job);
+
+    /** Execute all queued jobs; clears the queue. */
+    std::vector<RunMetrics> run();
+
+    unsigned jobs() const { return jobs_; }
+    size_t pending() const { return pending_.size(); }
+
+  private:
+    unsigned jobs_;
+    std::vector<std::function<RunMetrics()>> pending_;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_HARNESS_SIM_RUNNER_HH

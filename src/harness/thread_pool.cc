@@ -1,0 +1,92 @@
+#include "harness/thread_pool.hh"
+
+namespace slip
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = 1;
+    queues_.resize(workers);
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queues_[nextQueue_].push_back(std::move(job));
+        nextQueue_ = (nextQueue_ + 1) % queues_.size();
+        ++queued_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return queued_ == 0 && inFlight_ == 0; });
+}
+
+bool
+ThreadPool::takeJob(unsigned self, std::function<void()> &job)
+{
+    if (!queues_[self].empty()) {
+        job = std::move(queues_[self].front());
+        queues_[self].pop_front();
+        return true;
+    }
+    // Steal from the back of the first non-empty victim.
+    for (size_t k = 1; k < queues_.size(); ++k) {
+        auto &victim = queues_[(self + k) % queues_.size()];
+        if (!victim.empty()) {
+            job = std::move(victim.back());
+            victim.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        wake_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+        if (queued_ == 0 && stopping_)
+            return;
+
+        std::function<void()> job;
+        if (!takeJob(self, job))
+            continue; // raced with another worker; re-wait
+        --queued_;
+        ++inFlight_;
+
+        lock.unlock();
+        job();
+        lock.lock();
+
+        --inFlight_;
+        if (queued_ == 0 && inFlight_ == 0)
+            idle_.notify_all();
+    }
+}
+
+} // namespace slip

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A small work-stealing thread pool for the experiment harness.
+ *
+ * Each worker owns a deque of jobs; submit() deals new jobs round-
+ * robin across the deques, workers pop from the front of their own
+ * deque and steal from the back of a victim's when theirs runs dry.
+ * Simulation jobs are seconds long, so the pool optimises for
+ * simplicity and determinism of completion tracking, not for
+ * nanosecond dispatch: one mutex guards all queues.
+ *
+ * The pool is reusable: wait() blocks until every submitted job has
+ * finished, after which more jobs may be submitted. The destructor
+ * drains outstanding work before joining the workers.
+ */
+
+#ifndef SLIPSTREAM_HARNESS_THREAD_POOL_HH
+#define SLIPSTREAM_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slip
+{
+
+class ThreadPool
+{
+  public:
+    /** Spawns `workers` threads (clamped to at least one). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Drains all outstanding jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job. Thread-safe. */
+    void submit(std::function<void()> job);
+
+    /** Block until every job submitted so far has completed. */
+    void wait();
+
+    unsigned workerCount() const { return unsigned(workers_.size()); }
+
+  private:
+    void workerLoop(unsigned self);
+
+    /**
+     * Dequeue one job for worker `self`: front of its own deque, else
+     * steal from the back of another worker's. Caller holds mu_.
+     */
+    bool takeJob(unsigned self, std::function<void()> &job);
+
+    std::mutex mu_;
+    std::condition_variable wake_; // workers: work available / stopping
+    std::condition_variable idle_; // waiters: all work finished
+
+    std::vector<std::deque<std::function<void()>>> queues_;
+    std::vector<std::thread> workers_;
+
+    size_t nextQueue_ = 0; // round-robin submit cursor
+    size_t queued_ = 0;    // jobs sitting in deques
+    size_t inFlight_ = 0;  // jobs currently executing
+    bool stopping_ = false;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_HARNESS_THREAD_POOL_HH

@@ -9,6 +9,8 @@ namespace slip
 Cache::Cache(const CacheParams &params)
     : params_(params), stats_(params.name)
 {
+    stats_.link("hits", hits_);
+    stats_.link("misses", misses_);
     if (!isPowerOfTwo(params_.lineBytes))
         SLIP_FATAL("cache line size must be a power of two, got ",
                    params_.lineBytes);
@@ -52,7 +54,7 @@ Cache::access(Addr addr)
         Line &line = base[way];
         if (line.valid && line.tag == tag) {
             line.lastUse = useClock;
-            ++stats_.counter("hits");
+            ++hits_;
             return params_.hitLatency;
         }
         if (!line.valid) {
@@ -65,7 +67,7 @@ Cache::access(Addr addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = useClock;
-    ++stats_.counter("misses");
+    ++misses_;
     return params_.hitLatency + params_.missPenalty;
 }
 

@@ -55,8 +55,8 @@ class Cache
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
-    uint64_t hits() const { return stats_.get("hits"); }
-    uint64_t misses() const { return stats_.get("misses"); }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
 
   private:
     struct Line
@@ -73,6 +73,11 @@ class Cache
     unsigned numSets;
     std::vector<Line> lines; // numSets * assoc, set-major
     uint64_t useClock = 0;
+
+    // Touched on every access; linked into stats_ (no string lookup).
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+
     StatGroup stats_;
 };
 

@@ -60,11 +60,11 @@ AStreamSource::nextBlock(FetchBlock &block)
 {
     while (blocks.empty()) {
         if (haltWalked) {
-            ++stats_.counter("stall_halted");
+            ++statStallHalted;
             return false;
         }
         if (!canWalk()) {
-            ++stats_.counter("stall_throttled");
+            ++statStallThrottled;
             return false;
         }
         walkTrace();
@@ -94,16 +94,16 @@ AStreamSource::walkTrace()
         program.validPc(startPc)) {
         guess = *pred;
         usedPrediction = true;
-        ++stats_.counter("traces_predicted");
+        ++statTracesPredicted;
     } else {
         guess = buildStaticTrace(program, startPc, policy);
-        ++stats_.counter("traces_fallback");
+        ++statTracesFallback;
     }
 
     // --- removal plan from the IR-predictor ---
     std::optional<RemovalPlan> plan = irPredictor.lookup(history, guess);
     if (plan)
-        ++stats_.counter("traces_with_removal");
+        ++statTracesWithRemoval;
 
     Packet packet;
     packet.num = nextPacketNum++;
@@ -146,7 +146,7 @@ AStreamSource::walkTrace()
         if (removed) {
             slot.executedInA = false;
             slot.removalReason = plan->reasonAt(slotIdx);
-            ++stats_.counter("slots_removed");
+            ++statSlotsRemoved;
 
             // The packet path presumes the prediction is correct.
             Addr nextPc = pc + kInstBytes;
@@ -181,7 +181,7 @@ AStreamSource::walkTrace()
         // Executed slot: real computation on the A-stream context.
         state_.setPc(pc);
         const ExecResult exec = execute(state_, si, &output_);
-        ++stats_.counter("slots_executed");
+        ++statSlotsExecuted;
 
         slot.executedInA = true;
         slot.aExec = exec;
@@ -233,7 +233,7 @@ AStreamSource::walkTrace()
                 if (j - i >= skipRun) {
                     for (size_t k = i; k < j; ++k)
                         packet.slots[k].fetchSkipped = true;
-                    stats_.counter("slots_fetch_skipped") += j - i;
+                    statSlotsFetchSkipped += j - i;
                 }
                 i = j;
             } else {
@@ -295,7 +295,7 @@ AStreamSource::walkTrace()
             predictedTarget = ras.pop();
         }
         if (predictedTarget != actualNext) {
-            ++stats_.counter("indirect_mispredicts");
+            ++statIndirectMispredicts;
             SLIP_ASSERT(!blocks.empty() && !blocks.back().insts.empty(),
                         "A-stream indirect block missing");
             blocks.back().insts.back().mispredicted = true;
@@ -309,9 +309,9 @@ AStreamSource::walkTrace()
     }
 
     if (truncated)
-        ++stats_.counter("trace_mispredicts");
+        ++statTraceMispredicts;
     if (usedPrediction)
-        ++stats_.counter("traces_from_predictor");
+        ++statTracesFromPredictor;
 
     // The context continues at the packet path's end.
     state_.setPc(pc);
@@ -341,7 +341,7 @@ AStreamSource::tryPublish()
            delayBuffer.canPush(pending.front().packet.executedCount)) {
         delayBuffer.push(std::move(pending.front().packet));
         pending.pop_front();
-        ++stats_.counter("packets_published");
+        ++statPacketsPublished;
     }
 }
 
@@ -357,7 +357,7 @@ AStreamSource::recover(Addr pc, const ArchState &rState,
     blocks.clear();
     pending.clear();
     haltWalked = false;
-    ++stats_.counter("recoveries");
+    ++statRecoveries;
 }
 
 } // namespace slip

@@ -115,6 +115,28 @@ class AStreamSource : public FetchSource
     bool haltWalked = false;
 
     StatGroup stats_;
+    StatGroup::Handle statStallHalted{stats_.handle("stall_halted")};
+    StatGroup::Handle statStallThrottled{
+        stats_.handle("stall_throttled")};
+    StatGroup::Handle statTracesPredicted{
+        stats_.handle("traces_predicted")};
+    StatGroup::Handle statTracesFallback{
+        stats_.handle("traces_fallback")};
+    StatGroup::Handle statTracesWithRemoval{
+        stats_.handle("traces_with_removal")};
+    StatGroup::Handle statSlotsRemoved{stats_.handle("slots_removed")};
+    StatGroup::Handle statSlotsExecuted{stats_.handle("slots_executed")};
+    StatGroup::Handle statSlotsFetchSkipped{
+        stats_.handle("slots_fetch_skipped")};
+    StatGroup::Handle statIndirectMispredicts{
+        stats_.handle("indirect_mispredicts")};
+    StatGroup::Handle statTraceMispredicts{
+        stats_.handle("trace_mispredicts")};
+    StatGroup::Handle statTracesFromPredictor{
+        stats_.handle("traces_from_predictor")};
+    StatGroup::Handle statPacketsPublished{
+        stats_.handle("packets_published")};
+    StatGroup::Handle statRecoveries{stats_.handle("recoveries")};
 };
 
 } // namespace slip

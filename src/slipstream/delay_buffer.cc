@@ -28,7 +28,7 @@ DelayBuffer::push(Packet packet)
     stats_.distribution("control_occupancy")
         .sample(packets.size() + 1);
     stats_.distribution("data_occupancy").sample(dataEntries_);
-    ++stats_.counter("packets");
+    ++statPackets;
     packets.push_back(std::move(packet));
 }
 
@@ -56,7 +56,7 @@ DelayBuffer::clear()
 {
     packets.clear();
     dataEntries_ = 0;
-    ++stats_.counter("flushes");
+    ++statFlushes;
 }
 
 } // namespace slip

@@ -115,6 +115,8 @@ class DelayBuffer
     std::deque<Packet> packets;
     unsigned dataEntries_ = 0;
     StatGroup stats_;
+    StatGroup::Handle statPackets{stats_.handle("packets")};
+    StatGroup::Handle statFlushes{stats_.handle("flushes")};
 };
 
 } // namespace slip

@@ -58,7 +58,7 @@ IRDetector::processTrace(const RetiredTrace &trace)
         mergeInstruction(st, slot, p.slots[slot], (*trace.rExec)[slot]);
     }
 
-    ++stats_.counter("traces_processed");
+    ++statTracesProcessed;
 
     while (scope.size() > params_.scopeTraces)
         finalizeOldest();
@@ -101,7 +101,7 @@ IRDetector::mergeInstruction(ScopedTrace &trace, unsigned slot,
         if (w.nonModifying) {
             if (params_.removeWrites) {
                 rdfg.select(slot, reason::kSV);
-                ++stats_.counter("trigger_sv");
+                ++statTriggerSv;
             }
             return;
         }
@@ -111,7 +111,7 @@ IRDetector::mergeInstruction(ScopedTrace &trace, unsigned slot,
         if (ScopedTrace *prodTrace = findScoped(w.killed.packetNum)) {
             if (w.killedUnreferenced && params_.removeWrites) {
                 prodTrace->rdfg.select(w.killed.slot, reason::kWW);
-                ++stats_.counter("trigger_ww");
+                ++statTriggerWw;
             }
             prodTrace->rdfg.kill(w.killed.slot);
         }
@@ -132,7 +132,7 @@ IRDetector::mergeInstruction(ScopedTrace &trace, unsigned slot,
         (si.isJump() && !si.isIndirectJump() && si.destReg() == kNoReg);
     if (brCandidate && params_.removeBranches) {
         rdfg.select(slot, reason::kBR);
-        ++stats_.counter("trigger_br");
+        ++statTriggerBr;
     }
 }
 
@@ -146,8 +146,8 @@ IRDetector::finalizeOldest()
     computed.irVec = st.rdfg.irVec();
     computed.reasons = st.rdfg.reasonVector();
 
-    stats_.counter("instructions_seen") += st.rdfg.numSlots();
-    stats_.counter("instructions_selected") +=
+    statInstructionsSeen += st.rdfg.numSlots();
+    statInstructionsSelected +=
         popCount(computed.irVec);
 
     // A predicted-removed *store* the detector cannot confirm means
@@ -163,7 +163,7 @@ IRDetector::finalizeOldest()
     const uint64_t unconfirmed =
         st.predictedIrVec & ~computed.irVec & st.storeMask;
     if (unconfirmed != 0) {
-        ++stats_.counter("irvec_mispredicts");
+        ++statIrvecMispredicts;
         irPred.resetEntry(st.historyBefore, st.id);
         if (onIRMispredict)
             onIRMispredict(st.packetNum);
@@ -189,7 +189,7 @@ IRDetector::reset()
 {
     scope.clear();
     ort.reset();
-    ++stats_.counter("resets");
+    ++statResets;
 }
 
 } // namespace slip

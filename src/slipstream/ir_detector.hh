@@ -117,6 +117,18 @@ class IRDetector
     OperandRenameTable ort;
     std::deque<ScopedTrace> scope;
     StatGroup stats_;
+    StatGroup::Handle statTracesProcessed{
+        stats_.handle("traces_processed")};
+    StatGroup::Handle statTriggerSv{stats_.handle("trigger_sv")};
+    StatGroup::Handle statTriggerWw{stats_.handle("trigger_ww")};
+    StatGroup::Handle statTriggerBr{stats_.handle("trigger_br")};
+    StatGroup::Handle statInstructionsSeen{
+        stats_.handle("instructions_seen")};
+    StatGroup::Handle statInstructionsSelected{
+        stats_.handle("instructions_selected")};
+    StatGroup::Handle statIrvecMispredicts{
+        stats_.handle("irvec_mispredicts")};
+    StatGroup::Handle statResets{stats_.handle("resets")};
 };
 
 } // namespace slip

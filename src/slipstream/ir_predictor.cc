@@ -26,6 +26,17 @@ reasonName(uint8_t mask)
     return name.empty() ? "none" : name;
 }
 
+std::map<std::string, uint64_t>
+reasonCountsByName(const ReasonCounts &c)
+{
+    std::map<std::string, uint64_t> out;
+    for (unsigned mask = 0; mask < kNumReasonMasks; ++mask) {
+        if (c[mask])
+            out[reasonName(static_cast<uint8_t>(mask))] += c[mask];
+    }
+    return out;
+}
+
 IRPredictor::IRPredictor(const IRPredictorParams &params)
     : params_(params), table(size_t(1) << params.tableBits),
       stats_("ir_pred")
@@ -50,12 +61,12 @@ IRPredictor::lookup(const PathHistory &history,
     if (!e.valid || e.idHash != predicted.hash())
         return std::nullopt;
     if (e.confidence < params_.confidenceThreshold) {
-        ++stats_.counter("lookup_below_threshold");
+        ++statLookupBelowThreshold;
         return std::nullopt;
     }
     if (e.plan.irVec == 0)
         return std::nullopt;
-    ++stats_.counter("lookup_confident");
+    ++statLookupConfident;
     return e.plan;
 }
 
@@ -63,7 +74,7 @@ void
 IRPredictor::update(const PathHistory &history, const TraceId &actual,
                     const RemovalPlan &computed)
 {
-    ++stats_.counter("updates");
+    ++statUpdates;
     Entry &e = table[indexOf(history, actual)];
     const uint64_t idHash = actual.hash();
 
@@ -72,7 +83,7 @@ IRPredictor::update(const PathHistory &history, const TraceId &actual,
         if (e.confidence < 1'000'000)
             ++e.confidence;
         e.plan.reasons = computed.reasons; // keep freshest attribution
-        ++stats_.counter("confidence_hits");
+        ++statConfidenceHits;
         return;
     }
 
@@ -82,7 +93,7 @@ IRPredictor::update(const PathHistory &history, const TraceId &actual,
     e.idHash = idHash;
     e.plan = computed;
     e.confidence = 0;
-    ++stats_.counter("confidence_resets");
+    ++statConfidenceResets;
 }
 
 void

@@ -105,6 +105,15 @@ class IRPredictor
     IRPredictorParams params_;
     std::vector<Entry> table;
     mutable StatGroup stats_;
+    StatGroup::Handle statLookupBelowThreshold{
+        stats_.handle("lookup_below_threshold")};
+    StatGroup::Handle statLookupConfident{
+        stats_.handle("lookup_confident")};
+    StatGroup::Handle statUpdates{stats_.handle("updates")};
+    StatGroup::Handle statConfidenceHits{
+        stats_.handle("confidence_hits")};
+    StatGroup::Handle statConfidenceResets{
+        stats_.handle("confidence_resets")};
 };
 
 } // namespace slip

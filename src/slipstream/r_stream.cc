@@ -27,12 +27,12 @@ RStreamSource::nextBlock(FetchBlock &block)
 {
     while (blocks.empty()) {
         if (haltWalked || awaitingRecovery_) {
-            ++stats_.counter(awaitingRecovery_ ? "stall_recovery"
-                                               : "stall_halted");
+            ++(awaitingRecovery_ ? statStallRecovery
+                                 : statStallHalted);
             return false;
         }
         if (delayBuffer.empty()) {
-            ++stats_.counter("stall_empty_buffer");
+            ++statStallEmptyBuffer;
             return false;
         }
         walkPacket();
@@ -179,7 +179,7 @@ RStreamSource::walkPacket()
         if (mismatch) {
             divergence = true;
             awaitingRecovery_ = true;
-            ++stats_.counter("divergences");
+            ++statDivergences;
             // A fault counts as detected only if the disagreement
             // surfaced at the faulted instruction itself; later
             // divergences caused by silently corrupted state recover
@@ -195,7 +195,7 @@ RStreamSource::walkPacket()
     rec.divergent = divergence;
     rec.packet = std::move(packet);
     records.emplace(num, std::move(rec));
-    ++stats_.counter("packets_walked");
+    ++statPacketsWalked;
 }
 
 void
@@ -218,7 +218,7 @@ RStreamSource::recover()
 {
     awaitingRecovery_ = false;
     blocks.clear();
-    ++stats_.counter("recoveries");
+    ++statRecoveries;
 }
 
 } // namespace slip

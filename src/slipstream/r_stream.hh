@@ -106,6 +106,13 @@ class RStreamSource : public FetchSource
     bool awaitingRecovery_ = false;
 
     StatGroup stats_;
+    StatGroup::Handle statStallRecovery{stats_.handle("stall_recovery")};
+    StatGroup::Handle statStallHalted{stats_.handle("stall_halted")};
+    StatGroup::Handle statStallEmptyBuffer{
+        stats_.handle("stall_empty_buffer")};
+    StatGroup::Handle statDivergences{stats_.handle("divergences")};
+    StatGroup::Handle statPacketsWalked{stats_.handle("packets_walked")};
+    StatGroup::Handle statRecoveries{stats_.handle("recoveries")};
 };
 
 } // namespace slip

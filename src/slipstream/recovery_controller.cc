@@ -99,7 +99,7 @@ RecoveryController::recover()
 {
     const size_t tracked = trackedAddresses();
     stats_.distribution("tracked_at_recovery").sample(tracked);
-    ++stats_.counter("recoveries");
+    ++statRecoveries;
 
     overlay.clear();
     doSet.clear();

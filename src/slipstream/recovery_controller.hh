@@ -104,6 +104,7 @@ class RecoveryController : public MemPort
     size_t doSetSize = 0;
 
     StatGroup stats_;
+    StatGroup::Handle statRecoveries{stats_.handle("recoveries")};
 };
 
 } // namespace slip

@@ -8,7 +8,9 @@
 #ifndef SLIPSTREAM_SLIPSTREAM_REMOVAL_HH
 #define SLIPSTREAM_SLIPSTREAM_REMOVAL_HH
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,20 @@ constexpr uint8_t kProp = 8; // selected via R-DFG back-propagation
 
 /** "BR", "SV", "P:SV,BR", ... matching the paper's Figure 8 legend. */
 std::string reasonName(uint8_t mask);
+
+/** Number of distinct reason masks (kProp|kSV|kWW|kBR span 4 bits). */
+constexpr unsigned kNumReasonMasks = 16;
+
+/**
+ * Per-reason-mask removal tallies, indexed by the reason mask itself.
+ * This is the hot-path representation: the per-retired-instruction
+ * accounting is a single array increment; names are derived only when
+ * results are assembled.
+ */
+using ReasonCounts = std::array<uint64_t, kNumReasonMasks>;
+
+/** Expand tallies to the paper's named categories (zeros omitted). */
+std::map<std::string, uint64_t> reasonCountsByName(const ReasonCounts &c);
 
 /**
  * A removal plan for one trace: which slots the A-stream skips, and

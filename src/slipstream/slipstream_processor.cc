@@ -62,10 +62,13 @@ SlipstreamProcessor::wire()
             }
         }
 
-        // Removal accounting over validated (retired) instructions.
+        // Removal accounting over validated (retired) instructions:
+        // a single array increment, indexed by the reason mask (names
+        // are derived once, when results are assembled).
         if (!d.valuePredicted) {
             ++removedSlots;
-            ++removedByReason[reasonName(d.removalReason)];
+            ++removedByReasonMask_[d.removalReason &
+                                   (kNumReasonMasks - 1)];
         }
 
         if (d.triggersRecovery) {
@@ -111,16 +114,16 @@ SlipstreamProcessor::doRecovery(Cycle now)
     ++irMispredicts;
     switch (recoveryCause) {
       case RecoveryCause::RemovedBranchMispredict:
-        ++recoveryStats.counter("removed_branch_mispredict");
+        ++statRemovedBranchMispredict;
         break;
       case RecoveryCause::CorruptContextKnown:
-        ++recoveryStats.counter("irvec_check");
+        ++statIrvecCheck;
         break;
       case RecoveryCause::CorruptContextUnknown:
-        ++recoveryStats.counter("value_mismatch");
+        ++statValueMismatch;
         break;
       case RecoveryCause::None:
-        ++recoveryStats.counter("unclassified");
+        ++statUnclassified;
         break;
     }
 
@@ -193,8 +196,9 @@ SlipstreamProcessor::run(Cycle maxCycles)
     result.output = rSource_->output();
     result.halted = rCore_->halted();
     result.removedSlots = removedSlots;
-    result.removedByReason = removedByReason;
-    result.aBranchMispredicts = aCore_->stats().get("branch_mispredicts");
+    result.removedByReasonMask = removedByReasonMask_;
+    result.removedByReason = reasonCountsByName(removedByReasonMask_);
+    result.aBranchMispredicts = aCore_->branchMispredicts();
     result.irMispredicts = irMispredicts;
     result.irPenaltyTotal = irPenaltyTotal;
     result.faultOutcome = faultInjector_.outcome();

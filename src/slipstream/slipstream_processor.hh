@@ -27,6 +27,7 @@
 
 #include "assembler/program.hh"
 #include "slipstream/a_stream.hh"
+#include "slipstream/removal.hh"
 #include "slipstream/delay_buffer.hh"
 #include "slipstream/fault_injector.hh"
 #include "slipstream/ir_detector.hh"
@@ -78,6 +79,11 @@ struct SlipstreamRunResult
     bool halted = false;
 
     uint64_t removedSlots = 0; // R-retired slots the A-stream skipped
+
+    /** Removal tallies indexed by reason mask (the hot-path form). */
+    ReasonCounts removedByReasonMask{};
+
+    /** The same tallies under the paper's category names. */
     std::map<std::string, uint64_t> removedByReason;
 
     uint64_t aBranchMispredicts = 0; // A-stream-detected conventional
@@ -195,10 +201,17 @@ class SlipstreamProcessor
     bool recoveryRequested = false;
     RecoveryCause recoveryCause = RecoveryCause::None;
     StatGroup recoveryStats{"recovery_causes"};
+    StatGroup::Handle statRemovedBranchMispredict{
+        recoveryStats.handle("removed_branch_mispredict")};
+    StatGroup::Handle statIrvecCheck{recoveryStats.handle("irvec_check")};
+    StatGroup::Handle statValueMismatch{
+        recoveryStats.handle("value_mismatch")};
+    StatGroup::Handle statUnclassified{
+        recoveryStats.handle("unclassified")};
     uint64_t irMispredicts = 0;
     Cycle irPenaltyTotal = 0;
     uint64_t removedSlots = 0;
-    std::map<std::string, uint64_t> removedByReason;
+    ReasonCounts removedByReasonMask_{};
 };
 
 } // namespace slip

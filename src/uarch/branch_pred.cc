@@ -67,9 +67,9 @@ GsharePredictor::predict(Addr pc) const
 void
 GsharePredictor::update(Addr pc, bool taken)
 {
-    ++stats_.counter("updates");
+    ++statUpdates;
     if (predict(pc) != taken)
-        ++stats_.counter("mispredicts");
+        ++statMispredicts;
     train2bit(table[index(pc)], taken);
     history = (history << 1) | (taken ? 1 : 0);
 }

@@ -57,6 +57,8 @@ class GsharePredictor
     uint64_t history = 0;
     std::vector<uint8_t> table;
     StatGroup stats_;
+    StatGroup::Handle statUpdates{stats_.handle("updates")};
+    StatGroup::Handle statMispredicts{stats_.handle("mispredicts")};
 };
 
 /** Bounded return-address stack. */

@@ -20,6 +20,13 @@ OoOCore::OoOCore(const CoreParams &params, FetchSource &source)
       slotsUsed(kRingSize, 0), slotsTag(kRingSize, ~Cycle(0)),
       stats_(params.name)
 {
+    stats_.link("retired", retired);
+    stats_.link("retired_cond_branches", numRetiredCondBranches);
+    stats_.link("branch_mispredicts", numBranchMispredicts);
+    stats_.link("dispatched", numDispatched);
+    stats_.link("fetched", numFetched);
+    stats_.link("fetch_only_removed", numFetchOnlyRemoved);
+    stats_.link("flushes", numFlushes);
 }
 
 Cycle
@@ -83,11 +90,10 @@ OoOCore::doRetire(Cycle now)
             break; // back-pressure: retry next cycle
         ++retired;
         lastRetire = now;
-        ++stats_.counter("retired");
         if (d.si.isCondBranch())
-            ++stats_.counter("retired_cond_branches");
+            ++numRetiredCondBranches;
         if (d.mispredicted)
-            ++stats_.counter("branch_mispredicts");
+            ++numBranchMispredicts;
         if (d.si.isHalt())
             halted_ = true;
         rob.pop_front();
@@ -107,7 +113,7 @@ OoOCore::doDispatch(Cycle now)
         DynInst d = fetchBuffer.front().d;
         fetchBuffer.pop_front();
         ++count;
-        ++stats_.counter("dispatched");
+        ++numDispatched;
 
         // Operand readiness through the register scoreboard (skipped
         // entirely when the delay buffer supplies source values).
@@ -209,11 +215,11 @@ OoOCore::doFetch(Cycle now)
 
     const Cycle readyAt = now + params_.fetchToDispatch + extra;
     for (DynInst &d : block.insts) {
-        ++stats_.counter("fetched");
+        ++numFetched;
         if (d.fetchOnly) {
             // Removed by the ir-vec between fetch and decode: consumes
             // fetch bandwidth only.
-            ++stats_.counter("fetch_only_removed");
+            ++numFetchOnlyRemoved;
             continue;
         }
         if (d.mispredicted) {
@@ -241,7 +247,7 @@ OoOCore::flush(Cycle now, Cycle resumeFetchAt)
     // A flush is a full restart: an A-stream that speculatively walked
     // (and retired) a wrong-path HALT must resume after recovery.
     halted_ = false;
-    ++stats_.counter("flushes");
+    ++numFlushes;
 }
 
 } // namespace slip

@@ -180,6 +180,10 @@ class OoOCore
     uint64_t retiredCount() const { return retired; }
     Cycle lastRetireCycle() const { return lastRetire; }
 
+    // Hot-counter accessors (no StatGroup string lookup).
+    uint64_t retiredCondBranches() const { return numRetiredCondBranches; }
+    uint64_t branchMispredicts() const { return numBranchMispredicts; }
+
   private:
     struct FetchEntry
     {
@@ -225,6 +229,15 @@ class OoOCore
     bool halted_ = false;
     uint64_t retired = 0;
     Cycle lastRetire = 0;
+
+    // Per-instruction counters: plain integers on the hot path,
+    // linked into stats_ so get()/dump() still see them by name.
+    uint64_t numRetiredCondBranches = 0;
+    uint64_t numBranchMispredicts = 0;
+    uint64_t numDispatched = 0;
+    uint64_t numFetched = 0;
+    uint64_t numFetchOnlyRemoved = 0;
+    uint64_t numFlushes = 0;
 
     StatGroup stats_;
 };

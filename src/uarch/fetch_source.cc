@@ -120,10 +120,10 @@ TraceFetchSource::walkTrace()
     if (pred && pred->valid() && pred->startPc == startPc &&
         program.validPc(startPc)) {
         guess = *pred;
-        ++stats_.counter("traces_predicted");
+        ++statTracesPredicted;
     } else {
         guess = buildStaticTrace(program, startPc, policy);
-        ++stats_.counter("traces_fallback");
+        ++statTracesFallback;
     }
 
     const PathHistory historyBefore = history;
@@ -195,7 +195,7 @@ TraceFetchSource::walkTrace()
         traceNum, PendingTrain{historyBefore, actual, last.seq});
 
     if (truncated)
-        ++stats_.counter("trace_mispredicts");
+        ++statTraceMispredicts;
 
     if (haltWalked) {
         slicer.finish(blocks);
@@ -216,7 +216,7 @@ TraceFetchSource::walkTrace()
         if (predictedTarget != actualNext) {
             // The front end could not know the target: charge a
             // misprediction on the indirect jump itself.
-            ++stats_.counter("indirect_mispredicts");
+            ++statIndirectMispredicts;
             // Patch the already-sliced last instruction.
             SLIP_ASSERT(!blocks.empty() && !blocks.back().insts.empty(),
                         "indirect jump block missing");

@@ -142,6 +142,14 @@ class TraceFetchSource : public FetchSource
     std::unordered_map<uint64_t, PendingTrain> pendingTrain;
 
     StatGroup stats_;
+    StatGroup::Handle statTracesPredicted{
+        stats_.handle("traces_predicted")};
+    StatGroup::Handle statTracesFallback{
+        stats_.handle("traces_fallback")};
+    StatGroup::Handle statTraceMispredicts{
+        stats_.handle("trace_mispredicts")};
+    StatGroup::Handle statIndirectMispredicts{
+        stats_.handle("indirect_mispredicts")};
 };
 
 } // namespace slip

@@ -48,8 +48,8 @@ SSProcessor::run(Cycle maxCycles)
     SSRunResult result;
     result.cycles = now;
     result.retired = core_->retiredCount();
-    result.condBranches = core_->stats().get("retired_cond_branches");
-    result.branchMispredicts = core_->stats().get("branch_mispredicts");
+    result.condBranches = core_->retiredCondBranches();
+    result.branchMispredicts = core_->branchMispredicts();
     result.output = source_->output();
     result.halted = core_->halted();
     return result;

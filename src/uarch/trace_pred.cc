@@ -33,18 +33,18 @@ TracePredictor::predict(const PathHistory &history) const
     // Hybrid selection: the correlated table wins once it has shown
     // at least one correct prediction for this path.
     if (corr.valid && corr.counter > 0) {
-        ++stats_.counter("predict_correlated");
+        ++statPredictCorrelated;
         return corr.pred;
     }
     if (simp.valid) {
-        ++stats_.counter("predict_simple");
+        ++statPredictSimple;
         return simp.pred;
     }
     if (corr.valid) {
-        ++stats_.counter("predict_correlated_weak");
+        ++statPredictCorrelatedWeak;
         return corr.pred;
     }
-    ++stats_.counter("predict_none");
+    ++statPredictNone;
     return std::nullopt;
 }
 
@@ -69,7 +69,7 @@ TracePredictor::trainEntry(Entry &entry, const TraceId &actual)
 void
 TracePredictor::update(const PathHistory &history, const TraceId &actual)
 {
-    ++stats_.counter("updates");
+    ++statUpdates;
     trainEntry(correlated[correlatedIndex(history)], actual);
     trainEntry(simple[simpleIndex(history)], actual);
 }

@@ -123,6 +123,13 @@ class TracePredictor
     std::vector<Entry> correlated;
     std::vector<Entry> simple;
     mutable StatGroup stats_;
+    StatGroup::Handle statPredictCorrelated{
+        stats_.handle("predict_correlated")};
+    StatGroup::Handle statPredictSimple{stats_.handle("predict_simple")};
+    StatGroup::Handle statPredictCorrelatedWeak{
+        stats_.handle("predict_correlated_weak")};
+    StatGroup::Handle statPredictNone{stats_.handle("predict_none")};
+    StatGroup::Handle statUpdates{stats_.handle("updates")};
 };
 
 } // namespace slip

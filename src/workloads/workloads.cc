@@ -5,6 +5,20 @@
 namespace slip
 {
 
+const char *
+sizeName(WorkloadSize size)
+{
+    switch (size) {
+      case WorkloadSize::Test:
+        return "test";
+      case WorkloadSize::Small:
+        return "small";
+      case WorkloadSize::Default:
+        return "default";
+    }
+    return "?";
+}
+
 std::vector<Workload>
 allWorkloads(WorkloadSize size)
 {

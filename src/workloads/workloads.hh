@@ -47,6 +47,9 @@ enum class WorkloadSize
     Default, // a few million (paper-style evaluation)
 };
 
+/** "test" / "small" / "default" — cache keys and $SLIPSTREAM_BENCH_SIZE. */
+const char *sizeName(WorkloadSize size);
+
 /** One benchmark program. */
 struct Workload
 {

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: the work-stealing thread
+ * pool, the memoized program cache, and — the load-bearing property —
+ * that SimJobRunner produces bit-identical results whatever the
+ * worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/sim_runner.hh"
+#include "harness/thread_pool.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&] { ++ran; });
+        pool.wait();
+        EXPECT_EQ(ran.load(), (round + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, SingleWorkerStillDrains)
+{
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingJobs)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] { ++ran; });
+        // No wait(): the destructor must finish the work.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(SimJobRunner, ResultsComeBackInSubmissionOrder)
+{
+    SimJobRunner runner(4);
+    for (int i = 0; i < 16; ++i) {
+        runner.add([i] {
+            RunMetrics m;
+            m.retired = uint64_t(i);
+            return m;
+        });
+    }
+    const std::vector<RunMetrics> results = runner.run();
+    ASSERT_EQ(results.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(results[i].retired, uint64_t(i));
+}
+
+TEST(SimJobRunner, RunClearsTheQueue)
+{
+    SimJobRunner runner(2);
+    runner.add([] { return RunMetrics{}; });
+    EXPECT_EQ(runner.pending(), 1u);
+    runner.run();
+    EXPECT_EQ(runner.pending(), 0u);
+    EXPECT_TRUE(runner.run().empty());
+}
+
+TEST(SimJobRunner, JobExceptionIsRethrown)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        SimJobRunner runner(jobs);
+        runner.add([] { return RunMetrics{}; });
+        runner.add([]() -> RunMetrics {
+            throw std::runtime_error("job failed");
+        });
+        EXPECT_THROW(runner.run(), std::runtime_error);
+    }
+}
+
+TEST(ProgramCache, MemoizesPerWorkloadAndSize)
+{
+    ProgramCache cache;
+    const ProgramCache::Entry &a =
+        cache.get("compress", WorkloadSize::Test);
+    const ProgramCache::Entry &b =
+        cache.get("compress", WorkloadSize::Test);
+    EXPECT_EQ(&a, &b); // same entry, not a re-assembly
+    EXPECT_FALSE(a.golden.empty());
+    EXPECT_GT(a.goldenInstCount, 0u);
+}
+
+void
+expectIdenticalMetrics(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.ipc, b.ipc); // bit-identical, not approximately
+    EXPECT_EQ(a.branchMispPer1000, b.branchMispPer1000);
+    EXPECT_EQ(a.outputCorrect, b.outputCorrect);
+    EXPECT_EQ(a.outputBytes, b.outputBytes);
+    EXPECT_EQ(a.removedFraction, b.removedFraction);
+    EXPECT_EQ(a.removedByReason, b.removedByReason);
+    EXPECT_EQ(a.removedByReasonMask, b.removedByReasonMask);
+    EXPECT_EQ(a.irMispPer1000, b.irMispPer1000);
+    EXPECT_EQ(a.avgIRPenalty, b.avgIRPenalty);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+}
+
+/**
+ * The acceptance property: the same grid run serially and with
+ * several workers yields byte-identical metrics. Simulations share
+ * only const data, so worker count must not leak into results.
+ */
+TEST(SimJobRunner, ParallelRunsAreDeterministic)
+{
+    const std::vector<std::string> names = {"m88ksim", "compress"};
+
+    const auto buildGrid = [&](SimJobRunner &runner) {
+        for (const std::string &name : names) {
+            const ProgramCache::Entry &e =
+                ProgramCache::global().get(name, WorkloadSize::Test);
+            runner.add([&e] {
+                return runSS(e.program, ss64x4Params(), "SS(64x4)",
+                             e.golden);
+            });
+            runner.add([&e] {
+                return runSlipstream(e.program, cmp2x64x4Params(),
+                                     e.golden);
+            });
+        }
+    };
+
+    SimJobRunner serial(1);
+    buildGrid(serial);
+    const std::vector<RunMetrics> want = serial.run();
+
+    SimJobRunner parallel(4);
+    buildGrid(parallel);
+    const std::vector<RunMetrics> got = parallel.run();
+
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+        SCOPED_TRACE("grid index " + std::to_string(i));
+        expectIdenticalMetrics(want[i], got[i]);
+        EXPECT_TRUE(got[i].outputCorrect);
+    }
+}
+
+TEST(DefaultJobs, EnvOverrideWins)
+{
+    setenv("SLIPSTREAM_JOBS", "3", 1);
+    EXPECT_EQ(defaultJobs(), 3u);
+    unsetenv("SLIPSTREAM_JOBS");
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(DefaultJobs, GarbageFallsBackToHardware)
+{
+    setenv("SLIPSTREAM_JOBS", "not-a-number", 1);
+    EXPECT_GE(defaultJobs(), 1u);
+    unsetenv("SLIPSTREAM_JOBS");
+}
+
+} // namespace
+} // namespace slip

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <sstream>
 
+#include "assembler/assembler.hh"
 #include "common/stats.hh"
+#include "slipstream/slipstream_processor.hh"
+#include "workloads/workloads.hh"
 
 namespace slip
 {
@@ -74,6 +78,104 @@ TEST(Stats, GetMissingDistributionPanics)
 {
     StatGroup g("g");
     EXPECT_THROW(g.getDistribution("nope"), PanicError);
+}
+
+TEST(Stats, HandleIncrementsTheNamedCounter)
+{
+    StatGroup g("g");
+    StatGroup::Handle h = g.handle("events");
+    ASSERT_TRUE(h.bound());
+    ++h;
+    h += 9;
+    EXPECT_EQ(g.get("events"), 10u);
+    EXPECT_EQ(h.value(), 10u);
+}
+
+TEST(Stats, HandleSurvivesLaterCounterCreation)
+{
+    // The registry is node-based, so a handle must stay valid while
+    // other counters are created around it.
+    StatGroup g("g");
+    StatGroup::Handle h = g.handle("m");
+    for (int i = 0; i < 100; ++i)
+        g.counter("other_" + std::to_string(i));
+    ++h;
+    EXPECT_EQ(g.get("m"), 1u);
+}
+
+TEST(Stats, UnboundHandleReadsZero)
+{
+    StatGroup::Handle h;
+    EXPECT_FALSE(h.bound());
+    EXPECT_EQ(h.value(), 0u);
+}
+
+TEST(Stats, LinkedCounterIsVisibleThroughTheGroup)
+{
+    StatGroup g("core");
+    uint64_t hot = 0;
+    g.link("retired", hot);
+    hot += 42;
+    EXPECT_TRUE(g.hasCounter("retired"));
+    EXPECT_EQ(g.get("retired"), 42u);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("core.retired 42"), std::string::npos);
+
+    g.reset();
+    EXPECT_EQ(hot, 0u);
+    EXPECT_EQ(g.get("retired"), 0u);
+}
+
+TEST(Stats, LinkedCountersSortWithOwnedOnesInDump)
+{
+    StatGroup g("core");
+    uint64_t a = 1;
+    g.counter("b") += 2;
+    g.link("a", a);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_LT(out.find("core.a 1"), out.find("core.b 2"));
+}
+
+TEST(RemovalAccounting, NamesExpandFromMaskTallies)
+{
+    ReasonCounts c{};
+    c[reason::kBR] = 5;
+    c[reason::kSV | reason::kBR] = 2;
+    c[reason::kProp | reason::kSV] = 3;
+    const std::map<std::string, uint64_t> named = reasonCountsByName(c);
+    ASSERT_EQ(named.size(), 3u);
+    EXPECT_EQ(named.at("BR"), 5u);
+    EXPECT_EQ(named.at("SV,BR"), 2u);
+    EXPECT_EQ(named.at("P:SV"), 3u);
+}
+
+TEST(RemovalAccounting, SlipstreamRunTalliesAreConsistent)
+{
+    // The mask-indexed accounting (hot path) and the name-keyed map
+    // (result view) must describe the same removals.
+    const Workload w = getWorkload("m88ksim", WorkloadSize::Test);
+    const Program program = assemble(w.source);
+    SlipstreamProcessor proc(program, SlipstreamParams{});
+    const SlipstreamRunResult r = proc.run();
+
+    ASSERT_TRUE(r.halted);
+    EXPECT_GT(r.removedSlots, 0u);
+
+    const uint64_t maskTotal =
+        std::accumulate(r.removedByReasonMask.begin(),
+                        r.removedByReasonMask.end(), uint64_t(0));
+    EXPECT_EQ(maskTotal, r.removedSlots);
+
+    EXPECT_EQ(r.removedByReason,
+              reasonCountsByName(r.removedByReasonMask));
+    uint64_t nameTotal = 0;
+    for (const auto &[name, count] : r.removedByReason)
+        nameTotal += count;
+    EXPECT_EQ(nameTotal, r.removedSlots);
 }
 
 } // namespace
