@@ -1,65 +1,64 @@
 /**
  * Quantifies the paper's §3 transient-fault analysis (Figure 5's three
- * scenarios give no numeric table; this harness produces one).
+ * scenarios give no numeric table; this harness produces one) with
+ * multi-target, multi-fault campaigns.
  *
- * A campaign of single-bit faults is injected per benchmark, split
- * between A-stream and R-stream-pipeline targets at random dynamic
- * positions. Each run is classified against the golden output:
+ * Three campaigns run, all through the deterministic FaultCampaign
+ * runner (results are byte-identical for any SLIPSTREAM_JOBS):
  *
- *   detected+recovered  fault exposed as a "misprediction", output
- *                       correct (scenario #1)
- *   silent-corrupt      fault reached architectural state and changed
- *                       the output (scenario #2: R-pipeline fault in
- *                       an A-stream-skipped region)
- *   silent-benign       fault reached architectural state but the
- *                       output happened to match (masked)
- *   no-victim           the chosen target had no executed copy
+ *  1. slipstream mode — the full target mix, including MemoryCell
+ *     (outside the sphere of replication: quantifies the ECC hole)
+ *     and AStreamStall (watchdog territory).
+ *  2. reliable / AR-SMT mode — full redundancy; expected shape is
+ *     zero silent corruption.
+ *  3. forced degradation — a dense burst of A-side faults against a
+ *     permissive degrade window, demonstrating the graceful fallback
+ *     to R-only execution with output intact.
  *
- * Run in both slipstream mode (partial redundancy -> a coverage hole
- * proportional to removal) and reliable/AR-SMT mode (full redundancy
- * -> no silent corruption).
- *
- * Fault plans are drawn serially (one Rng stream per mode, as ever)
- * so the campaign is reproducible; the trials themselves — each a
- * full simulation — run as parallel jobs.
+ * Every trial is classified (see fault_campaign.hh) and the machine-
+ * readable report lands in results/fault_campaign.json (override with
+ * $SLIPSTREAM_FAULT_JSON), next to bench_perf.json.
  */
 
 #include "bench/bench_timing.hh"
 #include "bench_common.hh"
-#include "common/random.hh"
+#include "harness/fault_campaign.hh"
 
 namespace
 {
 
 using namespace slip;
 
-struct Tally
-{
-    unsigned detected = 0;
-    unsigned silentCorrupt = 0;
-    unsigned silentBenign = 0;
-    unsigned noVictim = 0;
-};
-
+/** One campaign's per-workload classification table. */
 void
-classify(Tally &tally, const FaultPlan &plan, const RunMetrics &m)
+printCampaign(const FaultCampaignResult &result, bench::Timing &timing)
 {
-    if (!m.faultOutcome.injected) {
-        ++tally.noVictim;
-    } else if (m.faultOutcome.detected) {
-        ++tally.detected;
-        if (!m.outputCorrect)
-            SLIP_FATAL("detected fault but output corrupt!");
-    } else if (plan.target == FaultTarget::AStream &&
-               !m.faultOutcome.targetWasRedundant) {
-        // A-stream target was a skipped instruction: no physical
-        // victim existed (nothing executed to corrupt).
-        ++tally.noVictim;
-    } else if (m.outputCorrect) {
-        ++tally.silentBenign;
-    } else {
-        ++tally.silentCorrupt;
+    Table table({"benchmark", "trials", "faults", "det+rec", "hung+rec",
+                 "silent-benign", "silent-corrupt", "det-but-corrupt",
+                 "no-victim", "hung", "degraded"});
+    for (const auto &[name, t] : result.perWorkload) {
+        table.addRow(
+            {name, Table::count(t.trials), Table::count(t.faultsInjected),
+             Table::count(t.outcomes(TrialOutcome::DetectedRecovered)),
+             Table::count(t.outcomes(TrialOutcome::HungRecovered)),
+             Table::count(t.outcomes(TrialOutcome::SilentBenign)),
+             Table::count(t.outcomes(TrialOutcome::SilentCorrupt)),
+             Table::count(t.outcomes(TrialOutcome::DetectedButCorrupt)),
+             Table::count(t.outcomes(TrialOutcome::NoVictim)),
+             Table::count(t.outcomes(TrialOutcome::Hung)),
+             Table::count(t.degradedRuns)});
     }
+    table.print(std::cout);
+
+    const CampaignTally &t = result.total;
+    std::cout << "totals: " << t.faultsPlanned << " faults planned, "
+              << t.faultsInjected << " injected, " << t.faultsDetected
+              << " detected; detection latency avg "
+              << t.avgLatency() << " / max " << t.latencyMax
+              << " cycles over " << t.latencySamples << " samples\n\n";
+
+    for (const TrialRecord &trial : result.trials)
+        timing.addCycles(trial.metrics.cycles);
 }
 
 } // namespace
@@ -69,72 +68,77 @@ main()
 {
     using namespace slip;
     bench::banner("Fault coverage (paper §3, Figure 5 scenarios)",
-                  "single bit-flip campaigns per benchmark");
+                  "multi-target bit-flip campaigns per benchmark");
 
-    const unsigned trials =
-        bench::benchSize() == WorkloadSize::Test ? 10 : 24;
-
-    // Use the fast Test-size inputs for fault campaigns: each trial
-    // is a full simulation.
-    const std::vector<Workload> workloads =
-        allWorkloads(WorkloadSize::Test);
-
-    SimJobRunner runner;
-    bench::Timing timing("fault_coverage", runner.jobs());
-
-    for (bool reliable : {false, true}) {
-        std::cout << "---- "
-                  << (reliable ? "reliable mode (AR-SMT, no removal)"
-                               : "slipstream mode (partial redundancy)")
-                  << " ----\n";
-
-        // Draw every plan up front, in the fixed serial order.
-        Rng rng(20260705);
-        std::vector<FaultPlan> plans;
-        for (const Workload &w : workloads) {
-            const ProgramCache::Entry &e =
-                ProgramCache::global().get(w.name,
-                                           WorkloadSize::Test);
-            for (unsigned t = 0; t < trials; ++t) {
-                FaultPlan plan;
-                plan.target = (t % 2) ? FaultTarget::AStream
-                                      : FaultTarget::RPipeline;
-                // Inject in the steady-state half of the run.
-                plan.dynIndex = e.goldenInstCount / 4 +
-                                rng.below(e.goldenInstCount / 2);
-                plan.bit = unsigned(rng.below(64));
-                plans.push_back(plan);
-                runner.add([&e, plan, reliable] {
-                    SlipstreamParams params = cmp2x64x4Params();
-                    if (reliable)
-                        params.irPred.enabled = false;
-                    return runSlipstream(e.program, params, e.golden,
-                                         &plan);
-                });
-            }
-        }
-        const std::vector<RunMetrics> results = runner.run();
-
-        Table table({"benchmark", "trials", "detected+recovered",
-                     "silent-corrupt", "silent-benign", "no-victim"});
-        for (size_t i = 0; i < workloads.size(); ++i) {
-            Tally t;
-            for (unsigned k = 0; k < trials; ++k) {
-                const size_t idx = i * trials + k;
-                timing.addCycles(results[idx].cycles);
-                classify(t, plans[idx], results[idx]);
-            }
-            table.addRow({workloads[i].name, Table::count(trials),
-                          Table::count(t.detected),
-                          Table::count(t.silentCorrupt),
-                          Table::count(t.silentBenign),
-                          Table::count(t.noVictim)});
-        }
-        table.print(std::cout);
-        std::cout << "\n";
+    // Per-workload trial counts: at `default`, 256 trials x ~2 faults
+    // each lands well past 500 mixed-target faults per workload.
+    unsigned trials = 64;
+    switch (bench::benchSize()) {
+      case WorkloadSize::Test:
+        trials = 12;
+        break;
+      case WorkloadSize::Small:
+        trials = 64;
+        break;
+      case WorkloadSize::Default:
+        trials = 256;
+        break;
     }
-    std::cout << "expected shape: reliable mode has zero silent\n"
-                 "corruption; slipstream mode's silent cases track the\n"
-                 "removed (non-redundant) fraction of each benchmark.\n";
+
+    SimJobRunner probe; // job-count reporting only
+    bench::Timing timing("fault_coverage", probe.jobs());
+    std::vector<std::string> report;
+
+    // ---- campaign 1: slipstream mode, full target mix ----
+    std::cout << "---- slipstream mode (partial redundancy, all "
+                 "targets) ----\n";
+    FaultCampaignConfig slip;
+    slip.name = "slipstream_mixed_targets";
+    slip.trialsPerWorkload = trials;
+    const FaultCampaignResult slipResult = runFaultCampaign(slip);
+    printCampaign(slipResult, timing);
+    report.push_back(campaignJson(slip, slipResult));
+
+    // ---- campaign 2: reliable (AR-SMT) mode ----
+    std::cout << "---- reliable mode (AR-SMT, no removal) ----\n";
+    FaultCampaignConfig reliable;
+    reliable.name = "reliable_mode";
+    reliable.trialsPerWorkload = trials;
+    reliable.reliableMode = true;
+    const FaultCampaignResult reliableResult =
+        runFaultCampaign(reliable);
+    printCampaign(reliableResult, timing);
+    report.push_back(campaignJson(reliable, reliableResult));
+    if (reliableResult.total.outcomes(TrialOutcome::SilentCorrupt) ||
+        reliableResult.total.outcomes(
+            TrialOutcome::DetectedButCorrupt)) {
+        std::cout << "WARNING: reliable mode produced corrupted "
+                     "output -- redundancy hole!\n\n";
+    }
+
+    // ---- campaign 3: forced degradation to R-only ----
+    std::cout << "---- forced degradation (dense A-side burst, "
+                 "permissive degrade window) ----\n";
+    FaultCampaignConfig burst;
+    burst.name = "forced_degradation";
+    burst.workloads = {"m88ksim"};
+    burst.trialsPerWorkload = 4;
+    burst.minFaultsPerTrial = 12;
+    burst.maxFaultsPerTrial = 12;
+    burst.targets = {FaultTarget::AStream};
+    burst.params.degrade.windowCycles = 100'000;
+    burst.params.degrade.recoveryThreshold = 6;
+    const FaultCampaignResult burstResult = runFaultCampaign(burst);
+    printCampaign(burstResult, timing);
+    report.push_back(campaignJson(burst, burstResult));
+
+    writeFaultReport(report);
+
+    std::cout
+        << "expected shape: reliable mode has zero silent corruption;\n"
+           "slipstream mode's silent cases track the removed\n"
+           "(non-redundant) fraction plus the MemoryCell (ECC) hole;\n"
+           "the burst campaign degrades every run to R-only with\n"
+           "output intact.\n";
     return 0;
 }

@@ -62,9 +62,22 @@ report(const char *label, const SlipstreamRunResult &r,
                   << (r.faultOutcome.detected ? "yes (recovered)"
                                               : "NO (silent)")
                   << "\n";
+        for (const FaultRecord &rec : r.faultOutcome.records) {
+            if (!rec.detected)
+                continue;
+            std::cout << "  detect latency:   "
+                      << rec.detectionLatency() << " cycles ("
+                      << faultTargetName(rec.plan.target) << ")\n";
+        }
     }
-    std::cout << "  recoveries:       " << r.irMispredicts << "\n"
-              << "  output correct:   "
+    std::cout << "  recoveries:       " << r.irMispredicts << "\n";
+    if (r.watchdogTrips)
+        std::cout << "  watchdog trips:   " << r.watchdogTrips << "\n";
+    if (r.degraded)
+        std::cout << "  DEGRADED to R-only at cycle "
+                  << r.degradedAtCycle << " (" << r.rOnlyRetired
+                  << " instructions retired R-only)\n";
+    std::cout << "  output correct:   "
               << (r.output == golden ? "yes" : "NO — CORRUPTED")
               << "\n\n";
 }
@@ -106,7 +119,7 @@ main()
         std::cout << "scanning for a non-redundant victim "
                      "(scenario #2)...\n";
         bool found = false;
-        for (uint64_t idx = 3000; idx < 3600 && !found; idx += 11) {
+        for (uint64_t idx = 300; idx < 900 && !found; idx += 11) {
             SlipstreamProcessor proc(program);
             proc.faultInjector().arm({FaultTarget::RPipeline, idx, 0});
             const SlipstreamRunResult r = proc.run();
@@ -128,9 +141,48 @@ main()
         SlipstreamParams params;
         params.irPred.enabled = false;
         SlipstreamProcessor proc(program, params);
-        proc.faultInjector().arm({FaultTarget::RPipeline, 3100, 7});
+        proc.faultInjector().arm({FaultTarget::RPipeline, 610, 7});
         report("reliable (AR-SMT) mode, same fault class:", proc.run(),
                golden);
+    }
+
+    // A value corrupted *in transit* between the cores (delay-buffer
+    // payload): always compared, so always detected.
+    {
+        SlipstreamProcessor proc(program);
+        proc.faultInjector().arm(
+            {FaultTarget::DelayBufferValue, 700, 9});
+        report("delay-buffer payload corrupted in transit:",
+               proc.run(), golden);
+    }
+
+    // The A-stream front end wedges (a control-flow derailing fault):
+    // only the forward-progress watchdog can expose it. The forced
+    // recovery resynchronizes the A-stream and the run completes.
+    {
+        SlipstreamParams params;
+        params.watchdog.stallCycles = 2000;
+        SlipstreamProcessor proc(program, params);
+        proc.faultInjector().arm({FaultTarget::AStreamStall, 900, 0});
+        report("A-stream wedged; watchdog forces the recovery:",
+               proc.run(), golden);
+    }
+
+    // Graceful degradation: a dense burst of A-side faults trips the
+    // recovery-storm detector; the processor sheds the A-stream and
+    // finishes the program R-only — output still intact.
+    {
+        SlipstreamParams params;
+        params.irPred.enabled = false;
+        params.degrade.windowCycles = 50'000;
+        params.degrade.recoveryThreshold = 3;
+        SlipstreamProcessor proc(program, params);
+        std::vector<FaultPlan> burst;
+        for (uint64_t i = 0; i < 6; ++i)
+            burst.push_back({FaultTarget::AStream, 400 + 120 * i, 4});
+        proc.faultInjector().arm(burst);
+        report("recovery storm; graceful degradation to R-only:",
+               proc.run(), golden);
     }
 
     return 0;

@@ -63,10 +63,21 @@ RunMetrics
 runSlipstream(const Program &program, const SlipstreamParams &params,
               const std::string &golden, const FaultPlan *fault)
 {
-    SlipstreamProcessor proc(program, params);
+    std::vector<FaultPlan> faults;
     if (fault)
-        proc.faultInjector().arm(*fault);
-    const SlipstreamRunResult r = proc.run();
+        faults.push_back(*fault);
+    return runSlipstream(program, params, golden, faults, 0);
+}
+
+RunMetrics
+runSlipstream(const Program &program, const SlipstreamParams &params,
+              const std::string &golden,
+              const std::vector<FaultPlan> &faults, Cycle maxCycles)
+{
+    SlipstreamProcessor proc(program, params);
+    if (!faults.empty())
+        proc.faultInjector().arm(faults);
+    const SlipstreamRunResult r = proc.run(maxCycles);
 
     RunMetrics m;
     m.model = "CMP(2x64x4)";
@@ -82,8 +93,12 @@ runSlipstream(const Program &program, const SlipstreamParams &params,
     m.irMispPer1000 = r.irMispPer1000();
     m.avgIRPenalty = r.avgIRPenalty();
     m.recoveries = r.irMispredicts;
-    if (fault)
-        m.faultOutcome = proc.faultInjector().outcome();
+    m.hung = r.hung;
+    m.watchdogTrips = r.watchdogTrips;
+    m.degraded = r.degraded;
+    m.degradedAtCycle = r.degradedAtCycle;
+    m.rOnlyRetired = r.rOnlyRetired;
+    m.faultOutcome = r.faultOutcome;
     return m;
 }
 

@@ -40,6 +40,13 @@ struct RunMetrics
     double avgIRPenalty = 0.0;
     uint64_t recoveries = 0;
 
+    // Robustness telemetry (slipstream only).
+    bool hung = false;          // run did not complete
+    unsigned watchdogTrips = 0; // watchdog-forced recoveries
+    bool degraded = false;      // shed the A-stream mid-run
+    Cycle degradedAtCycle = 0;
+    uint64_t rOnlyRetired = 0;
+
     // Fault-campaign result (meaningful when a FaultPlan was armed).
     FaultOutcome faultOutcome;
 };
@@ -69,6 +76,17 @@ RunMetrics runSlipstream(const Program &program,
                          const SlipstreamParams &params,
                          const std::string &golden,
                          const FaultPlan *fault = nullptr);
+
+/**
+ * Multi-fault variant: arms the whole plan list and (when `maxCycles`
+ * is nonzero) caps the run — a hung run then reports `hung` instead
+ * of spinning forever.
+ */
+RunMetrics runSlipstream(const Program &program,
+                         const SlipstreamParams &params,
+                         const std::string &golden,
+                         const std::vector<FaultPlan> &faults,
+                         Cycle maxCycles);
 
 /**
  * Run one workload on all three models (assembling once), validating

@@ -1,0 +1,297 @@
+#include "harness/fault_campaign.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "harness/sim_runner.hh"
+
+namespace slip
+{
+
+const char *
+trialOutcomeName(TrialOutcome outcome)
+{
+    switch (outcome) {
+      case TrialOutcome::DetectedRecovered:
+        return "detected_recovered";
+      case TrialOutcome::HungRecovered:
+        return "hung_recovered";
+      case TrialOutcome::SilentBenign:
+        return "silent_benign";
+      case TrialOutcome::SilentCorrupt:
+        return "silent_corrupt";
+      case TrialOutcome::DetectedButCorrupt:
+        return "detected_but_corrupt";
+      case TrialOutcome::NoVictim:
+        return "no_victim";
+      case TrialOutcome::Hung:
+        return "hung";
+    }
+    return "?";
+}
+
+TrialOutcome
+classifyTrial(const RunMetrics &m)
+{
+    if (m.hung)
+        return TrialOutcome::Hung;
+    if (m.faultOutcome.numInjected == 0)
+        return TrialOutcome::NoVictim;
+    if (m.outputCorrect) {
+        if (m.watchdogTrips > 0)
+            return TrialOutcome::HungRecovered;
+        if (m.faultOutcome.numDetected > 0)
+            return TrialOutcome::DetectedRecovered;
+        return TrialOutcome::SilentBenign;
+    }
+    // Corrupted output with an undetected landed fault is that
+    // fault's doing (scenario #2). Only when *every* landed fault was
+    // detected is a corrupt output anomalous.
+    return m.faultOutcome.numDetected >= m.faultOutcome.numInjected
+               ? TrialOutcome::DetectedButCorrupt
+               : TrialOutcome::SilentCorrupt;
+}
+
+std::vector<FaultTarget>
+defaultCampaignTargets(bool reliableMode)
+{
+    if (reliableMode) {
+        return {FaultTarget::AStream,          FaultTarget::RPipeline,
+                FaultTarget::DelayBufferValue,
+                FaultTarget::DelayBufferBranch, FaultTarget::ARegister,
+                FaultTarget::AStreamStall};
+    }
+    return {FaultTarget::AStream,           FaultTarget::RPipeline,
+            FaultTarget::DelayBufferValue,  FaultTarget::DelayBufferBranch,
+            FaultTarget::IRPredictor,       FaultTarget::ARegister,
+            FaultTarget::MemoryCell,        FaultTarget::AStreamStall};
+}
+
+FaultCampaignConfig::FaultCampaignConfig()
+{
+    // Campaign trials deliberately provoke stalls (AStreamStall, wild
+    // A-side corruption): a short watchdog fuse keeps those trials
+    // cheap without risking false trips — healthy runs never go even
+    // hundreds of cycles without R retirement.
+    params.watchdog.stallCycles = 20'000;
+}
+
+void
+CampaignTally::add(const TrialRecord &trial)
+{
+    ++trials;
+    const FaultOutcome &fo = trial.metrics.faultOutcome;
+    faultsPlanned += fo.planned;
+    faultsInjected += fo.numInjected;
+    faultsDetected += fo.numDetected;
+    ++byOutcome[static_cast<unsigned>(trial.outcome)];
+    if (trial.metrics.degraded)
+        ++degradedRuns;
+    for (const FaultRecord &r : fo.records) {
+        if (!r.detected)
+            continue;
+        const Cycle latency = r.detectionLatency();
+        ++latencySamples;
+        latencyTotal += latency;
+        latencyMax = std::max(latencyMax, latency);
+    }
+}
+
+FaultCampaignResult
+runFaultCampaign(const FaultCampaignConfig &cfg)
+{
+    std::vector<std::string> names = cfg.workloads;
+    if (names.empty())
+        for (const Workload &w : allWorkloads(cfg.size))
+            names.push_back(w.name);
+
+    const std::vector<FaultTarget> targets =
+        !cfg.targets.empty() ? cfg.targets
+                             : defaultCampaignTargets(cfg.reliableMode);
+    SLIP_ASSERT(!targets.empty(), "campaign has no fault targets");
+    SLIP_ASSERT(cfg.minFaultsPerTrial >= 1 &&
+                    cfg.minFaultsPerTrial <= cfg.maxFaultsPerTrial,
+                "bad faults-per-trial range [", cfg.minFaultsPerTrial,
+                ", ", cfg.maxFaultsPerTrial, "]");
+
+    SlipstreamParams params = cfg.params;
+    if (cfg.reliableMode)
+        params.irPred.enabled = false;
+
+    // Draw every trial's plan list serially, in a fixed order, before
+    // submitting any job: determinism for any worker count.
+    struct TrialSpec
+    {
+        const ProgramCache::Entry *entry;
+        std::string workload;
+        std::vector<FaultPlan> plans;
+        Cycle maxCycles;
+    };
+    Rng rng(cfg.seed);
+    std::vector<TrialSpec> specs;
+    for (const std::string &name : names) {
+        const ProgramCache::Entry &e =
+            ProgramCache::global().get(name, cfg.size);
+        // Generous completion allowance: the full run at a pessimistic
+        // IPC, plus every watchdog trip the processor may spend.
+        const Cycle maxCycles =
+            e.goldenInstCount * cfg.cycleCapPerInst +
+            Cycle(params.watchdog.maxTrips + 2) *
+                params.watchdog.stallCycles +
+            100'000;
+        for (unsigned t = 0; t < cfg.trialsPerWorkload; ++t) {
+            const unsigned numFaults =
+                cfg.minFaultsPerTrial +
+                unsigned(rng.below(cfg.maxFaultsPerTrial -
+                                   cfg.minFaultsPerTrial + 1));
+            std::vector<FaultPlan> plans;
+            for (unsigned k = 0; k < numFaults; ++k) {
+                FaultPlan p;
+                p.target = targets[rng.below(targets.size())];
+                // Inject in the steady-state half of the run.
+                p.dynIndex =
+                    e.goldenInstCount / 4 +
+                    rng.below(std::max<uint64_t>(
+                        e.goldenInstCount / 2, 1));
+                p.bit = unsigned(rng.below(64));
+                p.reg = RegIndex(1 + rng.below(kNumRegs - 1));
+                plans.push_back(p);
+            }
+            specs.push_back(
+                {&e, name, std::move(plans), maxCycles});
+        }
+    }
+
+    SimJobRunner runner;
+    for (const TrialSpec &spec : specs) {
+        const TrialSpec *s = &spec;
+        runner.add([&params, s] {
+            return runSlipstream(s->entry->program, params,
+                                 s->entry->golden, s->plans,
+                                 s->maxCycles);
+        });
+    }
+    const std::vector<RunMetrics> metrics = runner.run();
+
+    FaultCampaignResult result;
+    result.perWorkload.reserve(names.size());
+    for (const std::string &name : names)
+        result.perWorkload.emplace_back(name, CampaignTally{});
+    for (size_t i = 0; i < specs.size(); ++i) {
+        TrialRecord trial;
+        trial.workload = specs[i].workload;
+        trial.plans = std::move(specs[i].plans);
+        trial.metrics = metrics[i];
+        trial.outcome = classifyTrial(trial.metrics);
+        result.total.add(trial);
+        for (auto &[wname, tally] : result.perWorkload)
+            if (wname == trial.workload)
+                tally.add(trial);
+        result.trials.push_back(std::move(trial));
+    }
+    return result;
+}
+
+namespace
+{
+
+void
+tallyJson(std::ostringstream &out, const CampaignTally &t,
+          const char *indent)
+{
+    out << indent << "\"trials\": " << t.trials << ",\n"
+        << indent << "\"faults\": {\"planned\": " << t.faultsPlanned
+        << ", \"injected\": " << t.faultsInjected
+        << ", \"detected\": " << t.faultsDetected << "},\n"
+        << indent << "\"outcomes\": {";
+    for (unsigned o = 0; o < kNumTrialOutcomes; ++o) {
+        if (o)
+            out << ", ";
+        out << "\"" << trialOutcomeName(TrialOutcome(o))
+            << "\": " << t.byOutcome[o];
+    }
+    out << "},\n"
+        << indent << "\"degraded_runs\": " << t.degradedRuns << ",\n"
+        << indent << "\"detection_latency_cycles\": {\"samples\": "
+        << t.latencySamples << ", \"avg\": " << t.avgLatency()
+        << ", \"max\": " << t.latencyMax << "}";
+}
+
+} // namespace
+
+std::string
+campaignJson(const FaultCampaignConfig &cfg,
+             const FaultCampaignResult &result)
+{
+    const std::vector<FaultTarget> targets =
+        !cfg.targets.empty() ? cfg.targets
+                             : defaultCampaignTargets(cfg.reliableMode);
+
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"campaign\": \"" << cfg.name << "\",\n"
+        << "  \"mode\": \""
+        << (cfg.reliableMode ? "reliable" : "slipstream") << "\",\n"
+        << "  \"size\": \"" << sizeName(cfg.size) << "\",\n"
+        << "  \"seed\": " << cfg.seed << ",\n"
+        << "  \"trials_per_workload\": " << cfg.trialsPerWorkload
+        << ",\n"
+        << "  \"faults_per_trial\": [" << cfg.minFaultsPerTrial << ", "
+        << cfg.maxFaultsPerTrial << "],\n"
+        << "  \"targets\": [";
+    for (size_t i = 0; i < targets.size(); ++i) {
+        if (i)
+            out << ", ";
+        out << "\"" << faultTargetName(targets[i]) << "\"";
+    }
+    out << "],\n";
+    tallyJson(out, result.total, "  ");
+    out << ",\n  \"workloads\": [\n";
+    for (size_t i = 0; i < result.perWorkload.size(); ++i) {
+        const auto &[name, tally] = result.perWorkload[i];
+        out << "    {\n      \"name\": \"" << name << "\",\n";
+        tallyJson(out, tally, "      ");
+        out << "\n    }" << (i + 1 < result.perWorkload.size() ? "," : "")
+            << "\n";
+    }
+    out << "  ]\n}";
+    return out.str();
+}
+
+void
+writeFaultReport(const std::vector<std::string> &campaignObjects,
+                 const std::string &path)
+{
+    try {
+        std::string target = path;
+        if (target.empty()) {
+            if (const char *env =
+                    std::getenv("SLIPSTREAM_FAULT_JSON"))
+                target = env;
+            else
+                target = "results/fault_campaign.json";
+        }
+        const std::filesystem::path dir =
+            std::filesystem::path(target).parent_path();
+        if (!dir.empty())
+            std::filesystem::create_directories(dir);
+
+        std::ofstream out(target, std::ios::trunc);
+        if (!out)
+            return;
+        out << "[\n";
+        for (size_t i = 0; i < campaignObjects.size(); ++i)
+            out << campaignObjects[i]
+                << (i + 1 < campaignObjects.size() ? "," : "") << "\n";
+        out << "]\n";
+    } catch (...) {
+        // Reporting must never take down a campaign.
+    }
+}
+
+} // namespace slip

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Fault-injection campaign runner (paper §3, made quantitative).
+ *
+ * A campaign draws a reproducible batch of multi-fault trial plans —
+ * mixed targets, random dynamic positions and bits — and fans the
+ * trials out on the parallel SimJobRunner. Each trial is one full
+ * slipstream simulation, cycle-capped so a wedged run ends in a
+ * classified `hung` outcome instead of hanging the harness, and is
+ * classified against the golden output:
+ *
+ *   detected+recovered   every landed fault detected, output correct
+ *   hung+recovered       the watchdog forced the recovery that saved
+ *                        the run (A-stream derailed, no comparison
+ *                        could fire); output correct
+ *   silent-benign        a fault landed undetected, output correct
+ *   silent-corrupt       output corrupted with at least one landed
+ *                        fault undetected — the undetected fault's
+ *                        doing (paper scenario #2)
+ *   detected-but-corrupt output corrupted although every landed
+ *                        fault was detected (model-soundness
+ *                        tripwire: should stay zero)
+ *   no-victim            no planned fault found a physical victim
+ *   hung                 the run did not complete
+ *
+ * Plans are drawn serially from one Rng before any job is submitted
+ * and SimJobRunner returns results in submission order, so campaign
+ * results are byte-identical for any SLIPSTREAM_JOBS.
+ */
+
+#ifndef SLIPSTREAM_HARNESS_FAULT_CAMPAIGN_HH
+#define SLIPSTREAM_HARNESS_FAULT_CAMPAIGN_HH
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "workloads/workloads.hh"
+
+namespace slip
+{
+
+/** How one fault-injection trial ended. */
+enum class TrialOutcome : uint8_t
+{
+    DetectedRecovered,
+    HungRecovered,
+    SilentBenign,
+    SilentCorrupt,
+    DetectedButCorrupt,
+    NoVictim,
+    Hung,
+};
+
+inline constexpr unsigned kNumTrialOutcomes = 7;
+
+/** "detected_recovered", "hung_recovered", ... (report keys). */
+const char *trialOutcomeName(TrialOutcome outcome);
+
+/** Classify one finished trial from its metrics. */
+TrialOutcome classifyTrial(const RunMetrics &m);
+
+/**
+ * Target mix when the config leaves `targets` empty. Reliable
+ * (AR-SMT) campaigns exclude MemoryCell — main memory sits outside
+ * the sphere of replication (the paper leaves it to ECC), so
+ * including it would break the mode's zero-silent-corruption
+ * guarantee by construction — and IRPredictor, whose SRAM is unused
+ * when removal is off (never a victim).
+ */
+std::vector<FaultTarget> defaultCampaignTargets(bool reliableMode);
+
+/** One campaign's shape. */
+struct FaultCampaignConfig
+{
+    std::string name = "fault_campaign";
+
+    /** Workload names; empty = all eight, paper order. */
+    std::vector<std::string> workloads;
+    WorkloadSize size = WorkloadSize::Test;
+
+    unsigned trialsPerWorkload = 32;
+    unsigned minFaultsPerTrial = 1;
+    unsigned maxFaultsPerTrial = 3;
+    uint64_t seed = 20260806;
+
+    /** AR-SMT mode: removal disabled, full redundancy. */
+    bool reliableMode = false;
+
+    /** Empty = defaultCampaignTargets(reliableMode). */
+    std::vector<FaultTarget> targets;
+
+    /** Processor configuration shared by every trial. */
+    SlipstreamParams params;
+
+    /**
+     * Per-trial cycle cap: goldenInstCount * cycleCapPerInst plus
+     * full watchdog allowance. Generous for any healthy run (IPC
+     * never drops below ~0.5 on these workloads).
+     */
+    Cycle cycleCapPerInst = 10;
+
+    FaultCampaignConfig();
+};
+
+/** One trial's full story. */
+struct TrialRecord
+{
+    std::string workload;
+    std::vector<FaultPlan> plans;
+    TrialOutcome outcome = TrialOutcome::NoVictim;
+    RunMetrics metrics;
+};
+
+/** Aggregated counts (whole campaign or one workload). */
+struct CampaignTally
+{
+    uint64_t trials = 0;
+    uint64_t faultsPlanned = 0;
+    uint64_t faultsInjected = 0;
+    uint64_t faultsDetected = 0;
+    std::array<uint64_t, kNumTrialOutcomes> byOutcome{};
+    uint64_t degradedRuns = 0;
+
+    // Detection latency over detected fault records.
+    uint64_t latencySamples = 0;
+    Cycle latencyTotal = 0;
+    Cycle latencyMax = 0;
+
+    void add(const TrialRecord &trial);
+
+    uint64_t
+    outcomes(TrialOutcome o) const
+    {
+        return byOutcome[static_cast<unsigned>(o)];
+    }
+
+    double
+    avgLatency() const
+    {
+        return latencySamples
+                   ? static_cast<double>(latencyTotal) / latencySamples
+                   : 0.0;
+    }
+};
+
+struct FaultCampaignResult
+{
+    std::vector<TrialRecord> trials;
+
+    /** Per-workload tallies in config order, plus the grand total. */
+    std::vector<std::pair<std::string, CampaignTally>> perWorkload;
+    CampaignTally total;
+};
+
+/** Run the campaign (parallel trials, deterministic results). */
+FaultCampaignResult runFaultCampaign(const FaultCampaignConfig &cfg);
+
+/**
+ * One campaign as a JSON object (config echo, outcome counts,
+ * detection-latency stats, per-workload breakdown). Deliberately
+ * excludes wall-clock so reports are byte-stable across machines.
+ */
+std::string campaignJson(const FaultCampaignConfig &cfg,
+                         const FaultCampaignResult &result);
+
+/**
+ * Write campaign objects as a JSON array to `path`, or (when empty)
+ * to $SLIPSTREAM_FAULT_JSON, else results/fault_campaign.json —
+ * alongside bench_perf.json. Best-effort, never throws.
+ */
+void writeFaultReport(const std::vector<std::string> &campaignObjects,
+                      const std::string &path = "");
+
+} // namespace slip
+
+#endif // SLIPSTREAM_HARNESS_FAULT_CAMPAIGN_HH

@@ -63,6 +63,10 @@ AStreamSource::nextBlock(FetchBlock &block)
             ++statStallHalted;
             return false;
         }
+        if (stalled_) {
+            ++statStallFault;
+            return false;
+        }
         if (!canWalk()) {
             ++statStallThrottled;
             return false;
@@ -100,6 +104,25 @@ AStreamSource::walkTrace()
         ++statTracesFallback;
     }
 
+    // --- A-side fault injection: predictor state & stall faults ---
+    if (faultInjector) {
+        while (FaultRecord *rec = faultInjector->fire(
+                   InjectPoint::ATraceStart, walkedSlots_)) {
+            rec->pc = startPc;
+            if (rec->plan.target == FaultTarget::IRPredictor) {
+                // Flip a bit of the entry about to be consulted; a
+                // live (valid) entry is a real victim.
+                rec->injected = irPredictor.corruptEntry(
+                    history, guess, rec->plan.bit);
+            } else { // AStreamStall
+                rec->injected = true;
+                stalled_ = true;
+            }
+        }
+        if (stalled_)
+            return; // the front end is wedged; watchdog territory
+    }
+
     // --- removal plan from the IR-predictor ---
     std::optional<RemovalPlan> plan = irPredictor.lookup(history, guess);
     if (plan)
@@ -123,6 +146,7 @@ AStreamSource::walkTrace()
 
     while (actual.length < lengthCap) {
         const unsigned slotIdx = actual.length;
+        const uint64_t slotIndex = walkedSlots_++;
         const StaticInst &si = program.fetch(pc);
 
         // Defensive gating: never remove side-effecting or
@@ -179,6 +203,19 @@ AStreamSource::walkTrace()
         }
 
         // Executed slot: real computation on the A-stream context.
+        if (faultInjector) {
+            while (FaultRecord *rec = faultInjector->fire(
+                       InjectPoint::ASlot, slotIndex)) {
+                // ARegister: flip one bit of an architectural
+                // register just before this slot executes. The zero
+                // register is hardwired — no victim there.
+                const RegIndex r = rec->plan.reg % kNumRegs;
+                rec->pc = pc;
+                rec->injected = r != 0;
+                state_.writeReg(r,
+                                rec->plan.flip(state_.readReg(r)));
+            }
+        }
         state_.setPc(pc);
         const ExecResult exec = execute(state_, si, &output_);
         ++statSlotsExecuted;
@@ -357,6 +394,7 @@ AStreamSource::recover(Addr pc, const ArchState &rState,
     blocks.clear();
     pending.clear();
     haltWalked = false;
+    stalled_ = false; // a wedged front end restarts clean
     ++statRecoveries;
 }
 

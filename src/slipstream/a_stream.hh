@@ -32,6 +32,7 @@
 #include "assembler/program.hh"
 #include "func/arch_state.hh"
 #include "slipstream/delay_buffer.hh"
+#include "slipstream/fault_injector.hh"
 #include "slipstream/ir_predictor.hh"
 #include "slipstream/recovery_controller.hh"
 #include "uarch/branch_pred.hh"
@@ -82,6 +83,12 @@ class AStreamSource : public FetchSource
     /** Data entries walked but not yet published (throttle input). */
     unsigned pendingData() const;
 
+    /** Optional transient-fault injection (A-side targets). */
+    FaultInjector *faultInjector = nullptr;
+
+    /** Front end wedged by an injected stall fault (watchdog heals). */
+    bool stalled() const { return stalled_; }
+
   private:
     struct PendingPacket
     {
@@ -112,12 +119,15 @@ class AStreamSource : public FetchSource
 
     InstSeqNum nextSeq = 1;
     uint64_t nextPacketNum = 0;
+    uint64_t walkedSlots_ = 0; // A-walk fault-index space
     bool haltWalked = false;
+    bool stalled_ = false;
 
     StatGroup stats_;
     StatGroup::Handle statStallHalted{stats_.handle("stall_halted")};
     StatGroup::Handle statStallThrottled{
         stats_.handle("stall_throttled")};
+    StatGroup::Handle statStallFault{stats_.handle("stall_fault")};
     StatGroup::Handle statTracesPredicted{
         stats_.handle("traces_predicted")};
     StatGroup::Handle statTracesFallback{

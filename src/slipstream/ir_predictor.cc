@@ -111,4 +111,25 @@ IRPredictor::reset()
         e.confidence = 0;
 }
 
+bool
+IRPredictor::corruptEntry(const PathHistory &history,
+                          const TraceId &trace, unsigned bit)
+{
+    if (!params_.enabled)
+        return false;
+    Entry &e = table[indexOf(history, trace)];
+    if (bit < 8) {
+        // Confidence-counter bit: can push a building entry over the
+        // threshold (premature removal) or knock a confident one
+        // under it (lost removal — performance, not correctness).
+        e.confidence ^= 1u << bit;
+    } else {
+        // Stored ir-vec bit: removes an instruction that is not
+        // ineffectual, or keeps one that is. A wrong removal corrupts
+        // only the A-stream; the detector/R-stream checks expose it.
+        e.plan.irVec ^= uint64_t(1) << ((bit - 8) & 63);
+    }
+    return e.valid;
+}
+
 } // namespace slip

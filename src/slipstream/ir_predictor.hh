@@ -88,6 +88,17 @@ class IRPredictor
     /** Drop one entry's confidence (its removal proved wrong). */
     void resetEntry(const PathHistory &history, const TraceId &trace);
 
+    /**
+     * Fault injection: model a single-event upset in the predictor
+     * SRAM. Flips one bit of the entry indexed by (history, trace) —
+     * bits 0-7 land in the resetting confidence counter, bits 8+ in
+     * the stored ir-vec. Returns true when live state was hit (a
+     * valid entry, predictor enabled); corrupting an invalid entry
+     * has no architectural consequence.
+     */
+    bool corruptEntry(const PathHistory &history, const TraceId &trace,
+                      unsigned bit);
+
     const IRPredictorParams &params() const { return params_; }
     StatGroup &stats() { return stats_; }
 

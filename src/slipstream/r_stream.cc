@@ -6,6 +6,109 @@
 namespace slip
 {
 
+void
+RStreamSource::applyFault(FaultRecord &rec, PacketSlot &slot,
+                          const StaticInst &si, const ExecResult &exec,
+                          ExecResult &rView, Addr rPc, bool pcDiverged)
+{
+    const FaultPlan &plan = rec.plan;
+    const bool redundant = slot.executedInA && !pcDiverged;
+    rec.pc = rPc;
+    switch (plan.target) {
+      case FaultTarget::AStream:
+        rec.injected = true;
+        rec.targetWasRedundant = redundant;
+        if (redundant) {
+            // Corrupt the communicated (A-side) copy.
+            if (slot.aExec.wroteReg) {
+                slot.aExec.destValue = plan.flip(slot.aExec.destValue);
+            } else if (slot.si.isStore()) {
+                slot.aExec.storeValue =
+                    plan.flip(slot.aExec.storeValue);
+            } else if (slot.aExec.isControl) {
+                slot.aExec.taken = !slot.aExec.taken;
+            }
+        }
+        // A fault aimed at the A-stream copy of a skipped
+        // instruction has no victim: nothing was executed.
+        break;
+      case FaultTarget::RPipeline:
+        rec.injected = true;
+        rec.targetWasRedundant = redundant;
+        if (redundant) {
+            // Corrupt only the checker's view: detection will squash
+            // and re-execute, so architectural state is written clean.
+            if (rView.wroteReg) {
+                rView.destValue = plan.flip(rView.destValue);
+            } else if (si.isStore()) {
+                rView.storeValue = plan.flip(rView.storeValue);
+            } else if (rView.isControl) {
+                rView.taken = !rView.taken;
+            }
+        } else {
+            // Scenario #2: nothing to compare against — the corrupted
+            // value silently reaches architectural state.
+            if (exec.wroteReg) {
+                state_.writeReg(exec.destReg,
+                                plan.flip(exec.destValue));
+            } else if (si.isStore()) {
+                state_.mem().write(exec.memAddr, exec.memBytes,
+                                   plan.flip(exec.storeValue));
+            }
+        }
+        break;
+      case FaultTarget::DelayBufferValue:
+        // A payload corrupted in transit between the cores. Only
+        // executed slots put a value payload in the buffer.
+        if (redundant) {
+            rec.targetWasRedundant = true;
+            if (slot.aExec.wroteReg) {
+                rec.injected = true;
+                slot.aExec.destValue = plan.flip(slot.aExec.destValue);
+            } else if (slot.aExec.isMem) {
+                rec.injected = true;
+                slot.aExec.memAddr = plan.flip(slot.aExec.memAddr);
+            } else if (slot.aExec.isControl) {
+                rec.injected = true;
+                slot.aExec.taken = !slot.aExec.taken;
+            }
+            // Slots with no value payload (nop/output/halt) carry
+            // nothing to corrupt: no victim.
+        }
+        break;
+      case FaultTarget::DelayBufferBranch:
+        // A communicated branch outcome flipped in transit: the
+        // executed slot's computed direction, or a removed branch's
+        // presumed path direction. Eligibility guarantees si is a
+        // conditional branch; on a diverged path the slot's payload
+        // is already dead, so there is no victim.
+        if (!pcDiverged) {
+            rec.injected = true;
+            rec.targetWasRedundant = slot.executedInA;
+            if (slot.executedInA)
+                slot.aExec.taken = !slot.aExec.taken;
+            else
+                slot.pathTaken = !slot.pathTaken;
+        }
+        break;
+      case FaultTarget::MemoryCell: {
+        // Flip a bit in the authoritative memory cell this access
+        // touches. Both streams read the corrupted cell, so the
+        // redundancy sphere cannot catch it — ECC territory the
+        // paper's §3 explicitly leaves uncovered.
+        const Addr cell = exec.memAddr & ~Addr(7);
+        state_.mem().write(cell, 8,
+                           plan.flip(state_.mem().read(cell, 8)));
+        rec.injected = true;
+        rec.targetWasRedundant = false;
+        break;
+      }
+      default:
+        // A-side targets never reach the RSlot injection point.
+        break;
+    }
+}
+
 RStreamSource::RStreamSource(const Program &program, Memory &rMem,
                              DelayBuffer &delayBuffer, unsigned fetchWidth)
     : program(program), port(rMem), state_(port),
@@ -95,58 +198,20 @@ RStreamSource::walkPacket()
 
         const uint64_t dynIndex = walked++;
 
-        // --- transient fault injection (paper §3) ---
+        // --- transient fault injection (paper §3 + campaign targets) ---
         ExecResult rView = exec; // the value the checker sees
-        bool faultFiredHere = false;
-        if (faultInjector && faultInjector->fires(dynIndex)) {
-            faultFiredHere = true;
-            FaultOutcome &out = faultInjector->outcome();
-            out.injected = true;
-            out.pc = rPc;
-            out.targetWasRedundant = slot.executedInA && !pcDiverged;
-            if (faultInjector->firedTarget() == FaultTarget::AStream) {
-                if (out.targetWasRedundant) {
-                    // Corrupt the communicated (A-side) copy.
-                    if (slot.aExec.wroteReg) {
-                        slot.aExec.destValue =
-                            faultInjector->corrupt(slot.aExec.destValue);
-                    } else if (slot.si.isStore()) {
-                        slot.aExec.storeValue =
-                            faultInjector->corrupt(slot.aExec.storeValue);
-                    } else if (slot.aExec.isControl) {
-                        slot.aExec.taken = !slot.aExec.taken;
-                    }
-                }
-                // A fault aimed at the A-stream copy of a skipped
-                // instruction has no victim: nothing was executed.
-            } else { // RPipeline
-                if (out.targetWasRedundant) {
-                    // Corrupt only the checker's view: detection will
-                    // squash and re-execute, so architectural state is
-                    // written clean.
-                    if (rView.wroteReg) {
-                        rView.destValue =
-                            faultInjector->corrupt(rView.destValue);
-                    } else if (si.isStore()) {
-                        rView.storeValue =
-                            faultInjector->corrupt(rView.storeValue);
-                    } else if (rView.isControl) {
-                        rView.taken = !rView.taken;
-                    }
-                } else {
-                    // Scenario #2: nothing to compare against — the
-                    // corrupted value silently reaches architectural
-                    // state.
-                    if (exec.wroteReg) {
-                        state_.writeReg(
-                            exec.destReg,
-                            faultInjector->corrupt(exec.destValue));
-                    } else if (si.isStore()) {
-                        state_.mem().write(
-                            exec.memAddr, exec.memBytes,
-                            faultInjector->corrupt(exec.storeValue));
-                    }
-                }
+        FaultRecord *firedHere[kMaxCoincidentFaults];
+        unsigned numFiredHere = 0;
+        if (faultInjector) {
+            while (numFiredHere < kMaxCoincidentFaults) {
+                FaultRecord *rec =
+                    faultInjector->fire(InjectPoint::RSlot, dynIndex,
+                                        &si);
+                if (!rec)
+                    break;
+                firedHere[numFiredHere++] = rec;
+                applyFault(*rec, slot, si, exec, rView, rPc,
+                           pcDiverged);
             }
         }
 
@@ -184,8 +249,14 @@ RStreamSource::walkPacket()
             // surfaced at the faulted instruction itself; later
             // divergences caused by silently corrupted state recover
             // into the corrupted context (paper scenario #2).
-            if (faultFiredHere)
-                faultInjector->outcome().detected = true;
+            // MemoryCell faults are outside the sphere of replication
+            // (both streams read the corrupted cell): a coincident
+            // divergence is never *their* detection.
+            for (unsigned k = 0; k < numFiredHere; ++k) {
+                if (firedHere[k]->injected &&
+                    firedHere[k]->plan.target != FaultTarget::MemoryCell)
+                    firedHere[k]->detected = true;
+            }
         }
         if (si.isHalt())
             haltWalked = true;

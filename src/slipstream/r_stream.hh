@@ -37,6 +37,9 @@
 namespace slip
 {
 
+/** Most coincident faults applied at one dynamic instruction. */
+constexpr unsigned kMaxCoincidentFaults = 8;
+
 /** The R-stream front end + the authoritative context. */
 class RStreamSource : public FetchSource
 {
@@ -85,6 +88,11 @@ class RStreamSource : public FetchSource
     };
 
     void walkPacket();
+
+    /** Apply one fired fault plan at the current walk position. */
+    void applyFault(FaultRecord &rec, PacketSlot &slot,
+                    const StaticInst &si, const ExecResult &exec,
+                    ExecResult &rView, Addr rPc, bool pcDiverged);
 
     /** Compare one redundantly executed slot; true on disagreement. */
     bool slotMismatch(const PacketSlot &slot, const ExecResult &rExec,

@@ -6,11 +6,6 @@
 namespace slip
 {
 
-namespace
-{
-constexpr Cycle kWatchdogInterval = 1'000'000;
-} // namespace
-
 SlipstreamProcessor::SlipstreamProcessor(const Program &program,
                                          const SlipstreamParams &params)
     : SlipstreamProcessor(program, params,
@@ -34,9 +29,11 @@ SlipstreamProcessor::SlipstreamProcessor(
         params_.aCore.fetchWidth, params_.tracePolicy);
     rSource_ = std::make_unique<RStreamSource>(
         program, rMem, delayBuffer_, params_.rCore.fetchWidth);
+    rFront_.inner = rSource_.get();
     aCore_ = std::make_unique<OoOCore>(params_.aCore, *aSource_);
-    rCore_ = std::make_unique<OoOCore>(params_.rCore, *rSource_);
+    rCore_ = std::make_unique<OoOCore>(params_.rCore, rFront_);
     rSource_->faultInjector = &faultInjector_;
+    aSource_->faultInjector = &faultInjector_;
     wire();
 }
 
@@ -122,10 +119,14 @@ SlipstreamProcessor::doRecovery(Cycle now)
       case RecoveryCause::CorruptContextUnknown:
         ++statValueMismatch;
         break;
+      case RecoveryCause::WatchdogStall:
+        ++statWatchdogStall;
+        break;
       case RecoveryCause::None:
         ++statUnclassified;
         break;
     }
+    const RecoveryCause cause = recoveryCause;
 
     // Repair the A-stream memory context (functionally: collapse the
     // overlay onto the authoritative image) and charge the latency.
@@ -151,13 +152,59 @@ SlipstreamProcessor::doRecovery(Cycle now)
     // detection across recoveries (otherwise every recovery poisons
     // the next pass of each hot loop and confidence thrashes).
     if (params_.resetConfidenceOnRecovery &&
-        recoveryCause == RecoveryCause::CorruptContextUnknown) {
+        (cause == RecoveryCause::CorruptContextUnknown ||
+         cause == RecoveryCause::WatchdogStall)) {
         // The A-stream context was corrupted by a wrong removal whose
-        // origin is unknown: conservatively drop all confidence so
-        // the wrong entry cannot immediately re-trigger.
+        // origin is unknown (or the watchdog fired blind):
+        // conservatively drop all confidence so the wrong entry
+        // cannot immediately re-trigger.
         irPred->reset();
     }
     recoveryCause = RecoveryCause::None;
+
+    // Fault bookkeeping: the A context was just resynchronized.
+    faultInjector_.onRecovery(now);
+
+    // Graceful degradation: recoveries this dense mean the A-stream
+    // is doing more harm than good — finish the program R-only.
+    recentRecoveries_.push_back(now);
+    while (!recentRecoveries_.empty() &&
+           recentRecoveries_.front() + params_.degrade.windowCycles <
+               now) {
+        recentRecoveries_.pop_front();
+    }
+    if (params_.degrade.enabled && !degraded_ &&
+        recentRecoveries_.size() >= params_.degrade.recoveryThreshold)
+        degradeToROnly(now, resume);
+}
+
+void
+SlipstreamProcessor::degradeToROnly(Cycle now, Cycle resume)
+{
+    degraded_ = true;
+    degradedAtCycle_ = now;
+    retiredAtDegrade_ = rCore_->retiredCount();
+    ++statDegradeToROnly;
+    SLIP_WARN("degrading to R-only execution at cycle ", now, " (",
+              recentRecoveries_.size(), " recoveries in the last ",
+              params_.degrade.windowCycles, " cycles)");
+
+    // Shed the A-stream: its core and source are simply never ticked
+    // again. Walked-but-unretired R work is discarded (walk-time
+    // architectural effects are already in the R context, the model's
+    // usual flush contract) and the R core refetches from a
+    // conventional trace-predictor-driven source resumed from the
+    // R-stream's precise context.
+    delayBuffer_.clear();
+    degradedSource_ = std::make_unique<TraceFetchSource>(
+        program, *tracePred, rMem, rSource_->archState(),
+        params_.rCore.fetchWidth, params_.tracePolicy);
+    rFront_.inner = degradedSource_.get();
+    rCore_->flush(now, resume);
+    rCore_->onRetire = [this](const DynInst &d, Cycle) {
+        degradedSource_->notifyRetire(d);
+        return true;
+    };
 }
 
 SlipstreamRunResult
@@ -167,22 +214,40 @@ SlipstreamProcessor::run(Cycle maxCycles)
     Cycle lastProgress = 0;
 
     while (!rCore_->halted() && (maxCycles == 0 || now < maxCycles)) {
-        aCore_->tick(now);
-        rCore_->tick(now);
-        aSource_->tryPublish();
+        faultInjector_.setNow(now);
+        if (degraded_) {
+            rCore_->tick(now);
+            // No A-stream left: late detector callbacks are moot.
+            recoveryRequested = false;
+        } else {
+            aCore_->tick(now);
+            rCore_->tick(now);
+            aSource_->tryPublish();
 
-        if (recoveryRequested)
-            doRecovery(now);
+            if (recoveryRequested)
+                doRecovery(now);
+        }
 
         if (rCore_->lastRetireCycle() > lastProgress)
             lastProgress = rCore_->lastRetireCycle();
-        if (now - lastProgress > kWatchdogInterval) {
-            SLIP_PANIC("slipstream deadlock: R-stream idle since cycle ",
-                       lastProgress, " (now ", now, ", R retired ",
-                       rCore_->retiredCount(), ", A retired ",
-                       aCore_->retiredCount(), ", delay buffer ",
-                       delayBuffer_.controlEntries(), " pkts/",
-                       delayBuffer_.dataEntries(), " data)");
+        if (now - lastProgress > params_.watchdog.stallCycles) {
+            // Forward progress lost: a fault (or model deadlock)
+            // derailed the streams. The R context is authoritative,
+            // so a forced recovery restores progress for every
+            // A-side derailment; give up only when trips exhaust.
+            ++watchdogTrips_;
+            if (degraded_ ||
+                watchdogTrips_ > params_.watchdog.maxTrips) {
+                SLIP_WARN("slipstream hung: R-stream idle since cycle ",
+                          lastProgress, " (now ", now, ", R retired ",
+                          rCore_->retiredCount(), ", trips ",
+                          watchdogTrips_, ")");
+                break;
+            }
+            recoveryRequested = false;
+            recoveryCause = RecoveryCause::WatchdogStall;
+            doRecovery(now);
+            lastProgress = now;
         }
         ++now;
     }
@@ -194,7 +259,15 @@ SlipstreamProcessor::run(Cycle maxCycles)
     result.rRetired = rCore_->retiredCount();
     result.aRetired = aCore_->retiredCount();
     result.output = rSource_->output();
+    if (degradedSource_)
+        result.output += degradedSource_->output();
     result.halted = rCore_->halted();
+    result.hung = !result.halted;
+    result.watchdogTrips = watchdogTrips_;
+    result.degraded = degraded_;
+    result.degradedAtCycle = degradedAtCycle_;
+    result.rOnlyRetired =
+        degraded_ ? rCore_->retiredCount() - retiredAtDegrade_ : 0;
     result.removedSlots = removedSlots;
     result.removedByReasonMask = removedByReasonMask_;
     result.removedByReason = reasonCountsByName(removedByReasonMask_);

@@ -21,6 +21,7 @@
 #ifndef SLIPSTREAM_SLIPSTREAM_SLIPSTREAM_PROCESSOR_HH
 #define SLIPSTREAM_SLIPSTREAM_SLIPSTREAM_PROCESSOR_HH
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,10 +36,43 @@
 #include "slipstream/r_stream.hh"
 #include "slipstream/recovery_controller.hh"
 #include "uarch/core.hh"
+#include "uarch/fetch_source.hh"
 #include "uarch/trace_pred.hh"
 
 namespace slip
 {
+
+/**
+ * Forward-progress watchdog. A fault that derails A-stream control
+ * flow (or any model deadlock) starves the R-stream of retirement;
+ * after `stallCycles` idle cycles the watchdog forces a recovery —
+ * the R-stream context is authoritative, so resynchronizing the
+ * A-stream from it restores progress for every A-side derailment.
+ * After `maxTrips` forced recoveries without reaching completion the
+ * run ends with `hung` set instead of looping forever.
+ */
+struct WatchdogParams
+{
+    Cycle stallCycles = 100'000;
+    unsigned maxTrips = 8;
+};
+
+/**
+ * Graceful degradation to R-only execution — the paper's "slipstream
+ * mode can be turned off" escape hatch, made operational. When
+ * `recoveryThreshold` recoveries land within a sliding window of
+ * `windowCycles`, the A-stream is doing more harm than good (a hard
+ * fault, or pathologically wrong removal state): shed it and finish
+ * the program on the R-stream alone as a conventional processor.
+ * The defaults demand a sustained recovery storm no healthy
+ * configuration produces.
+ */
+struct DegradeParams
+{
+    bool enabled = true;
+    Cycle windowCycles = 4096;
+    unsigned recoveryThreshold = 24;
+};
 
 /** Full configuration of a slipstream processor (Table 2 defaults). */
 struct SlipstreamParams
@@ -59,6 +93,8 @@ struct SlipstreamParams
     IRDetectorParams detector;
     DelayBufferParams delayBuffer;
     RecoveryParams recovery;
+    WatchdogParams watchdog;
+    DegradeParams degrade;
 
     /**
      * Reset all removal confidence after a recovery. Avoids repeated
@@ -77,6 +113,14 @@ struct SlipstreamRunResult
     uint64_t aRetired = 0;
     std::string output; // R-stream (architectural) output
     bool halted = false;
+
+    /** The run did not complete: cycle cap hit or watchdog gave up. */
+    bool hung = false;
+    unsigned watchdogTrips = 0; // watchdog-forced recoveries
+
+    bool degraded = false;      // shed the A-stream mid-run
+    Cycle degradedAtCycle = 0;
+    uint64_t rOnlyRetired = 0;  // retired after the transition
 
     uint64_t removedSlots = 0; // R-retired slots the A-stream skipped
 
@@ -164,9 +208,13 @@ class SlipstreamProcessor
     TracePredictor &tracePredictor() { return *tracePred; }
     StatGroup &recoveryCauseStats() { return recoveryStats; }
 
+    /** R-only (non-slipstream) execution after degradation. */
+    bool degraded() const { return degraded_; }
+
   private:
     void wire();
     void doRecovery(Cycle now);
+    void degradeToROnly(Cycle now, Cycle resume);
 
     /** Why a recovery was requested; drives confidence resetting. */
     enum class RecoveryCause : uint8_t
@@ -179,6 +227,23 @@ class SlipstreamProcessor
                                  // and already reset
         CorruptContextUnknown,   // type 2 caught as an R-stream value
                                  // mismatch: origin unknown
+        WatchdogStall,           // forced by the forward-progress
+                                 // watchdog: cause unobservable
+    };
+
+    /**
+     * Swappable front end for the R core: normally forwards to the
+     * R-stream source; after degradation, to a conventional fetch
+     * source resumed from the R context.
+     */
+    struct ForwardingSource : FetchSource
+    {
+        FetchSource *inner = nullptr;
+        bool nextBlock(FetchBlock &b) override
+        {
+            return inner->nextBlock(b);
+        }
+        bool exhausted() const override { return inner->exhausted(); }
     };
 
     SlipstreamParams params_;
@@ -192,6 +257,8 @@ class SlipstreamProcessor
     std::unique_ptr<IRDetector> detector_;
     std::unique_ptr<AStreamSource> aSource_;
     std::unique_ptr<RStreamSource> rSource_;
+    ForwardingSource rFront_;
+    std::unique_ptr<TraceFetchSource> degradedSource_;
     std::unique_ptr<OoOCore> aCore_;
     std::unique_ptr<OoOCore> rCore_;
 
@@ -208,10 +275,21 @@ class SlipstreamProcessor
         recoveryStats.handle("value_mismatch")};
     StatGroup::Handle statUnclassified{
         recoveryStats.handle("unclassified")};
+    StatGroup::Handle statWatchdogStall{
+        recoveryStats.handle("watchdog_stall")};
+    StatGroup::Handle statDegradeToROnly{
+        recoveryStats.handle("degrade_to_r_only")};
     uint64_t irMispredicts = 0;
     Cycle irPenaltyTotal = 0;
     uint64_t removedSlots = 0;
     ReasonCounts removedByReasonMask_{};
+
+    // Watchdog + degradation state.
+    unsigned watchdogTrips_ = 0;
+    bool degraded_ = false;
+    Cycle degradedAtCycle_ = 0;
+    uint64_t retiredAtDegrade_ = 0;
+    std::deque<Cycle> recentRecoveries_; // sliding-window timestamps
 };
 
 } // namespace slip

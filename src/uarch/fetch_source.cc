@@ -83,6 +83,23 @@ TraceFetchSource::TraceFetchSource(const Program &program,
     state_.writeReg(reg::sp, layout::kStackTop);
 }
 
+TraceFetchSource::TraceFetchSource(const Program &program,
+                                   TracePredictor &predictor,
+                                   Memory &sharedMem,
+                                   const ArchState &resumeFrom,
+                                   unsigned fetchWidth,
+                                   const TracePolicy &policy)
+    : program(program), predictor(predictor), fetchWidth(fetchWidth),
+      policy(policy), port(sharedMem), state_(port),
+      slicer(fetchWidth), stats_("fetch_source")
+{
+    // Resume mode: the program image and data already live in
+    // `sharedMem` (the slipstream R-stream ran there until now);
+    // continue from the handed-over context instead of a cold start.
+    state_.copyRegsFrom(resumeFrom);
+    state_.setPc(resumeFrom.pc());
+}
+
 bool
 TraceFetchSource::exhausted() const
 {

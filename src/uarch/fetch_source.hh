@@ -91,6 +91,17 @@ class TraceFetchSource : public FetchSource
                      unsigned fetchWidth = 16,
                      const TracePolicy &policy = {});
 
+    /**
+     * Resume-mode source (slipstream graceful degradation): walk the
+     * program on an *external* memory image, continuing from
+     * `resumeFrom`'s registers and PC instead of loading a fresh
+     * image and cold-starting at the entry point.
+     */
+    TraceFetchSource(const Program &program, TracePredictor &predictor,
+                     Memory &sharedMem, const ArchState &resumeFrom,
+                     unsigned fetchWidth = 16,
+                     const TracePolicy &policy = {});
+
     bool nextBlock(FetchBlock &block) override;
     bool exhausted() const override;
 

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "harness/fault_campaign.hh"
+
+namespace slip
+{
+namespace
+{
+
+FaultCampaignConfig
+smallConfig()
+{
+    FaultCampaignConfig cfg;
+    cfg.workloads = {"m88ksim", "li"};
+    cfg.trialsPerWorkload = 6;
+    return cfg;
+}
+
+uint64_t
+outcomeSum(const CampaignTally &t)
+{
+    uint64_t sum = 0;
+    for (unsigned o = 0; o < kNumTrialOutcomes; ++o)
+        sum += t.byOutcome[o];
+    return sum;
+}
+
+TEST(FaultCampaign, EveryTrialClassifiedAndNoneHang)
+{
+    const FaultCampaignConfig cfg = smallConfig();
+    const FaultCampaignResult result = runFaultCampaign(cfg);
+
+    ASSERT_EQ(result.trials.size(),
+              cfg.workloads.size() * cfg.trialsPerWorkload);
+    EXPECT_EQ(result.total.trials, result.trials.size());
+    // Every trial lands in exactly one outcome bucket.
+    EXPECT_EQ(outcomeSum(result.total), result.total.trials);
+    for (const auto &[name, tally] : result.perWorkload)
+        EXPECT_EQ(outcomeSum(tally), tally.trials) << name;
+    // The cycle cap plus watchdog mean no trial may hang.
+    EXPECT_EQ(result.total.outcomes(TrialOutcome::Hung), 0u);
+    // The steady-state injection window must actually land faults.
+    EXPECT_GT(result.total.faultsInjected, 0u);
+    for (const TrialRecord &trial : result.trials) {
+        EXPECT_FALSE(trial.metrics.hung) << trial.workload;
+        EXPECT_GE(trial.plans.size(), cfg.minFaultsPerTrial);
+        EXPECT_LE(trial.plans.size(), cfg.maxFaultsPerTrial);
+    }
+}
+
+TEST(FaultCampaign, DeterministicAcrossWorkerCounts)
+{
+    const FaultCampaignConfig cfg = smallConfig();
+    const char *prior = std::getenv("SLIPSTREAM_JOBS");
+    const std::string saved = prior ? prior : "";
+
+    setenv("SLIPSTREAM_JOBS", "1", 1);
+    const std::string serial = campaignJson(cfg, runFaultCampaign(cfg));
+    setenv("SLIPSTREAM_JOBS", "3", 1);
+    const std::string parallel =
+        campaignJson(cfg, runFaultCampaign(cfg));
+
+    if (prior)
+        setenv("SLIPSTREAM_JOBS", saved.c_str(), 1);
+    else
+        unsetenv("SLIPSTREAM_JOBS");
+
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(FaultCampaign, ReliableModeHasNoSilentCorruption)
+{
+    FaultCampaignConfig cfg = smallConfig();
+    cfg.reliableMode = true;
+    cfg.trialsPerWorkload = 8;
+    const FaultCampaignResult result = runFaultCampaign(cfg);
+
+    EXPECT_EQ(result.total.outcomes(TrialOutcome::SilentCorrupt), 0u);
+    EXPECT_EQ(result.total.outcomes(TrialOutcome::DetectedButCorrupt),
+              0u);
+    EXPECT_EQ(result.total.outcomes(TrialOutcome::Hung), 0u);
+    // Full redundancy: the default reliable target mix always finds
+    // a victim.
+    EXPECT_EQ(result.total.faultsInjected, result.total.faultsPlanned);
+}
+
+TEST(FaultCampaign, ReliableTargetsExcludeMemoryAndPredictor)
+{
+    for (FaultTarget t : defaultCampaignTargets(true)) {
+        EXPECT_NE(t, FaultTarget::MemoryCell);
+        EXPECT_NE(t, FaultTarget::IRPredictor);
+    }
+    // The slipstream mix covers every target.
+    EXPECT_EQ(defaultCampaignTargets(false).size(), 8u);
+}
+
+TEST(FaultCampaign, JsonReportIsWellFormedAndWritable)
+{
+    FaultCampaignConfig cfg = smallConfig();
+    cfg.trialsPerWorkload = 2;
+    const FaultCampaignResult result = runFaultCampaign(cfg);
+    const std::string json = campaignJson(cfg, result);
+
+    // Shape: balanced braces/brackets, the report keys present.
+    long braces = 0, brackets = 0;
+    for (char c : json) {
+        braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+        brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    for (const char *key :
+         {"\"campaign\"", "\"mode\"", "\"outcomes\"", "\"targets\"",
+          "\"detection_latency_cycles\"", "\"workloads\"",
+          "\"silent_corrupt\"", "\"degraded_runs\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+
+    // writeFaultReport produces a readable JSON array at the path.
+    const std::string path = "test_fault_campaign_report.json";
+    writeFaultReport({json, json}, path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_NE(text.find("\"campaign\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace slip

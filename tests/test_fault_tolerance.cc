@@ -164,5 +164,163 @@ TEST(FaultTolerance, FaultBeyondProgramNeverFires)
     EXPECT_EQ(r.output, golden());
 }
 
+TEST(FaultTolerance, DelayBufferBranchFaultDetected)
+{
+    // A branch outcome flipped in transit between the cores: the
+    // R-stream's own computation of the branch disagrees.
+    const SlipstreamRunResult r =
+        runWithFault({FaultTarget::DelayBufferBranch, 600, 0}, true);
+    ASSERT_TRUE(r.faultOutcome.injected);
+    EXPECT_TRUE(r.faultOutcome.detected);
+    EXPECT_GE(r.irMispredicts, 1u);
+    EXPECT_EQ(r.output, golden());
+}
+
+TEST(FaultTolerance, DelayBufferValueFaultDetected)
+{
+    // A value payload corrupted in transit is always compared against
+    // the R-stream's redundant computation: always detectable.
+    const SlipstreamRunResult r =
+        runWithFault({FaultTarget::DelayBufferValue, 500, 7}, true);
+    ASSERT_TRUE(r.faultOutcome.injected);
+    EXPECT_TRUE(r.faultOutcome.targetWasRedundant);
+    EXPECT_TRUE(r.faultOutcome.detected);
+    EXPECT_EQ(r.output, golden());
+}
+
+TEST(FaultTolerance, ARegisterFaultHealedByRecovery)
+{
+    // Corrupt a live A-stream register (a0, the array base, read on
+    // every iteration): the wrong values it produces disagree with
+    // the R-stream, and the recovery resynchronizes the whole A
+    // context — healing the register whatever else triggered it.
+    const SlipstreamRunResult r = runWithFault(
+        {FaultTarget::ARegister, 5000, 3, RegIndex(4)}, true);
+    ASSERT_TRUE(r.faultOutcome.injected);
+    EXPECT_TRUE(r.faultOutcome.detected);
+    EXPECT_GE(r.irMispredicts, 1u);
+    EXPECT_EQ(r.output, golden());
+    // Detection latency was stamped by the repairing recovery.
+    ASSERT_EQ(r.faultOutcome.records.size(), 1u);
+    EXPECT_TRUE(r.faultOutcome.records[0].fired);
+    EXPECT_GE(r.faultOutcome.records[0].detectCycle,
+              r.faultOutcome.records[0].injectCycle);
+}
+
+TEST(FaultTolerance, IRPredictorFaultsNeverCorruptOutput)
+{
+    // Predictor SRAM corruption (confidence or ir-vec bits) can only
+    // derail the A-stream; the R-stream's checks always repair it.
+    const std::string want = golden();
+    for (unsigned bit : {0u, 3u, 8u, 20u, 40u}) {
+        const SlipstreamRunResult r =
+            runWithFault({FaultTarget::IRPredictor, 4000, bit});
+        EXPECT_TRUE(r.halted) << "bit " << bit;
+        EXPECT_EQ(r.output, want) << "bit " << bit;
+    }
+}
+
+TEST(FaultTolerance, MemoryCellFaultIsOutsideSphereOfReplication)
+{
+    // Both streams read the corrupted cell: redundancy cannot see it.
+    // The run must still complete, and the fault must never be
+    // counted as detected (the paper leaves main memory to ECC).
+    const SlipstreamRunResult r =
+        runWithFault({FaultTarget::MemoryCell, 5000, 2});
+    EXPECT_TRUE(r.halted);
+    ASSERT_TRUE(r.faultOutcome.injected);
+    EXPECT_FALSE(r.faultOutcome.detected);
+}
+
+TEST(FaultTolerance, AStreamStallHealedByWatchdog)
+{
+    // A wedged A-stream front end starves the R-stream of delay
+    // buffer packets; only the forward-progress watchdog can expose
+    // it, and the forced recovery heals it.
+    Program p = assemble(kProgram);
+    SlipstreamParams params;
+    params.watchdog.stallCycles = 2000;
+    SlipstreamProcessor proc(p, params);
+    proc.faultInjector().arm({FaultTarget::AStreamStall, 3000, 0});
+    const SlipstreamRunResult r = proc.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_GE(r.watchdogTrips, 1u);
+    ASSERT_TRUE(r.faultOutcome.injected);
+    EXPECT_TRUE(r.faultOutcome.detected);
+    EXPECT_EQ(r.output, golden());
+}
+
+TEST(FaultTolerance, ExhaustedWatchdogReportsHung)
+{
+    // With no trips allowed, a permanent stall ends the run as hung
+    // instead of spinning forever.
+    Program p = assemble(kProgram);
+    SlipstreamParams params;
+    params.watchdog.stallCycles = 1000;
+    params.watchdog.maxTrips = 0;
+    SlipstreamProcessor proc(p, params);
+    proc.faultInjector().arm({FaultTarget::AStreamStall, 3000, 0});
+    const SlipstreamRunResult r = proc.run();
+    EXPECT_FALSE(r.halted);
+    EXPECT_TRUE(r.hung);
+    EXPECT_EQ(r.watchdogTrips, 1u);
+}
+
+TEST(FaultTolerance, CycleCapReportsHung)
+{
+    Program p = assemble(kProgram);
+    SlipstreamProcessor proc(p);
+    proc.faultInjector().arm({FaultTarget::AStreamStall, 3000, 0});
+    const SlipstreamRunResult r = proc.run(30'000);
+    EXPECT_FALSE(r.halted);
+    EXPECT_TRUE(r.hung);
+}
+
+TEST(FaultTolerance, HighFaultRateDegradesToROnly)
+{
+    // A dense burst of A-side faults forces recovery after recovery;
+    // past the threshold the processor sheds the A-stream and
+    // finishes R-only — with the output still golden.
+    Program p = assemble(kProgram);
+    SlipstreamParams params;
+    params.irPred.enabled = false; // reliable: every fault detected
+    params.degrade.windowCycles = 100'000;
+    params.degrade.recoveryThreshold = 4;
+    SlipstreamProcessor proc(p, params);
+    std::vector<FaultPlan> burst;
+    for (uint64_t i = 0; i < 10; ++i)
+        burst.push_back({FaultTarget::AStream, 4000 + 300 * i, 5});
+    proc.faultInjector().arm(burst);
+    const SlipstreamRunResult r = proc.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_GT(r.degradedAtCycle, 0u);
+    EXPECT_GT(r.rOnlyRetired, 0u);
+    EXPECT_EQ(r.output, golden());
+}
+
+TEST(FaultTolerance, MultiFaultPlanRecordsEachFault)
+{
+    Program p = assemble(kProgram);
+    SlipstreamParams params;
+    params.irPred.enabled = false;
+    SlipstreamProcessor proc(p, params);
+    proc.faultInjector().arm(
+        std::vector<FaultPlan>{{FaultTarget::AStream, 500, 3},
+                               {FaultTarget::RPipeline, 4000, 11},
+                               {FaultTarget::DelayBufferValue, 9000, 7}});
+    const SlipstreamRunResult r = proc.run();
+    EXPECT_EQ(r.faultOutcome.planned, 3u);
+    EXPECT_EQ(r.faultOutcome.numInjected, 3u);
+    EXPECT_EQ(r.faultOutcome.numDetected, 3u);
+    EXPECT_TRUE(r.faultOutcome.detected);
+    EXPECT_EQ(r.output, golden());
+    ASSERT_EQ(r.faultOutcome.records.size(), 3u);
+    for (const FaultRecord &rec : r.faultOutcome.records) {
+        EXPECT_TRUE(rec.fired);
+        EXPECT_TRUE(rec.detected);
+    }
+}
+
 } // namespace
 } // namespace slip

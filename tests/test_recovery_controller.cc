@@ -112,6 +112,49 @@ TEST_F(RecoveryTest, TrackedCountUsesGranules)
     EXPECT_EQ(rc.trackedAddresses(), 1u);
 }
 
+TEST_F(RecoveryTest, RecoveryMidWindowLeavesConsistentState)
+{
+    // A recovery can land while R-stream retirement callbacks for
+    // pre-recovery instructions are still arriving (the R core drains
+    // its older in-flight work during the repair). Those late
+    // callbacks must not resurrect tracking or corrupt the overlay.
+    rc.write(0x100, 8, 1);
+    rc.onSkippedStoreRetired(2, 0x200, 8);
+    EXPECT_EQ(rc.trackedAddresses(), 2u);
+    rc.recover();
+    EXPECT_EQ(rc.trackedAddresses(), 0u);
+
+    // Late arrivals from the discarded window.
+    rMem.write(0x100, 8, 1);
+    rc.onRStoreRetired(0x100, 8);
+    rc.onTraceVerified(2);
+    EXPECT_EQ(rc.trackedAddresses(), 0u);
+
+    // The controller keeps working normally afterwards.
+    rc.write(0x300, 8, 7);
+    EXPECT_EQ(rc.read(0x300, 8), 7u);
+    EXPECT_EQ(rc.trackedAddresses(), 1u);
+    rMem.write(0x300, 8, 7);
+    rc.onRStoreRetired(0x300, 8);
+    EXPECT_EQ(rc.trackedAddresses(), 0u);
+}
+
+TEST_F(RecoveryTest, TrackedReturnsToZeroAfterRecoverUnderLoad)
+{
+    // Dense mixed load: many overlay granules plus skipped-store
+    // do-set entries across several traces.
+    for (int i = 0; i < 64; ++i)
+        rc.write(0x1000 + 8 * i, 8, uint64_t(i));
+    for (int i = 0; i < 16; ++i)
+        rc.onSkippedStoreRetired(uint64_t(i), 0x2000 + 8 * i, 8);
+    EXPECT_EQ(rc.trackedAddresses(), 80u);
+
+    rc.recover();
+    EXPECT_EQ(rc.trackedAddresses(), 0u);
+    // Empty again: a second recovery is back at the minimum latency.
+    EXPECT_EQ(rc.recover(), 21u);
+}
+
 TEST_F(RecoveryTest, StatsRecordRecoveries)
 {
     rc.write(0xa00, 8, 5);
