@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "harness/experiment.hh"
 #include "harness/sim_runner.hh"
@@ -57,17 +58,24 @@ benchSizeName()
 inline void
 banner(const std::string &artifact, const std::string &paperNote)
 {
-    // Resolve the size and job count before muting warnings so bad
-    // SLIPSTREAM_BENCH_SIZE / SLIPSTREAM_JOBS values are reported.
+    // Resolve every environment knob before muting warnings so bad
+    // SLIPSTREAM_BENCH_SIZE / SLIPSTREAM_JOBS / supervision values
+    // are reported instead of silently falling back.
     const char *size = benchSizeName();
     const unsigned jobs = defaultJobs();
+    const Supervision supervision = Supervision::fromEnv();
+    envFlag("SLIPSTREAM_CAMPAIGN_RESUME", false);
     slip::setLogQuiet(true);
     std::cout << "=== " << artifact << " ===\n"
               << "paper: " << paperNote << "\n"
               << "workload size: " << size
               << " (set SLIPSTREAM_BENCH_SIZE=test|small|default)\n"
               << "parallel jobs: " << jobs
-              << " (set SLIPSTREAM_JOBS=N)\n\n";
+              << " (set SLIPSTREAM_JOBS=N)\n";
+    if (supervision.timeoutMs)
+        std::cout << "trial deadline: " << supervision.timeoutMs
+                  << " ms (SLIPSTREAM_TRIAL_TIMEOUT_MS)\n";
+    std::cout << "\n";
 }
 
 } // namespace slip::bench

@@ -35,7 +35,8 @@ printCampaign(const FaultCampaignResult &result, bench::Timing &timing)
 {
     Table table({"benchmark", "trials", "faults", "det+rec", "hung+rec",
                  "silent-benign", "silent-corrupt", "det-but-corrupt",
-                 "no-victim", "hung", "degraded"});
+                 "no-victim", "hung", "timed-out", "crashed",
+                 "degraded"});
     for (const auto &[name, t] : result.perWorkload) {
         table.addRow(
             {name, Table::count(t.trials), Table::count(t.faultsInjected),
@@ -46,6 +47,8 @@ printCampaign(const FaultCampaignResult &result, bench::Timing &timing)
              Table::count(t.outcomes(TrialOutcome::DetectedButCorrupt)),
              Table::count(t.outcomes(TrialOutcome::NoVictim)),
              Table::count(t.outcomes(TrialOutcome::Hung)),
+             Table::count(t.outcomes(TrialOutcome::TimedOut)),
+             Table::count(t.outcomes(TrialOutcome::Crashed)),
              Table::count(t.degradedRuns)});
     }
     table.print(std::cout);
@@ -58,17 +61,32 @@ printCampaign(const FaultCampaignResult &result, bench::Timing &timing)
               << " cycles over " << t.latencySamples << " samples\n\n";
 
     for (const TrialRecord &trial : result.trials)
-        timing.addCycles(trial.metrics.cycles);
+        timing.addCycles(trial.cycles);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace slip;
     bench::banner("Fault coverage (paper §3, Figure 5 scenarios)",
                   "multi-target bit-flip campaigns per benchmark");
+
+    // --resume (or SLIPSTREAM_CAMPAIGN_RESUME=1): skip trials already
+    // journaled by an interrupted invocation; the report comes out
+    // byte-identical to an uninterrupted run's.
+    bool resume = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--resume") {
+            resume = true;
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--resume]\n";
+            return 2;
+        }
+    }
+    if (resume)
+        std::cout << "(resuming from the trial journal)\n\n";
 
     // Per-workload trial counts: at `default`, 256 trials x ~2 faults
     // each lands well past 500 mixed-target faults per workload.
@@ -95,6 +113,7 @@ main()
     FaultCampaignConfig slip;
     slip.name = "slipstream_mixed_targets";
     slip.trialsPerWorkload = trials;
+    slip.resume = resume;
     const FaultCampaignResult slipResult = runFaultCampaign(slip);
     printCampaign(slipResult, timing);
     report.push_back(campaignJson(slip, slipResult));
@@ -105,6 +124,7 @@ main()
     reliable.name = "reliable_mode";
     reliable.trialsPerWorkload = trials;
     reliable.reliableMode = true;
+    reliable.resume = resume;
     const FaultCampaignResult reliableResult =
         runFaultCampaign(reliable);
     printCampaign(reliableResult, timing);
@@ -126,6 +146,7 @@ main()
     burst.minFaultsPerTrial = 12;
     burst.maxFaultsPerTrial = 12;
     burst.targets = {FaultTarget::AStream};
+    burst.resume = resume;
     burst.params.degrade.windowCycles = 100'000;
     burst.params.degrade.recoveryThreshold = 6;
     const FaultCampaignResult burstResult = runFaultCampaign(burst);
@@ -135,6 +156,9 @@ main()
     writeFaultReport(report);
 
     std::cout
+        << "per-trial journal: results/fault_campaign.journal.jsonl\n"
+           "(kill this bench at any point and rerun with --resume to\n"
+           "finish without repeating completed trials)\n\n"
         << "expected shape: reliable mode has zero silent corruption;\n"
            "slipstream mode's silent cases track the removed\n"
            "(non-redundant) fraction plus the MemoryCell (ECC) hole;\n"

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulations.
+ *
+ * A CancelToken is a one-way latch shared between a supervisor (which
+ * sets it, typically from a deadline watchdog thread) and a simulation
+ * loop (which polls it once per cycle and winds down cleanly when it
+ * fires). Polling is a single relaxed atomic load — negligible next to
+ * the cost of a simulated cycle — so a stuck trial can be reaped
+ * without signals, thread cancellation, or killing the process.
+ */
+
+#ifndef SLIPSTREAM_COMMON_CANCEL_HH
+#define SLIPSTREAM_COMMON_CANCEL_HH
+
+#include <atomic>
+
+namespace slip
+{
+
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation. Safe from any thread; irrevocable. */
+    void cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+    /** Poll. Safe from any thread. */
+    bool cancelled() const
+    {
+        return flag_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_COMMON_CANCEL_HH

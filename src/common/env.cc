@@ -1,0 +1,55 @@
+#include "common/env.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+uint64_t
+envU64(const char *name, uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || *env == '\0')
+        return fallback;
+    // strtoull silently accepts "-1" by wrapping; reject signs up
+    // front so garbage cannot masquerade as a huge count.
+    const char *p = env;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long n = std::strtoull(p, &end, 10);
+    if (*p != '-' && *p != '+' && end != p && *end == '\0' &&
+        errno != ERANGE)
+        return uint64_t(n);
+    SLIP_WARN("ignoring ", name, "='", env,
+              "' (want a non-negative integer); using ", fallback);
+    return fallback;
+}
+
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || *env == '\0')
+        return fallback;
+    std::string v;
+    for (const char *p = env; *p; ++p)
+        v.push_back(char(std::tolower(static_cast<unsigned char>(*p))));
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    SLIP_WARN("ignoring ", name, "='", env,
+              "' (want a boolean: 0/1/true/false/yes/no/on/off); "
+              "using ",
+              fallback ? "true" : "false");
+    return fallback;
+}
+
+} // namespace slip

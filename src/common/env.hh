@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Validated environment-knob parsing. Every SLIPSTREAM_* knob follows
+ * one contract (the one SLIPSTREAM_JOBS established): an unset
+ * variable means the built-in default, a well-formed value wins, and
+ * garbage earns a warning naming the variable and falls back to the
+ * default — it never aborts a run. Values are re-read on every call
+ * so tests can override per-run.
+ */
+
+#ifndef SLIPSTREAM_COMMON_ENV_HH
+#define SLIPSTREAM_COMMON_ENV_HH
+
+#include <cstdint>
+
+namespace slip
+{
+
+/**
+ * $name parsed as a non-negative integer. Garbage (non-numeric,
+ * negative, trailing junk, overflow) warns and returns `fallback`.
+ */
+uint64_t envU64(const char *name, uint64_t fallback);
+
+/**
+ * $name parsed as a boolean: 1/true/yes/on and 0/false/no/off
+ * (case-insensitive). Anything else warns and returns `fallback`.
+ */
+bool envFlag(const char *name, bool fallback);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_COMMON_ENV_HH

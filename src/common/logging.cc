@@ -1,7 +1,10 @@
 #include "common/logging.hh"
 
 #include <atomic>
+#include <exception>
 #include <iostream>
+#include <new>
+#include <system_error>
 
 namespace slip
 {
@@ -21,6 +24,50 @@ bool
 logQuiet()
 {
     return quietFlag.load();
+}
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::UserError:
+        return "user_error";
+      case ErrorKind::InternalError:
+        return "internal_error";
+      case ErrorKind::Resource:
+        return "resource";
+      case ErrorKind::Unknown:
+        return "unknown";
+    }
+    return "?";
+}
+
+bool
+errorRetryable(ErrorKind kind)
+{
+    // Deterministic failures (user input, simulator bugs) reproduce
+    // on re-execution; only host-side resource trouble can pass.
+    return kind == ErrorKind::Resource;
+}
+
+ErrorInfo
+classifyCurrentException()
+{
+    try {
+        throw;
+    } catch (const FatalError &e) {
+        return {ErrorKind::UserError, e.what()};
+    } catch (const PanicError &e) {
+        return {ErrorKind::InternalError, e.what()};
+    } catch (const std::bad_alloc &e) {
+        return {ErrorKind::Resource, e.what()};
+    } catch (const std::system_error &e) {
+        return {ErrorKind::Resource, e.what()};
+    } catch (const std::exception &e) {
+        return {ErrorKind::Unknown, e.what()};
+    } catch (...) {
+        return {ErrorKind::Unknown, "non-standard exception"};
+    }
 }
 
 namespace detail

@@ -44,6 +44,46 @@ class PanicError : public std::logic_error
     {}
 };
 
+/**
+ * Coarse classification of a caught exception, used by the trial
+ * supervisor to decide whether re-running a failed job could help.
+ *
+ * UserError      fatal(): bad configuration or input — deterministic,
+ *                retrying reproduces it.
+ * InternalError  panic(): a simulator invariant broke — deterministic,
+ *                and retrying would hide a bug.
+ * Resource       a host-side resource failure (allocation, OS error) —
+ *                plausibly transient, the only retryable kind.
+ * Unknown        anything else.
+ */
+enum class ErrorKind : uint8_t
+{
+    UserError,
+    InternalError,
+    Resource,
+    Unknown,
+};
+
+/** "user_error", "internal_error", "resource", "unknown". */
+const char *errorKindName(ErrorKind kind);
+
+/** Whether re-running the failed work could plausibly succeed. */
+bool errorRetryable(ErrorKind kind);
+
+/** A classified exception: its kind plus the what() text. */
+struct ErrorInfo
+{
+    ErrorKind kind = ErrorKind::Unknown;
+    std::string message;
+};
+
+/**
+ * Classify the exception currently in flight. Only meaningful inside
+ * a catch block; returns Unknown with a placeholder message for
+ * non-std::exception throws.
+ */
+ErrorInfo classifyCurrentException();
+
 namespace detail
 {
 

@@ -72,12 +72,13 @@ runSlipstream(const Program &program, const SlipstreamParams &params,
 RunMetrics
 runSlipstream(const Program &program, const SlipstreamParams &params,
               const std::string &golden,
-              const std::vector<FaultPlan> &faults, Cycle maxCycles)
+              const std::vector<FaultPlan> &faults, Cycle maxCycles,
+              const CancelToken *cancel)
 {
     SlipstreamProcessor proc(program, params);
     if (!faults.empty())
         proc.faultInjector().arm(faults);
-    const SlipstreamRunResult r = proc.run(maxCycles);
+    const SlipstreamRunResult r = proc.run(maxCycles, cancel);
 
     RunMetrics m;
     m.model = "CMP(2x64x4)";
@@ -87,6 +88,7 @@ runSlipstream(const Program &program, const SlipstreamParams &params,
     m.branchMispPer1000 = r.mispPer1000();
     m.outputCorrect = r.halted && r.output == golden;
     m.outputBytes = r.output.size();
+    m.cancelled = r.cancelled;
     m.removedFraction = r.removedFraction();
     m.removedByReason = r.removedByReason;
     m.removedByReasonMask = r.removedByReasonMask;

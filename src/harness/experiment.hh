@@ -14,6 +14,7 @@
 #include <string>
 
 #include "assembler/program.hh"
+#include "common/cancel.hh"
 #include "slipstream/slipstream_processor.hh"
 #include "uarch/ss_processor.hh"
 #include "workloads/workloads.hh"
@@ -41,6 +42,7 @@ struct RunMetrics
     uint64_t recoveries = 0;
 
     // Robustness telemetry (slipstream only).
+    bool cancelled = false;     // a supervisor deadline reaped the run
     bool hung = false;          // run did not complete
     unsigned watchdogTrips = 0; // watchdog-forced recoveries
     bool degraded = false;      // shed the A-stream mid-run
@@ -80,13 +82,15 @@ RunMetrics runSlipstream(const Program &program,
 /**
  * Multi-fault variant: arms the whole plan list and (when `maxCycles`
  * is nonzero) caps the run — a hung run then reports `hung` instead
- * of spinning forever.
+ * of spinning forever. A supervisor may pass a CancelToken; the cycle
+ * loop polls it and a reaped run reports `cancelled`.
  */
 RunMetrics runSlipstream(const Program &program,
                          const SlipstreamParams &params,
                          const std::string &golden,
                          const std::vector<FaultPlan> &faults,
-                         Cycle maxCycles);
+                         Cycle maxCycles,
+                         const CancelToken *cancel = nullptr);
 
 /**
  * Run one workload on all three models (assembling once), validating

@@ -1,11 +1,16 @@
 #include "harness/fault_campaign.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "harness/sim_runner.hh"
@@ -31,13 +36,31 @@ trialOutcomeName(TrialOutcome outcome)
         return "no_victim";
       case TrialOutcome::Hung:
         return "hung";
+      case TrialOutcome::TimedOut:
+        return "timed_out";
+      case TrialOutcome::Crashed:
+        return "crashed";
     }
     return "?";
+}
+
+bool
+trialOutcomeFromName(const std::string &name, TrialOutcome &out)
+{
+    for (unsigned o = 0; o < kNumTrialOutcomes; ++o) {
+        if (name == trialOutcomeName(TrialOutcome(o))) {
+            out = TrialOutcome(o);
+            return true;
+        }
+    }
+    return false;
 }
 
 TrialOutcome
 classifyTrial(const RunMetrics &m)
 {
+    if (m.cancelled)
+        return TrialOutcome::TimedOut;
     if (m.hung)
         return TrialOutcome::Hung;
     if (m.faultOutcome.numInjected == 0)
@@ -84,23 +107,211 @@ FaultCampaignConfig::FaultCampaignConfig()
 void
 CampaignTally::add(const TrialRecord &trial)
 {
+    // Consumes only the trial's journaled aggregates, so resumed
+    // trials (reconstructed from the journal, no metrics) tally
+    // exactly as live ones do.
     ++trials;
-    const FaultOutcome &fo = trial.metrics.faultOutcome;
-    faultsPlanned += fo.planned;
-    faultsInjected += fo.numInjected;
-    faultsDetected += fo.numDetected;
+    faultsPlanned += trial.faultsPlanned;
+    faultsInjected += trial.faultsInjected;
+    faultsDetected += trial.faultsDetected;
     ++byOutcome[static_cast<unsigned>(trial.outcome)];
-    if (trial.metrics.degraded)
+    if (trial.degraded)
         ++degradedRuns;
+    latencySamples += trial.latencySamples;
+    latencyTotal += trial.latencyTotal;
+    latencyMax = std::max(latencyMax, trial.latencyMax);
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** Extract "key":"value" from a journal line we wrote ourselves. */
+bool
+jsonFieldString(const std::string &line, const char *key,
+                std::string &out)
+{
+    const std::string needle = std::string("\"") + key + "\":\"";
+    const size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    out.clear();
+    for (size_t i = at + needle.size(); i < line.size(); ++i) {
+        char c = line[i];
+        if (c == '\\' && i + 1 < line.size()) {
+            char e = line[++i];
+            out += e == 'n' ? '\n' : e == 'r' ? '\r' : e == 't' ? '\t'
+                                                                : e;
+            continue;
+        }
+        if (c == '"')
+            return true;
+        out += c;
+    }
+    return false; // unterminated string: a torn final line
+}
+
+/** Extract "key":<integer> from a journal line. */
+bool
+jsonFieldU64(const std::string &line, const char *key, uint64_t &out)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    const char *p = line.c_str() + at + needle.size();
+    char *end = nullptr;
+    out = std::strtoull(p, &end, 10);
+    return end != p;
+}
+
+std::string
+resolveJournalPath(const FaultCampaignConfig &cfg)
+{
+    if (!cfg.journalPath.empty())
+        return cfg.journalPath;
+    if (const char *env = std::getenv("SLIPSTREAM_FAULT_JOURNAL"))
+        if (*env)
+            return env;
+    return "results/fault_campaign.journal.jsonl";
+}
+
+/**
+ * Whether this is the first time the process opens `path` as a
+ * journal. A fresh (non-resume) campaign truncates the journal on
+ * the process's first open only, so multi-campaign benches keep one
+ * journal covering the whole invocation — and a kill during campaign
+ * 3 still resumes campaigns 1 and 2 from their journaled trials.
+ */
+bool
+firstJournalOpen(const std::string &path)
+{
+    static std::mutex mu;
+    static std::set<std::string> opened;
+    std::lock_guard<std::mutex> lock(mu);
+    return opened.insert(path).second;
+}
+
+std::string
+journalLine(const FaultCampaignConfig &cfg, size_t trial,
+            const TrialRecord &t)
+{
+    std::ostringstream out;
+    out << "{\"campaign\":\"" << jsonEscape(cfg.name) << "\""
+        << ",\"seed\":" << cfg.seed << ",\"trial\":" << trial
+        << ",\"workload\":\"" << jsonEscape(t.workload) << "\""
+        << ",\"outcome\":\"" << trialOutcomeName(t.outcome) << "\""
+        << ",\"planned\":" << t.faultsPlanned
+        << ",\"injected\":" << t.faultsInjected
+        << ",\"detected\":" << t.faultsDetected
+        << ",\"degraded\":" << (t.degraded ? 1 : 0)
+        << ",\"latency_samples\":" << t.latencySamples
+        << ",\"latency_total\":" << t.latencyTotal
+        << ",\"latency_max\":" << t.latencyMax
+        << ",\"cycles\":" << t.cycles << ",\"error\":\""
+        << jsonEscape(t.error) << "\"}";
+    return out.str();
+}
+
+/**
+ * Append-and-flush journal of completed trials. Opening failures
+ * warn and disable journaling; they never take down the campaign.
+ */
+class TrialJournal
+{
+  public:
+    TrialJournal(const std::string &path, bool resume) : path_(path)
+    {
+        try {
+            const std::filesystem::path dir =
+                std::filesystem::path(path_).parent_path();
+            if (!dir.empty())
+                std::filesystem::create_directories(dir);
+        } catch (const std::exception &e) {
+            SLIP_WARN("cannot create directory for campaign journal '",
+                      path_, "': ", e.what());
+        }
+        const bool truncate = !resume && firstJournalOpen(path_);
+        out_.open(path_, truncate ? std::ios::trunc : std::ios::app);
+        if (!out_)
+            SLIP_WARN("cannot open campaign journal '", path_,
+                      "'; trials will not be journaled (a killed "
+                      "campaign cannot be resumed)");
+    }
+
+    void
+    append(const FaultCampaignConfig &cfg, size_t trial,
+           const TrialRecord &t)
+    {
+        if (!out_)
+            return;
+        std::lock_guard<std::mutex> lock(mu_);
+        out_ << journalLine(cfg, trial, t) << '\n';
+        out_.flush();
+        if (!out_) {
+            SLIP_WARN("write to campaign journal '", path_,
+                      "' failed; journaling disabled");
+            out_.close();
+        }
+    }
+
+  private:
+    std::string path_;
+    std::mutex mu_;
+    std::ofstream out_;
+};
+
+/** Per-trial aggregates the tallies and the journal consume. */
+void
+fillAggregates(TrialRecord &t)
+{
+    const FaultOutcome &fo = t.metrics.faultOutcome;
+    t.faultsInjected = fo.numInjected;
+    t.faultsDetected = fo.numDetected;
+    t.degraded = t.metrics.degraded;
+    t.cycles = t.metrics.cycles;
     for (const FaultRecord &r : fo.records) {
         if (!r.detected)
             continue;
         const Cycle latency = r.detectionLatency();
-        ++latencySamples;
-        latencyTotal += latency;
-        latencyMax = std::max(latencyMax, latency);
+        ++t.latencySamples;
+        t.latencyTotal += latency;
+        t.latencyMax = std::max(t.latencyMax, latency);
     }
 }
+
+} // namespace
 
 FaultCampaignResult
 runFaultCampaign(const FaultCampaignConfig &cfg)
@@ -167,27 +378,131 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
         }
     }
 
+    const std::string journalPath = resolveJournalPath(cfg);
+    const bool resume =
+        cfg.resume || envFlag("SLIPSTREAM_CAMPAIGN_RESUME", false);
+
+    // Resume: reconstruct already-journaled trials. A line counts
+    // only if campaign name, seed, trial index, and workload all
+    // match the freshly drawn plan — a journal from a different
+    // configuration can never leak into the report.
+    std::vector<std::optional<TrialRecord>> done(specs.size());
+    if (resume) {
+        std::ifstream in(journalPath);
+        std::string line;
+        size_t used = 0, skipped = 0;
+        while (in && std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            std::string campaign, workload, outcomeName, error;
+            uint64_t seed = 0, trial = 0;
+            // A sound line is a complete object whose *last* field
+            // ("error") parses — a torn final line from a killed
+            // writer fails one of these even when its leading fields
+            // survived the cut.
+            if (line.front() != '{' || line.back() != '}' ||
+                !jsonFieldString(line, "campaign", campaign) ||
+                !jsonFieldU64(line, "seed", seed) ||
+                !jsonFieldU64(line, "trial", trial) ||
+                !jsonFieldString(line, "workload", workload) ||
+                !jsonFieldString(line, "outcome", outcomeName) ||
+                !jsonFieldString(line, "error", error)) {
+                ++skipped; // torn or foreign line
+                continue;
+            }
+            if (campaign != cfg.name || seed != cfg.seed)
+                continue; // another campaign's journal entries
+            TrialOutcome outcome;
+            if (trial >= specs.size() ||
+                workload != specs[trial].workload ||
+                !trialOutcomeFromName(outcomeName, outcome)) {
+                ++skipped;
+                continue;
+            }
+            TrialRecord t;
+            t.workload = workload;
+            t.plans = specs[trial].plans;
+            t.outcome = outcome;
+            jsonFieldU64(line, "planned", t.faultsPlanned);
+            jsonFieldU64(line, "injected", t.faultsInjected);
+            jsonFieldU64(line, "detected", t.faultsDetected);
+            uint64_t degraded = 0;
+            jsonFieldU64(line, "degraded", degraded);
+            t.degraded = degraded != 0;
+            jsonFieldU64(line, "latency_samples", t.latencySamples);
+            jsonFieldU64(line, "latency_total", t.latencyTotal);
+            jsonFieldU64(line, "latency_max", t.latencyMax);
+            jsonFieldU64(line, "cycles", t.cycles);
+            t.error = std::move(error);
+            if (!done[trial])
+                ++used;
+            done[trial] = std::move(t);
+        }
+        if (skipped)
+            SLIP_WARN("campaign journal '", journalPath, "': skipped ",
+                      skipped, " unusable line(s) while resuming '",
+                      cfg.name, "'");
+        if (used)
+            SLIP_INFORM("resuming campaign '", cfg.name, "': ", used,
+                        " of ", specs.size(),
+                        " trials restored from ", journalPath);
+    }
+
+    TrialJournal journal(journalPath, resume);
+
     SimJobRunner runner;
-    for (const TrialSpec &spec : specs) {
-        const TrialSpec *s = &spec;
-        runner.add([&params, s] {
+    std::vector<size_t> jobToSpec;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (done[i])
+            continue;
+        jobToSpec.push_back(i);
+        const TrialSpec *s = &specs[i];
+        runner.add([&params, s](const CancelToken &cancel) {
             return runSlipstream(s->entry->program, params,
                                  s->entry->golden, s->plans,
-                                 s->maxCycles);
+                                 s->maxCycles, &cancel);
         });
     }
-    const std::vector<RunMetrics> metrics = runner.run();
+
+    // Supervised execution: a throwing or reaped trial becomes a
+    // classified record instead of voiding the batch, and every
+    // finished trial hits the journal (append + flush) immediately.
+    runner.runSupervised([&](size_t job, const JobOutcome &o) {
+        const size_t i = jobToSpec[job];
+        TrialRecord t;
+        t.workload = specs[i].workload;
+        t.plans = specs[i].plans;
+        t.faultsPlanned = specs[i].plans.size();
+        switch (o.status) {
+          case JobOutcome::Status::Ok:
+            t.metrics = o.metrics;
+            t.outcome = classifyTrial(t.metrics);
+            fillAggregates(t);
+            break;
+          case JobOutcome::Status::TimedOut:
+            t.metrics = o.metrics; // partial, still informative
+            t.outcome = TrialOutcome::TimedOut;
+            fillAggregates(t);
+            break;
+          case JobOutcome::Status::Error:
+            t.outcome = TrialOutcome::Crashed;
+            t.error = std::string(errorKindName(o.errorKind)) + ": " +
+                      o.errorMessage;
+            SLIP_WARN("campaign '", cfg.name, "' trial ", i,
+                      " crashed (", t.error, "); siblings unaffected");
+            break;
+        }
+        journal.append(cfg, i, t);
+        done[i] = std::move(t);
+    });
 
     FaultCampaignResult result;
     result.perWorkload.reserve(names.size());
     for (const std::string &name : names)
         result.perWorkload.emplace_back(name, CampaignTally{});
     for (size_t i = 0; i < specs.size(); ++i) {
-        TrialRecord trial;
-        trial.workload = specs[i].workload;
-        trial.plans = std::move(specs[i].plans);
-        trial.metrics = metrics[i];
-        trial.outcome = classifyTrial(trial.metrics);
+        SLIP_ASSERT(done[i], "campaign trial ", i, " never finished");
+        TrialRecord trial = std::move(*done[i]);
         result.total.add(trial);
         for (auto &[wname, tally] : result.perWorkload)
             if (wname == trial.workload)
@@ -267,8 +582,10 @@ void
 writeFaultReport(const std::vector<std::string> &campaignObjects,
                  const std::string &path)
 {
+    // Reporting must never take down a campaign: every failure path
+    // warns (with the path and the reason) and returns.
+    std::string target = path;
     try {
-        std::string target = path;
         if (target.empty()) {
             if (const char *env =
                     std::getenv("SLIPSTREAM_FAULT_JSON"))
@@ -281,16 +598,37 @@ writeFaultReport(const std::vector<std::string> &campaignObjects,
         if (!dir.empty())
             std::filesystem::create_directories(dir);
 
-        std::ofstream out(target, std::ios::trunc);
-        if (!out)
-            return;
-        out << "[\n";
-        for (size_t i = 0; i < campaignObjects.size(); ++i)
-            out << campaignObjects[i]
-                << (i + 1 < campaignObjects.size() ? "," : "") << "\n";
-        out << "]\n";
+        // Write a temp sibling, then atomically rename into place:
+        // no kill point leaves a truncated fault_campaign.json.
+        const std::string tmp = target + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            if (!out) {
+                SLIP_WARN("cannot open fault report temp file '", tmp,
+                          "' for writing; report not written");
+                return;
+            }
+            out << "[\n";
+            for (size_t i = 0; i < campaignObjects.size(); ++i)
+                out << campaignObjects[i]
+                    << (i + 1 < campaignObjects.size() ? "," : "")
+                    << "\n";
+            out << "]\n";
+            out.flush();
+            if (!out) {
+                SLIP_WARN("write to fault report temp file '", tmp,
+                          "' failed; report not written");
+                std::remove(tmp.c_str());
+                return;
+            }
+        }
+        std::filesystem::rename(tmp, target);
+    } catch (const std::exception &e) {
+        SLIP_WARN("failed to write fault report '", target,
+                  "': ", e.what());
     } catch (...) {
-        // Reporting must never take down a campaign.
+        SLIP_WARN("failed to write fault report '", target,
+                  "': unknown error");
     }
 }
 

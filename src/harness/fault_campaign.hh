@@ -22,10 +22,20 @@
  *                        tripwire: should stay zero)
  *   no-victim            no planned fault found a physical victim
  *   hung                 the run did not complete
+ *   timed-out            the supervisor's wall-clock deadline reaped
+ *                        the trial (SLIPSTREAM_TRIAL_TIMEOUT_MS)
+ *   crashed              the trial's job threw; the exception is
+ *                        classified and recorded, siblings unaffected
  *
  * Plans are drawn serially from one Rng before any job is submitted
  * and SimJobRunner returns results in submission order, so campaign
  * results are byte-identical for any SLIPSTREAM_JOBS.
+ *
+ * Campaigns are crash-safe: every completed trial is appended (and
+ * flushed) as one JSONL line to a journal
+ * (results/fault_campaign.journal.jsonl by default), and a campaign
+ * started in resume mode skips already-journaled trials — the final
+ * report is byte-identical wherever a previous run died.
  */
 
 #ifndef SLIPSTREAM_HARNESS_FAULT_CAMPAIGN_HH
@@ -52,12 +62,17 @@ enum class TrialOutcome : uint8_t
     DetectedButCorrupt,
     NoVictim,
     Hung,
+    TimedOut,
+    Crashed,
 };
 
-inline constexpr unsigned kNumTrialOutcomes = 7;
+inline constexpr unsigned kNumTrialOutcomes = 9;
 
 /** "detected_recovered", "hung_recovered", ... (report keys). */
 const char *trialOutcomeName(TrialOutcome outcome);
+
+/** Inverse of trialOutcomeName (journal parsing); false = unknown. */
+bool trialOutcomeFromName(const std::string &name, TrialOutcome &out);
 
 /** Classify one finished trial from its metrics. */
 TrialOutcome classifyTrial(const RunMetrics &m);
@@ -102,16 +117,52 @@ struct FaultCampaignConfig
      */
     Cycle cycleCapPerInst = 10;
 
+    /**
+     * Trial journal path. Empty = $SLIPSTREAM_FAULT_JOURNAL, else
+     * results/fault_campaign.journal.jsonl. Every completed trial is
+     * appended and flushed as one JSONL line, so a killed campaign
+     * loses at most the trials still in flight.
+     */
+    std::string journalPath;
+
+    /**
+     * Skip trials already journaled (matched by campaign name, seed,
+     * trial index, and workload) instead of re-running them. Also
+     * enabled by $SLIPSTREAM_CAMPAIGN_RESUME. The final report is
+     * byte-identical to an uninterrupted run's.
+     */
+    bool resume = false;
+
     FaultCampaignConfig();
 };
 
-/** One trial's full story. */
+/**
+ * One trial's full story. The aggregate fields (fault counts,
+ * latency sums, cycles) are what the tallies and the JSON report
+ * consume; they are journaled verbatim, so a trial reconstructed on
+ * resume contributes exactly what the live run did. `metrics` is
+ * populated for trials executed in this process only (empty for
+ * resumed ones).
+ */
 struct TrialRecord
 {
     std::string workload;
     std::vector<FaultPlan> plans;
     TrialOutcome outcome = TrialOutcome::NoVictim;
     RunMetrics metrics;
+
+    /** Crashed trials: the classified exception text. */
+    std::string error;
+
+    // Journaled aggregates (the report's inputs).
+    uint64_t faultsPlanned = 0;
+    uint64_t faultsInjected = 0;
+    uint64_t faultsDetected = 0;
+    bool degraded = false;
+    uint64_t latencySamples = 0;
+    Cycle latencyTotal = 0;
+    Cycle latencyMax = 0;
+    Cycle cycles = 0;
 };
 
 /** Aggregated counts (whole campaign or one workload). */
@@ -169,7 +220,10 @@ std::string campaignJson(const FaultCampaignConfig &cfg,
 /**
  * Write campaign objects as a JSON array to `path`, or (when empty)
  * to $SLIPSTREAM_FAULT_JSON, else results/fault_campaign.json —
- * alongside bench_perf.json. Best-effort, never throws.
+ * alongside bench_perf.json. The file is written to a temp sibling
+ * and atomically renamed into place, so no kill point leaves a
+ * truncated report. Never throws; failures warn with the path and
+ * the reason.
  */
 void writeFaultReport(const std::vector<std::string> &campaignObjects,
                       const std::string &path = "");

@@ -1,11 +1,14 @@
 #include "harness/sim_runner.hh"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <thread>
 #include <utility>
 
 #include "assembler/assembler.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "func/func_sim.hh"
 #include "harness/thread_pool.hh"
@@ -59,51 +62,237 @@ ProgramCache::global()
     return cache;
 }
 
-SimJobRunner::SimJobRunner(unsigned jobs)
-    : jobs_(jobs > 0 ? jobs : defaultJobs())
+const char *
+jobStatusName(JobOutcome::Status status)
+{
+    switch (status) {
+      case JobOutcome::Status::Ok:
+        return "ok";
+      case JobOutcome::Status::Error:
+        return "error";
+      case JobOutcome::Status::TimedOut:
+        return "timed_out";
+    }
+    return "?";
+}
+
+Supervision
+Supervision::fromEnv()
+{
+    Supervision s;
+    s.timeoutMs = envU64("SLIPSTREAM_TRIAL_TIMEOUT_MS", s.timeoutMs);
+    s.retries =
+        unsigned(envU64("SLIPSTREAM_TRIAL_RETRIES", s.retries));
+    return s;
+}
+
+/**
+ * One thread watching every in-flight job's wall-clock deadline.
+ * watch() registers a token with deadline now+timeout; the thread
+ * sleeps until the earliest registered deadline and cancels overdue
+ * tokens. unwatch() must be called before the token is destroyed;
+ * registration and cancellation share one mutex, so a token is never
+ * touched after unwatch() returns.
+ */
+class SimJobRunner::DeadlineWatchdog
+{
+    using Clock = std::chrono::steady_clock;
+
+  public:
+    explicit DeadlineWatchdog(std::chrono::milliseconds timeout)
+        : timeout_(timeout), thread_([this] { loop(); })
+    {
+    }
+
+    ~DeadlineWatchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    void
+    watch(CancelToken *token)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            armed_[token] = Clock::now() + timeout_;
+        }
+        cv_.notify_all();
+    }
+
+    void
+    unwatch(CancelToken *token)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        armed_.erase(token);
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stopping_) {
+            if (armed_.empty()) {
+                cv_.wait(lock);
+                continue;
+            }
+            auto earliest = armed_.begin();
+            for (auto it = armed_.begin(); it != armed_.end(); ++it)
+                if (it->second < earliest->second)
+                    earliest = it;
+            if (Clock::now() >= earliest->second) {
+                earliest->first->cancel();
+                armed_.erase(earliest);
+                continue;
+            }
+            cv_.wait_until(lock, earliest->second);
+        }
+    }
+
+    const std::chrono::milliseconds timeout_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<CancelToken *, Clock::time_point> armed_;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+SimJobRunner::SimJobRunner(unsigned jobs, Supervision supervision)
+    : jobs_(jobs > 0 ? jobs : defaultJobs()), supervision_(supervision)
 {
 }
 
 size_t
-SimJobRunner::add(std::function<RunMetrics()> job)
+SimJobRunner::add(Job job)
+{
+    pending_.push_back(
+        [job = std::move(job)](const CancelToken &) { return job(); });
+    return pending_.size() - 1;
+}
+
+size_t
+SimJobRunner::add(CancellableJob job)
 {
     pending_.push_back(std::move(job));
     return pending_.size() - 1;
 }
 
+JobOutcome
+SimJobRunner::executeOne(const CancellableJob &job,
+                         DeadlineWatchdog *watchdog) const
+{
+    JobOutcome out;
+    for (unsigned attempt = 1;; ++attempt) {
+        out.attempts = attempt;
+        CancelToken token;
+        if (watchdog)
+            watchdog->watch(&token);
+        try {
+            RunMetrics m = job(token);
+            if (watchdog)
+                watchdog->unwatch(&token);
+            out.metrics = std::move(m);
+            out.status = token.cancelled()
+                             ? JobOutcome::Status::TimedOut
+                             : JobOutcome::Status::Ok;
+            return out;
+        } catch (...) {
+            if (watchdog)
+                watchdog->unwatch(&token);
+            if (token.cancelled()) {
+                // The deadline tripped mid-flight and the wind-down
+                // threw: the deadline is the story, not the throw.
+                out.status = JobOutcome::Status::TimedOut;
+                out.metrics = RunMetrics{};
+                out.metrics.cancelled = true;
+                return out;
+            }
+            const ErrorInfo info = classifyCurrentException();
+            out.errorKind = info.kind;
+            out.errorMessage = info.message;
+            out.exception = std::current_exception();
+            if (!errorRetryable(info.kind) ||
+                attempt > supervision_.retries) {
+                out.status = JobOutcome::Status::Error;
+                return out;
+            }
+            SLIP_WARN("retrying job after ",
+                      errorKindName(info.kind), " failure (attempt ",
+                      attempt, " of ", supervision_.retries + 1,
+                      "): ", info.message);
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                supervision_.backoffMs << (attempt - 1)));
+        }
+    }
+}
+
+std::vector<JobOutcome>
+SimJobRunner::runSupervised(const OnOutcome &onOutcome)
+{
+    std::vector<CancellableJob> batch;
+    batch.swap(pending_);
+
+    std::vector<JobOutcome> outcomes(batch.size());
+
+    std::unique_ptr<DeadlineWatchdog> watchdog;
+    if (supervision_.timeoutMs > 0)
+        watchdog = std::make_unique<DeadlineWatchdog>(
+            std::chrono::milliseconds(supervision_.timeoutMs));
+
+    std::mutex outcomeMu; // serializes onOutcome across workers
+    const auto finish = [&](size_t i) {
+        outcomes[i] = executeOne(batch[i], watchdog.get());
+        if (onOutcome) {
+            std::lock_guard<std::mutex> lock(outcomeMu);
+            onOutcome(i, outcomes[i]);
+        }
+    };
+
+    if (jobs_ <= 1 || batch.size() <= 1) {
+        // Serial baseline: no pool, no thread hop (the deadline
+        // watchdog still runs — a stuck inline job is reaped too).
+        for (size_t i = 0; i < batch.size(); ++i)
+            finish(i);
+        return outcomes;
+    }
+
+    ThreadPool pool(jobs_);
+    for (size_t i = 0; i < batch.size(); ++i)
+        pool.submit([&, i] { finish(i); });
+    pool.wait();
+    return outcomes;
+}
+
 std::vector<RunMetrics>
 SimJobRunner::run()
 {
-    std::vector<std::function<RunMetrics()>> batch;
-    batch.swap(pending_);
+    std::vector<JobOutcome> outcomes = runSupervised();
 
-    std::vector<RunMetrics> results(batch.size());
-
-    if (jobs_ <= 1 || batch.size() <= 1) {
-        // Serial baseline: no pool, no thread hop.
-        for (size_t i = 0; i < batch.size(); ++i)
-            results[i] = batch[i]();
-        return results;
+    std::vector<RunMetrics> results;
+    results.reserve(outcomes.size());
+    std::exception_ptr firstError;
+    size_t firstTimeout = outcomes.size();
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        JobOutcome &o = outcomes[i];
+        if (o.status == JobOutcome::Status::Error && !firstError)
+            firstError = o.exception;
+        if (o.status == JobOutcome::Status::TimedOut &&
+            firstTimeout == outcomes.size())
+            firstTimeout = i;
+        results.push_back(std::move(o.metrics));
     }
-
-    std::vector<std::exception_ptr> errors(batch.size());
-    {
-        ThreadPool pool(jobs_);
-        for (size_t i = 0; i < batch.size(); ++i) {
-            pool.submit([&, i] {
-                try {
-                    results[i] = batch[i]();
-                } catch (...) {
-                    errors[i] = std::current_exception();
-                }
-            });
-        }
-        pool.wait();
-    }
-    for (const std::exception_ptr &e : errors) {
-        if (e)
-            std::rethrow_exception(e);
-    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+    if (firstTimeout != outcomes.size())
+        SLIP_FATAL("job ", firstTimeout, " exceeded the ",
+                   supervision_.timeoutMs,
+                   " ms trial deadline (SLIPSTREAM_TRIAL_TIMEOUT_MS); "
+                   "use runSupervised() to tolerate timeouts");
     return results;
 }
 

@@ -16,13 +16,18 @@
  *  - SimJobRunner: collects RunMetrics-producing jobs and runs them
  *    across the pool, returning results in submission order — output
  *    is byte-identical whatever the worker count, because each job is
- *    a pure function of const inputs.
+ *    a pure function of const inputs. Batches are *supervised*: each
+ *    job yields a per-job Outcome (ok / error / timed-out) so one
+ *    failure never voids its siblings, a wall-clock deadline reaps
+ *    stuck jobs via cooperative cancellation, and retryably-failing
+ *    jobs re-run with bounded backoff.
  */
 
 #ifndef SLIPSTREAM_HARNESS_SIM_RUNNER_HH
 #define SLIPSTREAM_HARNESS_SIM_RUNNER_HH
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -31,6 +36,8 @@
 #include <vector>
 
 #include "assembler/program.hh"
+#include "common/cancel.hh"
+#include "common/logging.hh"
 #include "harness/experiment.hh"
 #include "workloads/workloads.hh"
 
@@ -79,35 +86,128 @@ class ProgramCache
 };
 
 /**
+ * How one supervised job ended. `ok` carries the full metrics;
+ * `timed_out` means the supervisor's wall-clock deadline reaped the
+ * job (metrics hold whatever partial state the cancelled run
+ * returned); `error` means the job threw, with the exception
+ * classified (common/logging taxonomy) and preserved for rethrow.
+ */
+struct JobOutcome
+{
+    enum class Status : uint8_t
+    {
+        Ok,
+        Error,
+        TimedOut,
+    };
+
+    Status status = Status::Ok;
+    RunMetrics metrics;
+
+    // Error only.
+    ErrorKind errorKind = ErrorKind::Unknown;
+    std::string errorMessage;
+    std::exception_ptr exception;
+
+    /** Executions performed, including retries (>= 1). */
+    unsigned attempts = 1;
+
+    bool ok() const { return status == Status::Ok; }
+};
+
+/** "ok", "error", "timed_out". */
+const char *jobStatusName(JobOutcome::Status status);
+
+/**
+ * Per-job supervision policy for a batch: a wall-clock deadline
+ * (enforced via cooperative cancellation — the simulators poll the
+ * token in their cycle loops) and bounded retry-with-backoff for
+ * failures whose classification says re-running could help.
+ */
+struct Supervision
+{
+    /** Wall-clock deadline per attempt in ms; 0 = no deadline. */
+    uint64_t timeoutMs = 0;
+
+    /** Re-executions allowed after a retryable failure. */
+    unsigned retries = 1;
+
+    /** First retry delay; doubles per subsequent retry. */
+    uint64_t backoffMs = 100;
+
+    /**
+     * $SLIPSTREAM_TRIAL_TIMEOUT_MS / $SLIPSTREAM_TRIAL_RETRIES over
+     * the defaults above (garbage values warn and fall back).
+     */
+    static Supervision fromEnv();
+};
+
+/**
  * Runs a batch of simulation jobs on a thread pool. Usage:
  *
  *   SimJobRunner runner;                   // defaultJobs() workers
  *   for (...) runner.add([=] { return runSS(...); });
  *   std::vector<RunMetrics> results = runner.run();
  *
- * run() returns results in add() order regardless of completion
- * order. With jobs() == 1 the batch executes inline on the calling
- * thread — a true serial baseline with no pool machinery. A job that
- * throws has its exception rethrown from run(), first-added wins.
+ * Results come back in add() order regardless of completion order.
+ * With jobs() == 1 the batch executes inline on the calling thread —
+ * a true serial baseline with no pool machinery.
+ *
+ * runSupervised() is the resilient form: every job yields a
+ * JobOutcome, so one failing or hung trial never voids its siblings'
+ * results. Jobs may take a CancelToken (polled by the simulators'
+ * cycle loops) so the deadline watchdog can reap a stuck trial
+ * without killing the process. The legacy run() keeps its original
+ * contract — the first-added error is rethrown — but is now a
+ * wrapper over runSupervised(), so supervision (timeouts, retries)
+ * applies there too.
  */
 class SimJobRunner
 {
   public:
+    using Job = std::function<RunMetrics()>;
+    using CancellableJob = std::function<RunMetrics(const CancelToken &)>;
+
+    /** Called once per finished job (serialized, any thread). */
+    using OnOutcome = std::function<void(size_t, const JobOutcome &)>;
+
     /** `jobs` == 0 means defaultJobs(). */
-    explicit SimJobRunner(unsigned jobs = 0);
+    explicit SimJobRunner(unsigned jobs = 0,
+                          Supervision supervision = Supervision::fromEnv());
 
     /** Queue one job; returns its index in the result vector. */
-    size_t add(std::function<RunMetrics()> job);
+    size_t add(Job job);
 
-    /** Execute all queued jobs; clears the queue. */
+    /** Queue one cancellation-aware job. */
+    size_t add(CancellableJob job);
+
+    /**
+     * Execute all queued jobs; clears the queue. Rethrows the
+     * first-added job error; a timed-out job raises fatal().
+     */
     std::vector<RunMetrics> run();
+
+    /**
+     * Execute all queued jobs, returning one JobOutcome per job in
+     * add() order; clears the queue. Never throws on job failure.
+     * `onOutcome` (optional) fires as each job finishes — callers
+     * journal completed trials through it.
+     */
+    std::vector<JobOutcome> runSupervised(const OnOutcome &onOutcome = {});
 
     unsigned jobs() const { return jobs_; }
     size_t pending() const { return pending_.size(); }
+    const Supervision &supervision() const { return supervision_; }
 
   private:
+    class DeadlineWatchdog;
+
+    JobOutcome executeOne(const CancellableJob &job,
+                          DeadlineWatchdog *watchdog) const;
+
     unsigned jobs_;
-    std::vector<std::function<RunMetrics()>> pending_;
+    Supervision supervision_;
+    std::vector<CancellableJob> pending_;
 };
 
 } // namespace slip

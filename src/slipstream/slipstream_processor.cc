@@ -208,12 +208,17 @@ SlipstreamProcessor::degradeToROnly(Cycle now, Cycle resume)
 }
 
 SlipstreamRunResult
-SlipstreamProcessor::run(Cycle maxCycles)
+SlipstreamProcessor::run(Cycle maxCycles, const CancelToken *cancel)
 {
     Cycle now = 0;
     Cycle lastProgress = 0;
+    bool cancelled = false;
 
     while (!rCore_->halted() && (maxCycles == 0 || now < maxCycles)) {
+        if (cancel && cancel->cancelled()) {
+            cancelled = true;
+            break;
+        }
         faultInjector_.setNow(now);
         if (degraded_) {
             rCore_->tick(now);
@@ -262,7 +267,8 @@ SlipstreamProcessor::run(Cycle maxCycles)
     if (degradedSource_)
         result.output += degradedSource_->output();
     result.halted = rCore_->halted();
-    result.hung = !result.halted;
+    result.cancelled = cancelled;
+    result.hung = !result.halted && !cancelled;
     result.watchdogTrips = watchdogTrips_;
     result.degraded = degraded_;
     result.degradedAtCycle = degradedAtCycle_;

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "assembler/program.hh"
+#include "common/cancel.hh"
 #include "slipstream/a_stream.hh"
 #include "slipstream/removal.hh"
 #include "slipstream/delay_buffer.hh"
@@ -118,6 +119,9 @@ struct SlipstreamRunResult
     bool hung = false;
     unsigned watchdogTrips = 0; // watchdog-forced recoveries
 
+    /** A supervisor's CancelToken ended the run early (not `hung`). */
+    bool cancelled = false;
+
     bool degraded = false;      // shed the A-stream mid-run
     Cycle degradedAtCycle = 0;
     uint64_t rOnlyRetired = 0;  // retired after the transition
@@ -191,8 +195,15 @@ class SlipstreamProcessor
                         const SlipstreamParams &params,
                         std::unique_ptr<IRPredictor> irPredictor);
 
-    /** Run until the R-stream retires HALT (or maxCycles). */
-    SlipstreamRunResult run(Cycle maxCycles = 0);
+    /**
+     * Run until the R-stream retires HALT (or maxCycles). When
+     * `cancel` is given the cycle loop polls it and winds down
+     * cleanly once it fires — the cooperative hook a supervising
+     * deadline watchdog reaps a stuck trial through without killing
+     * the process.
+     */
+    SlipstreamRunResult run(Cycle maxCycles = 0,
+                            const CancelToken *cancel = nullptr);
 
     FaultInjector &faultInjector() { return faultInjector_; }
 

@@ -28,12 +28,17 @@ SSProcessor::SSProcessor(const Program &program,
 }
 
 SSRunResult
-SSProcessor::run(Cycle maxCycles)
+SSProcessor::run(Cycle maxCycles, const CancelToken *cancel)
 {
     Cycle now = 0;
     Cycle lastProgress = 0;
+    bool cancelled = false;
 
     while (!core_->halted() && (maxCycles == 0 || now < maxCycles)) {
+        if (cancel && cancel->cancelled()) {
+            cancelled = true;
+            break;
+        }
         core_->tick(now);
         if (core_->lastRetireCycle() > lastProgress)
             lastProgress = core_->lastRetireCycle();
@@ -52,6 +57,7 @@ SSProcessor::run(Cycle maxCycles)
     result.branchMispredicts = core_->branchMispredicts();
     result.output = source_->output();
     result.halted = core_->halted();
+    result.cancelled = cancelled;
     return result;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "assembler/program.hh"
+#include "common/cancel.hh"
 #include "uarch/core.hh"
 #include "uarch/fetch_source.hh"
 #include "uarch/trace_pred.hh"
@@ -28,6 +29,9 @@ struct SSRunResult
     uint64_t branchMispredicts = 0;
     std::string output;
     bool halted = false;
+
+    /** A supervisor's CancelToken ended the run early. */
+    bool cancelled = false;
 
     double
     ipc() const
@@ -57,9 +61,13 @@ class SSProcessor
     /**
      * Run to HALT (or until maxCycles, 0 = unbounded). A watchdog
      * panics if no instruction retires for a long interval — that is
-     * a model deadlock, not a legal outcome.
+     * a model deadlock, not a legal outcome. When `cancel` is given
+     * the loop polls it each cycle and winds down cleanly (result
+     * marked `cancelled`) once it fires — the hook a supervising
+     * deadline watchdog reaps stuck trials through.
      */
-    SSRunResult run(Cycle maxCycles = 0);
+    SSRunResult run(Cycle maxCycles = 0,
+                    const CancelToken *cancel = nullptr);
 
     OoOCore &core() { return *core_; }
     TraceFetchSource &fetchSource() { return *source_; }

@@ -18,6 +18,8 @@ smallConfig()
     FaultCampaignConfig cfg;
     cfg.workloads = {"m88ksim", "li"};
     cfg.trialsPerWorkload = 6;
+    // Keep test journals out of results/.
+    cfg.journalPath = "test_fault_campaign.journal.jsonl";
     return cfg;
 }
 
@@ -122,7 +124,8 @@ TEST(FaultCampaign, JsonReportIsWellFormedAndWritable)
           "\"silent_corrupt\"", "\"degraded_runs\""})
         EXPECT_NE(json.find(key), std::string::npos) << key;
 
-    // writeFaultReport produces a readable JSON array at the path.
+    // writeFaultReport produces a readable JSON array at the path,
+    // and the atomic temp sibling is gone once the rename lands.
     const std::string path = "test_fault_campaign_report.json";
     writeFaultReport({json, json}, path);
     std::ifstream in(path);
@@ -132,7 +135,155 @@ TEST(FaultCampaign, JsonReportIsWellFormedAndWritable)
     const std::string text = buf.str();
     EXPECT_EQ(text.front(), '[');
     EXPECT_NE(text.find("\"campaign\""), std::string::npos);
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
     std::remove(path.c_str());
+}
+
+TEST(FaultCampaign, ReportFailureWarnsInsteadOfThrowing)
+{
+    // Parent "directory" is a regular file: creation must fail, and
+    // the failure must be a warning, not an exception or a crash.
+    const std::string blocker = "test_fault_report_blocker";
+    {
+        std::ofstream out(blocker, std::ios::trunc);
+        out << "not a directory\n";
+    }
+    EXPECT_NO_THROW(
+        writeFaultReport({"{}"}, blocker + "/sub/report.json"));
+    std::remove(blocker.c_str());
+}
+
+TEST(FaultCampaign, OutcomeNamesRoundTripThroughTheJournal)
+{
+    for (unsigned o = 0; o < kNumTrialOutcomes; ++o) {
+        TrialOutcome parsed;
+        ASSERT_TRUE(trialOutcomeFromName(
+            trialOutcomeName(TrialOutcome(o)), parsed));
+        EXPECT_EQ(parsed, TrialOutcome(o));
+    }
+    TrialOutcome dummy;
+    EXPECT_FALSE(trialOutcomeFromName("not_an_outcome", dummy));
+    EXPECT_FALSE(trialOutcomeFromName("", dummy));
+}
+
+/**
+ * The tentpole acceptance property: kill a campaign at any point,
+ * rerun in resume mode, and the final report comes out byte-identical
+ * — for any SLIPSTREAM_JOBS. Simulated here by truncating the journal
+ * at several cut points; one leg also appends a torn (half-written)
+ * final line, which resume must skip, not choke on.
+ */
+TEST(FaultCampaign, ResumeReproducesTheReportByteForByte)
+{
+    FaultCampaignConfig cfg = smallConfig();
+    cfg.name = "resume_determinism";
+    cfg.trialsPerWorkload = 4; // 8 trials across the two workloads
+    cfg.journalPath = "test_fault_campaign.resume.jsonl";
+
+    const char *prior = std::getenv("SLIPSTREAM_JOBS");
+    const std::string saved = prior ? prior : "";
+
+    const FaultCampaignResult full = runFaultCampaign(cfg);
+    const std::string expected = campaignJson(cfg, full);
+
+    // Capture the uninterrupted run's journal lines.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(cfg.journalPath);
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty())
+                lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), full.trials.size());
+
+    const size_t cuts[] = {0, 1, lines.size() / 2, lines.size() - 1};
+    for (size_t cut : cuts) {
+        for (const char *jobs : {"1", "3"}) {
+            SCOPED_TRACE(std::string("cut=") + std::to_string(cut) +
+                         " jobs=" + jobs);
+            setenv("SLIPSTREAM_JOBS", jobs, 1);
+            // A kill after `cut` completed trials: journal holds their
+            // lines plus, on one leg, a torn line from the victim.
+            {
+                std::ofstream out(cfg.journalPath, std::ios::trunc);
+                for (size_t i = 0; i < cut; ++i)
+                    out << lines[i] << '\n';
+                if (cut == 1)
+                    out << lines[cut].substr(0, lines[cut].size() / 2);
+            }
+            FaultCampaignConfig again = cfg;
+            again.resume = true;
+            const std::string got =
+                campaignJson(again, runFaultCampaign(again));
+            EXPECT_EQ(got, expected);
+        }
+    }
+
+    if (prior)
+        setenv("SLIPSTREAM_JOBS", saved.c_str(), 1);
+    else
+        unsetenv("SLIPSTREAM_JOBS");
+    std::remove(cfg.journalPath.c_str());
+}
+
+/** A journal from a different campaign or seed must never leak in. */
+TEST(FaultCampaign, ResumeIgnoresForeignJournalEntries)
+{
+    FaultCampaignConfig cfg = smallConfig();
+    cfg.name = "resume_isolation";
+    cfg.workloads = {"m88ksim"};
+    cfg.trialsPerWorkload = 2;
+    cfg.journalPath = "test_fault_campaign.foreign.jsonl";
+
+    const FaultCampaignResult fresh = runFaultCampaign(cfg);
+    const std::string expected = campaignJson(cfg, fresh);
+
+    // Poison the journal with entries that would corrupt the tallies
+    // if resume matched them: wrong campaign, wrong seed, wrong
+    // workload, out-of-range trial, unknown outcome.
+    {
+        std::ofstream out(cfg.journalPath, std::ios::trunc);
+        out << "{\"campaign\":\"someone_else\",\"seed\":" << cfg.seed
+            << ",\"trial\":0,\"workload\":\"m88ksim\","
+               "\"outcome\":\"crashed\",\"planned\":99,\"injected\":99,"
+               "\"detected\":99,\"degraded\":1,\"latency_samples\":9,"
+               "\"latency_total\":9,\"latency_max\":9,\"cycles\":9,"
+               "\"error\":\"\"}\n";
+        out << "{\"campaign\":\"resume_isolation\",\"seed\":1,"
+               "\"trial\":0,\"workload\":\"m88ksim\","
+               "\"outcome\":\"crashed\",\"planned\":99,\"injected\":99,"
+               "\"detected\":99,\"degraded\":1,\"latency_samples\":9,"
+               "\"latency_total\":9,\"latency_max\":9,\"cycles\":9,"
+               "\"error\":\"\"}\n";
+        out << "{\"campaign\":\"resume_isolation\",\"seed\":"
+            << cfg.seed
+            << ",\"trial\":0,\"workload\":\"wrong_workload\","
+               "\"outcome\":\"crashed\",\"planned\":99,\"injected\":99,"
+               "\"detected\":99,\"degraded\":1,\"latency_samples\":9,"
+               "\"latency_total\":9,\"latency_max\":9,\"cycles\":9,"
+               "\"error\":\"\"}\n";
+        out << "{\"campaign\":\"resume_isolation\",\"seed\":"
+            << cfg.seed
+            << ",\"trial\":999,\"workload\":\"m88ksim\","
+               "\"outcome\":\"crashed\",\"planned\":99,\"injected\":99,"
+               "\"detected\":99,\"degraded\":1,\"latency_samples\":9,"
+               "\"latency_total\":9,\"latency_max\":9,\"cycles\":9,"
+               "\"error\":\"\"}\n";
+        out << "{\"campaign\":\"resume_isolation\",\"seed\":"
+            << cfg.seed
+            << ",\"trial\":0,\"workload\":\"m88ksim\","
+               "\"outcome\":\"abducted\",\"planned\":99,\"injected\":99,"
+               "\"detected\":99,\"degraded\":1,\"latency_samples\":9,"
+               "\"latency_total\":9,\"latency_max\":9,\"cycles\":9,"
+               "\"error\":\"\"}\n";
+    }
+    FaultCampaignConfig again = cfg;
+    again.resume = true;
+    const std::string got =
+        campaignJson(again, runFaultCampaign(again));
+    EXPECT_EQ(got, expected);
+    std::remove(cfg.journalPath.c_str());
 }
 
 } // namespace

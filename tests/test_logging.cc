@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <new>
+#include <stdexcept>
+#include <system_error>
+
 #include "common/logging.hh"
 
 namespace slip
@@ -45,6 +50,64 @@ TEST(Logging, QuietFlagRoundTrips)
     EXPECT_TRUE(logQuiet());
     setLogQuiet(false);
     EXPECT_FALSE(logQuiet());
+}
+
+ErrorInfo
+classify(const std::function<void()> &thrower)
+{
+    try {
+        thrower();
+    } catch (...) {
+        return classifyCurrentException();
+    }
+    return {};
+}
+
+TEST(ErrorTaxonomy, ClassifiesTheExceptionFamilies)
+{
+    const ErrorInfo user =
+        classify([] { SLIP_FATAL("bad knob value"); });
+    EXPECT_EQ(user.kind, ErrorKind::UserError);
+    EXPECT_NE(user.message.find("bad knob value"), std::string::npos);
+
+    const ErrorInfo internal =
+        classify([] { SLIP_PANIC("invariant broke"); });
+    EXPECT_EQ(internal.kind, ErrorKind::InternalError);
+
+    const ErrorInfo alloc = classify([] { throw std::bad_alloc(); });
+    EXPECT_EQ(alloc.kind, ErrorKind::Resource);
+
+    const ErrorInfo sys = classify([] {
+        throw std::system_error(std::make_error_code(
+            std::errc::resource_unavailable_try_again));
+    });
+    EXPECT_EQ(sys.kind, ErrorKind::Resource);
+
+    const ErrorInfo unknown =
+        classify([] { throw std::runtime_error("odd"); });
+    EXPECT_EQ(unknown.kind, ErrorKind::Unknown);
+    EXPECT_EQ(unknown.message, "odd");
+
+    const ErrorInfo nonStd = classify([] { throw 42; });
+    EXPECT_EQ(nonStd.kind, ErrorKind::Unknown);
+    EXPECT_FALSE(nonStd.message.empty());
+}
+
+TEST(ErrorTaxonomy, OnlyResourceFailuresAreRetryable)
+{
+    EXPECT_TRUE(errorRetryable(ErrorKind::Resource));
+    EXPECT_FALSE(errorRetryable(ErrorKind::UserError));
+    EXPECT_FALSE(errorRetryable(ErrorKind::InternalError));
+    EXPECT_FALSE(errorRetryable(ErrorKind::Unknown));
+}
+
+TEST(ErrorTaxonomy, KindNamesAreStableReportKeys)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::UserError), "user_error");
+    EXPECT_STREQ(errorKindName(ErrorKind::InternalError),
+                 "internal_error");
+    EXPECT_STREQ(errorKindName(ErrorKind::Resource), "resource");
+    EXPECT_STREQ(errorKindName(ErrorKind::Unknown), "unknown");
 }
 
 } // namespace
