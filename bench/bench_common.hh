@@ -18,6 +18,7 @@
 #include "harness/experiment.hh"
 #include "harness/sim_runner.hh"
 #include "harness/table.hh"
+#include "obs/trace_session.hh"
 #include "workloads/workloads.hh"
 
 namespace slip::bench
@@ -54,16 +55,39 @@ benchSizeName()
     return sizeName(benchSize());
 }
 
+/**
+ * Apply a `--trace[=categories]` bench argument: overrides whatever
+ * SLIPSTREAM_TRACE resolved to for this invocation. Bare `--trace`
+ * enables every category. Returns false when `arg` is not a trace
+ * flag (the caller handles — or rejects — it). Call before banner()
+ * so unknown category names are warned about, not silently muted.
+ */
+inline bool
+applyTraceArg(const std::string &arg)
+{
+    const std::string prefix = "--trace=";
+    if (arg != "--trace" && arg.rfind(prefix, 0) != 0)
+        return false;
+    obs::TraceConfig cfg = obs::TraceSession::global().config();
+    cfg.mask = arg == "--trace"
+                   ? obs::kAllCategories
+                   : obs::parseCategoryMask(arg.substr(prefix.size()));
+    obs::TraceSession::global().configure(cfg);
+    return true;
+}
+
 /** Standard banner naming the paper artifact being regenerated. */
 inline void
 banner(const std::string &artifact, const std::string &paperNote)
 {
     // Resolve every environment knob before muting warnings so bad
-    // SLIPSTREAM_BENCH_SIZE / SLIPSTREAM_JOBS / supervision values
-    // are reported instead of silently falling back.
+    // SLIPSTREAM_BENCH_SIZE / SLIPSTREAM_JOBS / supervision /
+    // SLIPSTREAM_TRACE values are reported instead of silently
+    // falling back.
     const char *size = benchSizeName();
     const unsigned jobs = defaultJobs();
     const Supervision supervision = Supervision::fromEnv();
+    const obs::TraceConfig trace = obs::TraceSession::global().config();
     envFlag("SLIPSTREAM_CAMPAIGN_RESUME", false);
     slip::setLogQuiet(true);
     std::cout << "=== " << artifact << " ===\n"
@@ -75,6 +99,12 @@ banner(const std::string &artifact, const std::string &paperNote)
     if (supervision.timeoutMs)
         std::cout << "trial deadline: " << supervision.timeoutMs
                   << " ms (SLIPSTREAM_TRIAL_TIMEOUT_MS)\n";
+    if (trace.mask) {
+        std::cout << "tracing: " << obs::categoryMaskNames(trace.mask)
+                  << " -> " << trace.dir
+                  << "/*.trace.json (--trace[=cats] or "
+                     "SLIPSTREAM_TRACE)\n";
+    }
     std::cout << "\n";
 }
 

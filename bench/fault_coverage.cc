@@ -70,21 +70,23 @@ int
 main(int argc, char **argv)
 {
     using namespace slip;
-    bench::banner("Fault coverage (paper §3, Figure 5 scenarios)",
-                  "multi-target bit-flip campaigns per benchmark");
 
     // --resume (or SLIPSTREAM_CAMPAIGN_RESUME=1): skip trials already
     // journaled by an interrupted invocation; the report comes out
     // byte-identical to an uninterrupted run's.
     bool resume = false;
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--resume") {
+        const std::string arg = argv[i];
+        if (arg == "--resume") {
             resume = true;
-        } else {
-            std::cerr << "usage: " << argv[0] << " [--resume]\n";
+        } else if (!bench::applyTraceArg(arg)) {
+            std::cerr << "usage: " << argv[0]
+                      << " [--resume] [--trace[=categories]]\n";
             return 2;
         }
     }
+    bench::banner("Fault coverage (paper §3, Figure 5 scenarios)",
+                  "multi-target bit-flip campaigns per benchmark");
     if (resume)
         std::cout << "(resuming from the trial journal)\n\n";
 

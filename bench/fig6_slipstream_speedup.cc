@@ -12,9 +12,16 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace slip;
+    for (int i = 1; i < argc; ++i) {
+        if (!bench::applyTraceArg(argv[i])) {
+            std::cerr << "usage: " << argv[0]
+                      << " [--trace[=categories]]\n";
+            return 2;
+        }
+    }
     bench::banner("Figure 6: slipstream speedup over SS(64x4)",
                   "% IPC improvement of CMP(2x64x4); paper avg ~7%");
 
@@ -26,11 +33,14 @@ main()
     for (const Workload &w : workloads) {
         const ProgramCache::Entry &e =
             ProgramCache::global().get(w.name, bench::benchSize());
-        runner.add([&e] {
+        const std::string name = w.name;
+        runner.add([&e, name] {
+            obs::TrialTrace scope("fig6_" + name + "_ss");
             return runSS(e.program, ss64x4Params(), "SS(64x4)",
                          e.golden);
         });
-        runner.add([&e] {
+        runner.add([&e, name] {
+            obs::TrialTrace scope("fig6_" + name + "_cmp");
             return runSlipstream(e.program, cmp2x64x4Params(),
                                  e.golden);
         });

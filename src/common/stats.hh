@@ -10,10 +10,13 @@
 #ifndef SLIPSTREAM_COMMON_STATS_HH
 #define SLIPSTREAM_COMMON_STATS_HH
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -73,6 +76,172 @@ class Distribution
     uint64_t max_ = 0;
     uint64_t sum_ = 0;
     uint64_t count_ = 0;
+};
+
+/**
+ * Log2-bucketed histogram of a sampled quantity. Bucket 0 holds value
+ * 0; bucket b >= 1 holds values in [2^(b-1), 2^b). 65 buckets cover
+ * the full uint64_t range, so sampling is an increment at a computed
+ * index — cheap enough for per-event telemetry (detection latencies,
+ * occupancies, span lengths) where a mean alone hides the tail.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65;
+
+    /** Bucket index of a value: 0 for 0, else 1 + floor(log2 v). */
+    static unsigned
+    bucketOf(uint64_t v)
+    {
+        return v == 0 ? 0 : unsigned(std::bit_width(v));
+    }
+
+    /** Smallest value landing in bucket b. */
+    static uint64_t
+    bucketLo(unsigned b)
+    {
+        return b == 0 ? 0 : uint64_t(1) << (b - 1);
+    }
+
+    /** Largest value landing in bucket b. */
+    static uint64_t
+    bucketHi(unsigned b)
+    {
+        return b >= 64 ? ~uint64_t(0) : (uint64_t(1) << b) - 1;
+    }
+
+    void
+    sample(uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    /**
+     * Credit `n` samples directly to bucket `b` (reconstructing a
+     * histogram from journaled bucket counts). min/max/sum are
+     * approximated by the bucket's lower bound.
+     */
+    void
+    addToBucket(unsigned b, uint64_t n)
+    {
+        SLIP_ASSERT(b < kBuckets, "histogram bucket ", b,
+                    " out of range");
+        if (n == 0)
+            return;
+        const uint64_t lo = bucketLo(b);
+        buckets_[b] += n;
+        if (count_ == 0 || lo < min_)
+            min_ = lo;
+        if (count_ == 0 || lo > max_)
+            max_ = lo;
+        sum_ += lo * n;
+        count_ += n;
+    }
+
+    void
+    merge(const Histogram &other)
+    {
+        if (other.count_ == 0)
+            return;
+        for (unsigned b = 0; b < kBuckets; ++b)
+            buckets_[b] += other.buckets_[b];
+        if (count_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_)
+            max_ = other.max_;
+        sum_ += other.sum_;
+        count_ += other.count_;
+    }
+
+    uint64_t bucket(unsigned b) const { return buckets_[b]; }
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return count_ ? max_ : 0; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        min_ = max_ = sum_ = count_ = 0;
+    }
+
+  private:
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t count_ = 0;
+};
+
+/**
+ * Fixed-window time series: record(cycle, delta) accumulates deltas
+ * into consecutive windows of `window` cycles, so a run's IPC (or any
+ * rate) can be rendered over time instead of as one end-of-run
+ * average. Storage grows one uint64_t per elapsed window.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(uint64_t window = 1024)
+        : window_(window > 0 ? window : 1)
+    {
+    }
+
+    void
+    record(uint64_t cycle, uint64_t delta)
+    {
+        const size_t w = size_t(cycle / window_);
+        if (w >= sums_.size())
+            sums_.resize(w + 1, 0);
+        sums_[w] += delta;
+    }
+
+    uint64_t window() const { return window_; }
+    size_t windows() const { return sums_.size(); }
+
+    uint64_t
+    windowSum(size_t w) const
+    {
+        return w < sums_.size() ? sums_[w] : 0;
+    }
+
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (uint64_t s : sums_)
+            t += s;
+        return t;
+    }
+
+    /** Mean delta per window over the recorded span. */
+    double
+    meanPerWindow() const
+    {
+        return sums_.empty()
+                   ? 0.0
+                   : static_cast<double>(total()) / sums_.size();
+    }
+
+    void reset() { sums_.clear(); }
+
+  private:
+    uint64_t window_;
+    std::vector<uint64_t> sums_;
 };
 
 /**
@@ -139,13 +308,30 @@ class StatGroup
     /** Find-or-create a distribution with the given name. */
     Distribution &distribution(const std::string &name);
 
+    /** Find-or-create a log2-bucketed histogram with the given name. */
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Find-or-create a time series. `window` applies on creation
+     * only; later calls return the existing series unchanged.
+     */
+    TimeSeries &timeSeries(const std::string &name,
+                           uint64_t window = 1024);
+
     /** Counter value, or 0 if the counter was never created. */
     uint64_t get(const std::string &name) const;
 
     /** Distribution lookup; panics if absent. */
     const Distribution &getDistribution(const std::string &name) const;
 
+    /** Histogram lookup; panics if absent. */
+    const Histogram &getHistogram(const std::string &name) const;
+
+    /** Time-series lookup; panics if absent. */
+    const TimeSeries &getTimeSeries(const std::string &name) const;
+
     bool hasCounter(const std::string &name) const;
+    bool hasHistogram(const std::string &name) const;
 
     /** Print all stats, one per line, prefixed with the group name. */
     void dump(std::ostream &os) const;
@@ -160,6 +346,8 @@ class StatGroup
     std::map<std::string, Counter> counters;
     std::map<std::string, uint64_t *> external;
     std::map<std::string, Distribution> distributions;
+    std::map<std::string, Histogram> histograms;
+    std::map<std::string, TimeSeries> series;
 };
 
 } // namespace slip

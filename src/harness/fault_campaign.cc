@@ -14,6 +14,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "harness/sim_runner.hh"
+#include "obs/trace_session.hh"
 
 namespace slip
 {
@@ -120,6 +121,8 @@ CampaignTally::add(const TrialRecord &trial)
     latencySamples += trial.latencySamples;
     latencyTotal += trial.latencyTotal;
     latencyMax = std::max(latencyMax, trial.latencyMax);
+    for (const auto &[target, hist] : trial.latencyByTarget)
+        latencyByTarget[target].merge(hist);
 }
 
 namespace
@@ -223,6 +226,72 @@ firstJournalOpen(const std::string &path)
     return opened.insert(path).second;
 }
 
+/**
+ * Compact per-target histogram encoding for the journal:
+ * "target=bucket:count,bucket:count;target2=..." (non-zero buckets
+ * only; empty when the trial detected nothing). Only bucket counts
+ * round-trip — and only bucket counts reach the report — so a
+ * resumed campaign renders byte-identical histograms.
+ */
+std::string
+encodeLatencyHistograms(const std::map<std::string, Histogram> &hists)
+{
+    std::ostringstream out;
+    bool firstTarget = true;
+    for (const auto &[target, h] : hists) {
+        if (h.count() == 0)
+            continue;
+        if (!firstTarget)
+            out << ';';
+        firstTarget = false;
+        out << target << '=';
+        bool firstBucket = true;
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+            if (!h.bucket(b))
+                continue;
+            if (!firstBucket)
+                out << ',';
+            firstBucket = false;
+            out << b << ':' << h.bucket(b);
+        }
+    }
+    return out.str();
+}
+
+void
+decodeLatencyHistograms(const std::string &enc,
+                        std::map<std::string, Histogram> &out)
+{
+    size_t pos = 0;
+    while (pos < enc.size()) {
+        size_t end = enc.find(';', pos);
+        if (end == std::string::npos)
+            end = enc.size();
+        const std::string part = enc.substr(pos, end - pos);
+        pos = end + 1;
+        const size_t eq = part.find('=');
+        if (eq == std::string::npos)
+            continue;
+        Histogram &h = out[part.substr(0, eq)];
+        size_t p = eq + 1;
+        while (p < part.size()) {
+            size_t e = part.find(',', p);
+            if (e == std::string::npos)
+                e = part.size();
+            char *after = nullptr;
+            const unsigned long b =
+                std::strtoul(part.c_str() + p, &after, 10);
+            if (after && *after == ':' && b < Histogram::kBuckets) {
+                const uint64_t n =
+                    std::strtoull(after + 1, nullptr, 10);
+                if (n)
+                    h.addToBucket(unsigned(b), n);
+            }
+            p = e + 1;
+        }
+    }
+}
+
 std::string
 journalLine(const FaultCampaignConfig &cfg, size_t trial,
             const TrialRecord &t)
@@ -239,7 +308,9 @@ journalLine(const FaultCampaignConfig &cfg, size_t trial,
         << ",\"latency_samples\":" << t.latencySamples
         << ",\"latency_total\":" << t.latencyTotal
         << ",\"latency_max\":" << t.latencyMax
-        << ",\"cycles\":" << t.cycles << ",\"error\":\""
+        << ",\"lat_hist\":\""
+        << jsonEscape(encodeLatencyHistograms(t.latencyByTarget))
+        << "\",\"cycles\":" << t.cycles << ",\"error\":\""
         << jsonEscape(t.error) << "\"}";
     return out.str();
 }
@@ -308,6 +379,8 @@ fillAggregates(TrialRecord &t)
         ++t.latencySamples;
         t.latencyTotal += latency;
         t.latencyMax = std::max(t.latencyMax, latency);
+        t.latencyByTarget[faultTargetName(r.plan.target)].sample(
+            latency);
     }
 }
 
@@ -432,6 +505,9 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
             jsonFieldU64(line, "latency_samples", t.latencySamples);
             jsonFieldU64(line, "latency_total", t.latencyTotal);
             jsonFieldU64(line, "latency_max", t.latencyMax);
+            std::string latHist;
+            if (jsonFieldString(line, "lat_hist", latHist))
+                decodeLatencyHistograms(latHist, t.latencyByTarget);
             jsonFieldU64(line, "cycles", t.cycles);
             t.error = std::move(error);
             if (!done[trial])
@@ -457,10 +533,19 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
             continue;
         jobToSpec.push_back(i);
         const TrialSpec *s = &specs[i];
-        runner.add([&params, s](const CancelToken &cancel) {
-            return runSlipstream(s->entry->program, params,
-                                 s->entry->golden, s->plans,
-                                 s->maxCycles, &cancel);
+        const std::string trialName = cfg.name + "_" + s->workload +
+                                      "_t" + std::to_string(i);
+        runner.add([&params, s, trialName](const CancelToken &cancel) {
+            obs::TrialTrace scope(trialName);
+            RunMetrics m = runSlipstream(s->entry->program, params,
+                                         s->entry->golden, s->plans,
+                                         s->maxCycles, &cancel);
+            if (m.cancelled) {
+                SLIP_TRACE(obs::Category::Trial,
+                           obs::Name::TrialTimeout, obs::Phase::Instant,
+                           m.cycles, 0);
+            }
+            return m;
         });
     }
 
@@ -534,7 +619,32 @@ tallyJson(std::ostringstream &out, const CampaignTally &t,
         << indent << "\"degraded_runs\": " << t.degradedRuns << ",\n"
         << indent << "\"detection_latency_cycles\": {\"samples\": "
         << t.latencySamples << ", \"avg\": " << t.avgLatency()
-        << ", \"max\": " << t.latencyMax << "}";
+        << ", \"max\": " << t.latencyMax << "},\n"
+        << indent << "\"detection_latency_histogram\": {";
+    // Log2-bucketed latency distribution per fault target: bucket
+    // counts only (keys are "lo-hi" cycle ranges), so live and
+    // journal-resumed campaigns render identically.
+    bool firstTarget = true;
+    for (const auto &[target, h] : t.latencyByTarget) {
+        if (h.count() == 0)
+            continue;
+        if (!firstTarget)
+            out << ", ";
+        firstTarget = false;
+        out << "\"" << target << "\": {";
+        bool firstBucket = true;
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+            if (!h.bucket(b))
+                continue;
+            if (!firstBucket)
+                out << ", ";
+            firstBucket = false;
+            out << "\"" << Histogram::bucketLo(b) << "-"
+                << Histogram::bucketHi(b) << "\": " << h.bucket(b);
+        }
+        out << "}";
+    }
+    out << "}";
 }
 
 } // namespace

@@ -42,10 +42,12 @@
 #define SLIPSTREAM_HARNESS_FAULT_CAMPAIGN_HH
 
 #include <array>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/stats.hh"
 #include "harness/experiment.hh"
 #include "workloads/workloads.hh"
 
@@ -163,6 +165,13 @@ struct TrialRecord
     Cycle latencyTotal = 0;
     Cycle latencyMax = 0;
     Cycle cycles = 0;
+
+    /**
+     * Detection latency distribution per fault target (log2 buckets),
+     * keyed by faultTargetName(). Journaled as compact bucket counts,
+     * so resumed trials reproduce the report's histograms exactly.
+     */
+    std::map<std::string, Histogram> latencyByTarget;
 };
 
 /** Aggregated counts (whole campaign or one workload). */
@@ -179,6 +188,9 @@ struct CampaignTally
     uint64_t latencySamples = 0;
     Cycle latencyTotal = 0;
     Cycle latencyMax = 0;
+
+    /** Per-target latency histograms, merged over the tally's trials. */
+    std::map<std::string, Histogram> latencyByTarget;
 
     void add(const TrialRecord &trial);
 

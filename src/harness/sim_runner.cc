@@ -12,6 +12,7 @@
 #include "common/logging.hh"
 #include "func/func_sim.hh"
 #include "harness/thread_pool.hh"
+#include "obs/trace_session.hh"
 
 namespace slip
 {
@@ -192,6 +193,7 @@ SimJobRunner::executeOne(const CancellableJob &job,
         CancelToken token;
         if (watchdog)
             watchdog->watch(&token);
+        obs::setTrialAttempt(attempt);
         try {
             RunMetrics m = job(token);
             if (watchdog)

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cycle-level observability: structured trace events (the wire format
+ * of the obs subsystem).
+ *
+ * Naming note: `src/uarch/trace.*` is the *trace cache* substrate
+ * (Jacobson-style dynamic instruction traces, paper §2.1.1); this
+ * directory is the unrelated *observability* subsystem. Cross-cutting
+ * instrumentation lives here under `slip::obs` to keep the two apart.
+ *
+ * Events are fixed-size binary records — category, phase
+ * (begin/end/instant/counter), a sim-cycle timestamp, a name id, and
+ * two payload words — produced into per-thread ring buffers
+ * (trace_session.hh) and exported as Chrome trace-event JSON that
+ * loads directly in Perfetto UI / chrome://tracing.
+ *
+ * The emission macros below compile to a single thread-local branch
+ * when tracing is disabled at runtime, and to nothing at all when
+ * SLIPSTREAM_DISABLE_TRACING is defined at build time — hot loops pay
+ * at most one predictable branch.
+ */
+
+#ifndef SLIPSTREAM_OBS_TRACE_EVENT_HH
+#define SLIPSTREAM_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace slip::obs
+{
+
+/**
+ * Event categories, used both as a runtime filter (SLIPSTREAM_TRACE /
+ * --trace select a bitmask) and as the Chrome `cat` field. One bit
+ * per instrumented layer.
+ */
+enum class Category : uint32_t
+{
+    DelayBuffer = 1u << 0, // A→R FIFO occupancy and flushes
+    IRPredictor = 1u << 1, // removal-predictor lookups and resets
+    Removal = 1u << 2,     // per-trace removal decisions
+    Recovery = 1u << 3,    // recovery spans, causes, degradation
+    Core = 1u << 4,        // per-core fetch/retire windows, squashes
+    Trial = 1u << 5,       // trial lifecycle, retries, timeouts
+    Fault = 1u << 6,       // fault injection → detection spans
+};
+
+inline constexpr unsigned kNumCategories = 7;
+inline constexpr uint32_t kAllCategories =
+    (1u << kNumCategories) - 1;
+
+/** "delay_buffer", "ir_predictor", ... (Chrome `cat` / CLI names). */
+const char *categoryName(Category category);
+
+/**
+ * Parse a SLIPSTREAM_TRACE / --trace category list: comma-separated
+ * category names, or "all"/"1" for everything, or ""/"0"/"none" for
+ * nothing. Unknown names warn (naming the offender) and are skipped.
+ */
+uint32_t parseCategoryMask(const std::string &spec);
+
+/** Render a mask back to a stable comma-separated list. */
+std::string categoryMaskNames(uint32_t mask);
+
+/** Chrome trace-event phase of an event. */
+enum class Phase : uint8_t
+{
+    Begin,   // "B": opens a named span on the category track
+    End,     // "E": closes the innermost open span
+    Instant, // "i": a point event
+    Counter, // "C": a sampled value (arg0), plotted as a track
+};
+
+/** Event names — a static table so events stay fixed-size binary. */
+enum class Name : uint16_t
+{
+    // DelayBuffer
+    ControlOccupancy, // counter: {trace-id, ir-vec} pairs buffered
+    DataOccupancy,    // counter: instruction data entries buffered
+    DelayBufferFlush, // instant: buffer cleared (recovery/degrade)
+
+    // IRPredictor
+    IRLookupConfident,      // instant: removal plan served (arg0 irVec)
+    IRLookupBelowThreshold, // instant: entry known, confidence short
+    IRConfidenceReset,      // instant: detector reset an entry
+
+    // Removal
+    RemovalApplied, // instant: trace walked under a plan
+                    // (arg0 startPc, arg1 removed slots)
+
+    // Recovery
+    RecoverySpan,     // begin/end: arg0 cause, arg1 latency
+    WatchdogTrip,     // instant: forced recovery (arg0 trip count)
+    DegradeToROnly,   // instant: A-stream shed (arg0 recent recoveries)
+    RecoveriesTotal,  // counter: cumulative recoveries this run
+
+    // Core
+    CoreFlush,        // instant: pipeline flush (arg0 discarded,
+                      //          arg1 core tag)
+    CoreRetired,      // counter: cumulative retired (arg1 core tag)
+    CoreFetched,      // counter: cumulative fetched (arg1 core tag)
+
+    // Trial
+    TrialSpan,    // begin/end: one supervised trial (arg0 attempt)
+    TrialOutcome, // instant: classified outcome index (arg0)
+    TrialTimeout, // instant: the wall-clock deadline reaped the run
+
+    // Fault
+    FaultInjected, // instant: arg0 target, arg1 dynamic index
+    FaultDetected, // instant: arg0 target, arg1 detection latency
+};
+
+/** Display string for a name id (the Chrome `name` field). */
+const char *eventNameString(Name name);
+
+/**
+ * One observability event. 32 bytes, POD, no indirection — the ring
+ * buffers copy these by value and the exporters stringify them after
+ * the simulation work is done.
+ */
+struct TraceEvent
+{
+    uint64_t cycle = 0; // sim-cycle timestamp
+    uint64_t arg0 = 0;  // payload words (meaning per Name)
+    uint64_t arg1 = 0;
+    uint32_t seq = 0;   // per-trial emission order (sort tiebreak)
+    Name name = Name::TrialSpan;
+    uint8_t category = 0; // bit index into Category (0..31)
+    Phase phase = Phase::Instant;
+};
+
+static_assert(sizeof(TraceEvent) == 32, "TraceEvent must stay compact");
+
+/** Bit index of a category (TraceEvent::category encoding). */
+unsigned categoryBit(Category category);
+
+} // namespace slip::obs
+
+// ---------------------------------------------------------------------
+// Emission macros. SLIP_TRACE_* are the only spellings instrumentation
+// sites use, so a build with SLIPSTREAM_DISABLE_TRACING compiles every
+// hook out entirely (the CI overhead guard builds both flavors).
+// ---------------------------------------------------------------------
+
+#ifdef SLIPSTREAM_DISABLE_TRACING
+
+#define SLIP_TRACE_ACTIVE(cat) false
+#define SLIP_TRACE_SET_CYCLE(now) ((void)0)
+#define SLIP_TRACE(cat, name, phase, a0, a1) ((void)0)
+#define SLIP_TRACE_AT(cat, name, phase, cycle, a0, a1) ((void)0)
+
+#else
+
+/** Is this category live on this thread? (One TLS load + branch.) */
+#define SLIP_TRACE_ACTIVE(cat) (::slip::obs::categoryActive(cat))
+
+/** Stamp the thread's current sim cycle (cheap; call once per cycle). */
+#define SLIP_TRACE_SET_CYCLE(now) ::slip::obs::setCurrentCycle(now)
+
+/** Emit at the thread's current sim cycle. */
+#define SLIP_TRACE(cat, name, phase, a0, a1) \
+    do { \
+        if (::slip::obs::categoryActive(cat)) \
+            ::slip::obs::emitEvent(cat, name, phase, a0, a1); \
+    } while (0)
+
+/** Emit at an explicit cycle (sites that know a future/past time). */
+#define SLIP_TRACE_AT(cat, name, phase, cycle, a0, a1) \
+    do { \
+        if (::slip::obs::categoryActive(cat)) \
+            ::slip::obs::emitEventAt(cat, name, phase, cycle, a0, a1); \
+    } while (0)
+
+#endif // SLIPSTREAM_DISABLE_TRACING
+
+#endif // SLIPSTREAM_OBS_TRACE_EVENT_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * TraceSession: the runtime half of the observability subsystem.
+ *
+ * Design (low overhead first):
+ *
+ *  - Every simulation trial runs inside a TrialTrace scope on one
+ *    worker thread. The scope owns a fixed-size single-producer ring
+ *    of binary TraceEvents and installs itself as the thread's event
+ *    sink; emission is an enabled-mask check (one thread-local load
+ *    and branch — the *only* cost on a hot loop when tracing is off)
+ *    plus a bounded ring write when it is on.
+ *  - The ring never blocks the simulation: when full it drops the
+ *    *oldest* event and counts the drop, and the count is reported in
+ *    the exported trace footer — overflow is visible, never silent.
+ *  - When the scope closes, the session drains the ring, sorts by
+ *    (cycle, seq) — a per-trial total order that is byte-identical
+ *    for any SLIPSTREAM_JOBS worker count, since a trial's events all
+ *    come from its own thread — and writes one Chrome trace-event /
+ *    Perfetto-loadable JSON file per trial under the session's
+ *    directory (results/trace by default).
+ *
+ * Runtime knobs:
+ *
+ *    SLIPSTREAM_TRACE        category list ("all", "recovery,fault",
+ *                            ...; empty/unset = tracing off)
+ *    SLIPSTREAM_TRACE_DIR    output directory (default results/trace)
+ *    SLIPSTREAM_TRACE_BUFFER ring capacity in events (default 262144)
+ *
+ * Benches additionally accept --trace[=categories] (bench_common.hh),
+ * which overrides SLIPSTREAM_TRACE for that invocation.
+ */
+
+#ifndef SLIPSTREAM_OBS_TRACE_SESSION_HH
+#define SLIPSTREAM_OBS_TRACE_SESSION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hh"
+
+namespace slip::obs
+{
+
+/** Session-wide configuration (one per process). */
+struct TraceConfig
+{
+    uint32_t mask = 0; // enabled Category bits; 0 = tracing off
+    std::string dir = "results/trace";
+    // Events per trial ring: 32 B each, so the default is 8 MiB per
+    // in-flight trial — enough for a test-size workload at full
+    // fidelity. Longer runs either raise SLIPSTREAM_TRACE_BUFFER or
+    // accept (loudly reported) drop-oldest truncation.
+    size_t ringCapacity = 1 << 18;
+};
+
+/**
+ * Fixed-size single-producer event ring with drop-oldest overflow.
+ *
+ * The producer is the simulation thread that owns the enclosing
+ * TrialTrace; drain() runs at scope teardown (the trial has quiesced),
+ * so push() never contends with it. Indices are monotonic atomics so
+ * a diagnostic reader on another thread sees a consistent snapshot.
+ */
+class EventRing
+{
+  public:
+    explicit EventRing(size_t capacity);
+
+    /** Append; drops (and counts) the oldest event when full. */
+    void push(const TraceEvent &event);
+
+    /** Remove and return all buffered events, oldest first. */
+    std::vector<TraceEvent> drain();
+
+    size_t size() const;
+    size_t capacity() const { return slots_.size(); }
+
+    /** Events discarded to make room (reported in the footer). */
+    uint64_t droppedOldest() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<TraceEvent> slots_; // power-of-two size
+    std::atomic<uint64_t> head_{0}; // next write slot (monotonic)
+    std::atomic<uint64_t> tail_{0}; // next read slot (monotonic)
+    std::atomic<uint64_t> dropped_{0};
+};
+
+/** The process-wide session: configuration + trial-file output. */
+class TraceSession
+{
+  public:
+    /** The shared instance; first use reads the SLIPSTREAM_TRACE* env. */
+    static TraceSession &global();
+
+    void configure(const TraceConfig &config);
+    TraceConfig config() const;
+
+    uint32_t mask() const
+    {
+        return mask_.load(std::memory_order_relaxed);
+    }
+    bool enabled() const { return mask() != 0; }
+
+    /**
+     * Write one trial's events (already sorted) as a Chrome trace
+     * JSON file named after the trial under the session directory.
+     * Returns the path written, or "" on failure (which warns with
+     * the path and reason — an unwritable directory is a clear error,
+     * never a silent throw).
+     */
+    std::string writeTrial(const std::string &trial,
+                           const std::vector<TraceEvent> &events,
+                           uint64_t droppedOldest);
+
+  private:
+    TraceSession();
+
+    mutable std::mutex mu_; // guards config_ (mask_ mirrors it)
+    TraceConfig config_;
+    std::atomic<uint32_t> mask_{0};
+};
+
+/**
+ * RAII scope: "this thread is now running trial `name`". Inert (no
+ * allocation, no TLS install) when the session has no category
+ * enabled. On destruction the ring is drained, sorted by (cycle,
+ * seq), and exported — unless take() already claimed the events.
+ * Scopes nest; the inner scope shadows the outer until it closes.
+ */
+class TrialTrace
+{
+  public:
+    /**
+     * @param name   trial identity; becomes <dir>/<name>.trace.json
+     *               ('/' and other non-filename characters become '_').
+     * @param writeFile  false = collect only (tests, summaries).
+     */
+    explicit TrialTrace(std::string name, bool writeFile = true);
+    ~TrialTrace();
+
+    TrialTrace(const TrialTrace &) = delete;
+    TrialTrace &operator=(const TrialTrace &) = delete;
+
+    /** Whether this scope is live (session enabled at construction). */
+    bool active() const { return ring_ != nullptr; }
+
+    /** Drain now and suppress the file write; sorted by (cycle, seq). */
+    std::vector<TraceEvent> take();
+
+    uint64_t droppedOldest() const
+    {
+        return ring_ ? ring_->droppedOldest() : 0;
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    bool writeFile_;
+    bool taken_ = false;
+    std::unique_ptr<EventRing> ring_;
+
+    // Saved outer-sink state, restored on destruction.
+    EventRing *prevRing_ = nullptr;
+    uint32_t prevMask_ = 0;
+    uint32_t prevSeq_ = 0;
+    uint64_t prevCycle_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Thread-local emission state (the macro targets in trace_event.hh).
+// ---------------------------------------------------------------------
+
+/** Per-thread sink; mask == 0 whenever no live scope is installed. */
+struct ThreadSink
+{
+    uint32_t mask = 0;
+    uint32_t seq = 0;
+    uint64_t cycle = 0;
+    EventRing *ring = nullptr;
+};
+
+extern thread_local ThreadSink tlsSink;
+
+inline bool
+categoryActive(Category category)
+{
+    return (tlsSink.mask & static_cast<uint32_t>(category)) != 0;
+}
+
+inline void
+setCurrentCycle(uint64_t cycle)
+{
+    tlsSink.cycle = cycle;
+}
+
+/** Emit at the thread's current cycle. Caller checked categoryActive. */
+void emitEvent(Category category, Name name, Phase phase,
+               uint64_t arg0, uint64_t arg1);
+
+/** Emit at an explicit cycle. Caller checked categoryActive. */
+void emitEventAt(Category category, Name name, Phase phase,
+                 uint64_t cycle, uint64_t arg0, uint64_t arg1);
+
+/**
+ * Supervised-retry plumbing: the trial supervisor stamps the attempt
+ * number (1-based) on the worker thread before invoking the job, so
+ * the TrialTrace the job opens can record which attempt it is (the
+ * TrialSpan begin event's arg0; attempts > 1 also emit a TrialRetry-
+ * visible arg without the harness knowing trial names).
+ */
+void setTrialAttempt(unsigned attempt);
+unsigned trialAttempt();
+
+/**
+ * Serialize events as the Chrome trace-event JSON object format
+ * (loads in Perfetto UI and chrome://tracing). One category per
+ * thread track; the footer instant event and otherData both carry
+ * the dropped-oldest count so ring overflow is never silent.
+ */
+void writeChromeTrace(std::ostream &os, const std::string &trial,
+                      const std::vector<TraceEvent> &events,
+                      uint64_t droppedOldest);
+
+} // namespace slip::obs
+
+#endif // SLIPSTREAM_OBS_TRACE_SESSION_HH

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "isa/regnames.hh"
+#include "obs/trace_session.hh"
 
 namespace slip
 {
@@ -349,6 +350,12 @@ AStreamSource::walkTrace()
         ++statTraceMispredicts;
     if (usedPrediction)
         ++statTracesFromPredictor;
+
+    if (plan) {
+        SLIP_TRACE(obs::Category::Removal, obs::Name::RemovalApplied,
+                   obs::Phase::Instant, packet.actualId.startPc,
+                   packet.slots.size() - executedCount);
+    }
 
     // The context continues at the packet path's end.
     state_.setPc(pc);

@@ -1,6 +1,7 @@
 #include "slipstream/delay_buffer.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_session.hh"
 
 namespace slip
 {
@@ -29,6 +30,10 @@ DelayBuffer::push(Packet packet)
         .sample(packets.size() + 1);
     stats_.distribution("data_occupancy").sample(dataEntries_);
     ++statPackets;
+    SLIP_TRACE(obs::Category::DelayBuffer, obs::Name::ControlOccupancy,
+               obs::Phase::Counter, packets.size() + 1, 0);
+    SLIP_TRACE(obs::Category::DelayBuffer, obs::Name::DataOccupancy,
+               obs::Phase::Counter, dataEntries_, 0);
     packets.push_back(std::move(packet));
 }
 
@@ -48,15 +53,25 @@ DelayBuffer::pop()
     SLIP_ASSERT(dataEntries_ >= p.executedCount,
                 "delay buffer data-entry underflow");
     dataEntries_ -= p.executedCount;
+    SLIP_TRACE(obs::Category::DelayBuffer, obs::Name::ControlOccupancy,
+               obs::Phase::Counter, packets.size(), 0);
+    SLIP_TRACE(obs::Category::DelayBuffer, obs::Name::DataOccupancy,
+               obs::Phase::Counter, dataEntries_, 0);
     return p;
 }
 
 void
 DelayBuffer::clear()
 {
+    SLIP_TRACE(obs::Category::DelayBuffer, obs::Name::DelayBufferFlush,
+               obs::Phase::Instant, packets.size(), dataEntries_);
     packets.clear();
     dataEntries_ = 0;
     ++statFlushes;
+    SLIP_TRACE(obs::Category::DelayBuffer, obs::Name::ControlOccupancy,
+               obs::Phase::Counter, 0, 0);
+    SLIP_TRACE(obs::Category::DelayBuffer, obs::Name::DataOccupancy,
+               obs::Phase::Counter, 0, 0);
 }
 
 } // namespace slip

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace_session.hh"
 
 namespace slip
 {
@@ -130,6 +131,12 @@ FaultInjector::fire(InjectPoint point, uint64_t index,
         r.injectCycle = now_;
         ++firedCount_;
         refreshGate(point);
+        // Injection opens a span; the matching End fires at detection
+        // (onRecovery), so detection latency shows up as span length.
+        SLIP_TRACE_AT(obs::Category::Fault, obs::Name::FaultInjected,
+                      obs::Phase::Begin, now_,
+                      static_cast<uint64_t>(r.plan.target),
+                      r.plan.dynIndex);
         return &r;
     }
     return nullptr;
@@ -151,8 +158,13 @@ FaultInjector::onRecovery(Cycle now)
             // divergence it caused was what triggered the recovery.
             r.detected = true;
         }
-        if (r.detected && r.detectCycle == 0)
+        if (r.detected && r.detectCycle == 0) {
             r.detectCycle = now;
+            SLIP_TRACE_AT(obs::Category::Fault, obs::Name::FaultDetected,
+                          obs::Phase::End, now,
+                          static_cast<uint64_t>(r.plan.target),
+                          r.detectCycle - r.injectCycle);
+        }
     }
 }
 

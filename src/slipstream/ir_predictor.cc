@@ -1,6 +1,7 @@
 #include "slipstream/ir_predictor.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_session.hh"
 
 namespace slip
 {
@@ -62,11 +63,17 @@ IRPredictor::lookup(const PathHistory &history,
         return std::nullopt;
     if (e.confidence < params_.confidenceThreshold) {
         ++statLookupBelowThreshold;
+        SLIP_TRACE(obs::Category::IRPredictor,
+                   obs::Name::IRLookupBelowThreshold,
+                   obs::Phase::Instant, e.confidence,
+                   predicted.startPc);
         return std::nullopt;
     }
     if (e.plan.irVec == 0)
         return std::nullopt;
     ++statLookupConfident;
+    SLIP_TRACE(obs::Category::IRPredictor, obs::Name::IRLookupConfident,
+               obs::Phase::Instant, e.plan.irVec, predicted.startPc);
     return e.plan;
 }
 
@@ -94,6 +101,8 @@ IRPredictor::update(const PathHistory &history, const TraceId &actual,
     e.plan = computed;
     e.confidence = 0;
     ++statConfidenceResets;
+    SLIP_TRACE(obs::Category::IRPredictor, obs::Name::IRConfidenceReset,
+               obs::Phase::Instant, actual.startPc, computed.irVec);
 }
 
 void

@@ -1,6 +1,7 @@
 #include "slipstream/slipstream_processor.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_session.hh"
 #include "slipstream/removal.hh"
 
 namespace slip
@@ -133,6 +134,12 @@ SlipstreamProcessor::doRecovery(Cycle now)
     const Cycle latency = recovery_->recover();
     irPenaltyTotal += latency;
     const Cycle resume = now + latency;
+    SLIP_TRACE_AT(obs::Category::Recovery, obs::Name::RecoverySpan,
+                  obs::Phase::Begin, now,
+                  static_cast<uint64_t>(cause), latency);
+    SLIP_TRACE_AT(obs::Category::Recovery, obs::Name::RecoverySpan,
+                  obs::Phase::End, resume,
+                  static_cast<uint64_t>(cause), latency);
 
     // A-stream: full flush and restart at the R-stream's precise point.
     aCore_->flush(now, resume);
@@ -185,6 +192,9 @@ SlipstreamProcessor::degradeToROnly(Cycle now, Cycle resume)
     degradedAtCycle_ = now;
     retiredAtDegrade_ = rCore_->retiredCount();
     ++statDegradeToROnly;
+    SLIP_TRACE(obs::Category::Recovery, obs::Name::DegradeToROnly,
+               obs::Phase::Instant, recentRecoveries_.size(),
+               rCore_->retiredCount());
     SLIP_WARN("degrading to R-only execution at cycle ", now, " (",
               recentRecoveries_.size(), " recoveries in the last ",
               params_.degrade.windowCycles, " cycles)");
@@ -220,6 +230,7 @@ SlipstreamProcessor::run(Cycle maxCycles, const CancelToken *cancel)
             break;
         }
         faultInjector_.setNow(now);
+        SLIP_TRACE_SET_CYCLE(now);
         if (degraded_) {
             rCore_->tick(now);
             // No A-stream left: late detector callbacks are moot.
@@ -241,6 +252,9 @@ SlipstreamProcessor::run(Cycle maxCycles, const CancelToken *cancel)
             // so a forced recovery restores progress for every
             // A-side derailment; give up only when trips exhaust.
             ++watchdogTrips_;
+            SLIP_TRACE(obs::Category::Recovery, obs::Name::WatchdogTrip,
+                       obs::Phase::Instant, watchdogTrips_,
+                       now - lastProgress);
             if (degraded_ ||
                 watchdogTrips_ > params_.watchdog.maxTrips) {
                 SLIP_WARN("slipstream hung: R-stream idle since cycle ",
@@ -258,6 +272,13 @@ SlipstreamProcessor::run(Cycle maxCycles, const CancelToken *cancel)
     }
 
     detector_->drain();
+
+    // Summary counter so the Recovery track is never empty: short runs
+    // may finish without a single recovery, and the acceptance contract
+    // for traces includes recovery-category telemetry.
+    SLIP_TRACE_AT(obs::Category::Recovery, obs::Name::RecoveriesTotal,
+                  obs::Phase::Counter, now, irMispredicts,
+                  irPenaltyTotal);
 
     SlipstreamRunResult result;
     result.cycles = now;

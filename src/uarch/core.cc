@@ -1,6 +1,7 @@
 #include "uarch/core.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_session.hh"
 
 namespace slip
 {
@@ -77,6 +78,19 @@ OoOCore::tick(Cycle now)
     doRetire(now);
     doDispatch(now);
     doFetch(now);
+    // Coarse per-core throughput samples; the core tag (first byte of
+    // the stats name, 'a'/'r'/'c') rides in arg1 to keep the tracks
+    // apart without a per-core name table.
+    if ((now & 4095) == 0 && SLIP_TRACE_ACTIVE(obs::Category::Core)) {
+        [[maybe_unused]] const uint64_t tag =
+            params_.name.empty()
+                ? '?'
+                : static_cast<unsigned char>(params_.name[0]);
+        SLIP_TRACE(obs::Category::Core, obs::Name::CoreRetired,
+                   obs::Phase::Counter, retired, tag);
+        SLIP_TRACE(obs::Category::Core, obs::Name::CoreFetched,
+                   obs::Phase::Counter, numFetched, tag);
+    }
 }
 
 void
@@ -238,6 +252,11 @@ OoOCore::doFetch(Cycle now)
 void
 OoOCore::flush(Cycle now, Cycle resumeFetchAt)
 {
+    SLIP_TRACE(obs::Category::Core, obs::Name::CoreFlush,
+               obs::Phase::Instant, fetchBuffer.size() + rob.size(),
+               params_.name.empty()
+                   ? '?'
+                   : static_cast<unsigned char>(params_.name[0]));
     fetchBuffer.clear();
     rob.clear();
     regReady.fill(now);

@@ -1,6 +1,7 @@
 #include "uarch/ss_processor.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_session.hh"
 
 namespace slip
 {
@@ -39,6 +40,7 @@ SSProcessor::run(Cycle maxCycles, const CancelToken *cancel)
             cancelled = true;
             break;
         }
+        SLIP_TRACE_SET_CYCLE(now);
         core_->tick(now);
         if (core_->lastRetireCycle() > lastProgress)
             lastProgress = core_->lastRetireCycle();

@@ -13,6 +13,11 @@
  * alignment between the IR-predictor, the A-stream, and the
  * IR-detector): a trace ends when it reaches the maximum length, or
  * just after an indirect jump (JALR) or HALT.
+ *
+ * Naming note: "trace" here means the trace-cache fetch unit above —
+ * not the *observability* traces in src/obs/ (trace_event.hh), which
+ * record simulator events for Perfetto. The two subsystems are
+ * unrelated; see DESIGN.md §5.
  */
 
 #ifndef SLIPSTREAM_UARCH_TRACE_HH

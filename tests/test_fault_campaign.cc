@@ -121,8 +121,16 @@ TEST(FaultCampaign, JsonReportIsWellFormedAndWritable)
     for (const char *key :
          {"\"campaign\"", "\"mode\"", "\"outcomes\"", "\"targets\"",
           "\"detection_latency_cycles\"", "\"workloads\"",
-          "\"silent_corrupt\"", "\"degraded_runs\""})
+          "\"detection_latency_histogram\"", "\"silent_corrupt\"",
+          "\"degraded_runs\""})
         EXPECT_NE(json.find(key), std::string::npos) << key;
+
+    // Per-target histogram counts match the scalar sample count, so
+    // the distribution is complete, not a subset.
+    uint64_t histCount = 0;
+    for (const auto &[target, hist] : result.total.latencyByTarget)
+        histCount += hist.count();
+    EXPECT_EQ(histCount, result.total.latencySamples);
 
     // writeFaultReport produces a readable JSON array at the path,
     // and the atomic temp sibling is gone once the rename lands.

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "assembler/assembler.hh"
+#include "harness/experiment.hh"
+#include "harness/sim_runner.hh"
+#include "obs/trace_session.hh"
+#include "slipstream/slipstream_processor.hh"
+
+namespace slip
+{
+namespace
+{
+
+using obs::Category;
+using obs::EventRing;
+using obs::Name;
+using obs::Phase;
+using obs::TraceConfig;
+using obs::TraceEvent;
+using obs::TraceSession;
+using obs::TrialTrace;
+
+/**
+ * Temporarily enable the process-wide session with the given mask
+ * (collect-only tests never write files, but TrialTrace only goes
+ * live when the session is enabled).
+ */
+class SessionMask
+{
+  public:
+    explicit SessionMask(uint32_t mask, size_t ringCapacity = 1 << 16)
+        : saved_(TraceSession::global().config())
+    {
+        TraceConfig cfg = saved_;
+        cfg.mask = mask;
+        cfg.ringCapacity = ringCapacity;
+        TraceSession::global().configure(cfg);
+    }
+
+    ~SessionMask() { TraceSession::global().configure(saved_); }
+
+  private:
+    TraceConfig saved_;
+};
+
+TEST(EventRingTest, OverflowDropsOldestAndCounts)
+{
+    EventRing ring(8);
+    for (uint64_t i = 0; i < 11; ++i) {
+        TraceEvent e{};
+        e.cycle = i;
+        ring.push(e);
+    }
+    EXPECT_EQ(ring.droppedOldest(), 3u);
+    const std::vector<TraceEvent> events = ring.drain();
+    ASSERT_EQ(events.size(), 8u);
+    // The survivors are the *newest* 8, oldest first.
+    EXPECT_EQ(events.front().cycle, 3u);
+    EXPECT_EQ(events.back().cycle, 10u);
+}
+
+TEST(EventRingTest, CapacityRoundsUpToPowerOfTwo)
+{
+    EventRing ring(9);
+    EXPECT_EQ(ring.capacity(), 16u);
+}
+
+TEST(ObsTrace, FooterAndHeaderReportDrops)
+{
+    std::vector<TraceEvent> events;
+    TraceEvent e{};
+    e.cycle = 42;
+    e.category = obs::categoryBit(Category::Recovery);
+    events.push_back(e);
+
+    std::ostringstream os;
+    obs::writeChromeTrace(os, "t0", events, 5);
+    const std::string out = os.str();
+    // Overflow is reported twice: machine-readable header and an
+    // in-stream footer event — never silent.
+    EXPECT_NE(out.find("\"dropped_oldest_events\": 5"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"trace_footer\""), std::string::npos);
+    EXPECT_NE(out.find("\"dropped_oldest\": 5"), std::string::npos);
+}
+
+TEST(ObsTrace, CategoryMaskParsing)
+{
+    EXPECT_EQ(obs::parseCategoryMask(""), 0u);
+    EXPECT_EQ(obs::parseCategoryMask("none"), 0u);
+    EXPECT_EQ(obs::parseCategoryMask("all"), obs::kAllCategories);
+    EXPECT_EQ(obs::parseCategoryMask("recovery"),
+              static_cast<uint32_t>(Category::Recovery));
+    EXPECT_EQ(obs::parseCategoryMask("recovery,fault"),
+              static_cast<uint32_t>(Category::Recovery) |
+                  static_cast<uint32_t>(Category::Fault));
+    // Unknown names warn and contribute nothing.
+    EXPECT_EQ(obs::parseCategoryMask("recovery,bogus"),
+              static_cast<uint32_t>(Category::Recovery));
+}
+
+// Emission-path tests need the hooks compiled in; a build with
+// SLIPSTREAM_DISABLE_TRACING=ON turns every SLIP_TRACE into a no-op.
+#ifdef SLIPSTREAM_DISABLE_TRACING
+#define SKIP_WITHOUT_TRACING() \
+    GTEST_SKIP() << "tracing compiled out (SLIPSTREAM_DISABLE_TRACING)"
+#else
+#define SKIP_WITHOUT_TRACING() ((void)0)
+#endif
+
+TEST(ObsTrace, MaskFiltersEmission)
+{
+    SKIP_WITHOUT_TRACING();
+    SessionMask enable(static_cast<uint32_t>(Category::Recovery));
+    TrialTrace scope("mask_filter", /*writeFile=*/false);
+    ASSERT_TRUE(scope.active());
+    SLIP_TRACE(Category::DelayBuffer, Name::ControlOccupancy,
+               Phase::Counter, 1, 0);
+    SLIP_TRACE(Category::Recovery, Name::WatchdogTrip, Phase::Instant,
+               7, 0);
+    // The scope's own TrialSpan frame is always present; of the two
+    // SLIP_TRACE sites only the in-mask recovery event survives.
+    const std::vector<TraceEvent> events = scope.take();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].name, Name::TrialSpan);
+    EXPECT_EQ(events[1].name, Name::WatchdogTrip);
+    EXPECT_EQ(events[1].arg0, 7u);
+}
+
+TEST(ObsTrace, InertWhenSessionDisabled)
+{
+    SessionMask enable(0);
+    TrialTrace scope("inert", /*writeFile=*/false);
+    EXPECT_FALSE(scope.active());
+    SLIP_TRACE(Category::Recovery, Name::WatchdogTrip, Phase::Instant,
+               1, 0);
+    EXPECT_TRUE(scope.take().empty());
+}
+
+/** Slipstream material: dead writes and predictable branches. */
+const char *kTracedProgram = R"(
+.data
+arr: .space 800
+.text
+main:
+    la   a0, arr
+    li   s0, 0
+repeat:
+    li   t0, 0
+inner:
+    slli t2, t0, 3
+    add  t2, t2, a0
+    ld   t3, 0(t2)
+    add  s1, s1, t3
+    addi t9, zero, 3    # dead: overwritten next iteration
+    addi t0, t0, 1
+    li   t4, 100
+    blt  t0, t4, inner
+    addi s0, s0, 1
+    li   t4, 40
+    blt  s0, t4, repeat
+    putn s1
+    halt
+)";
+
+std::vector<TraceEvent>
+runTracedProgram()
+{
+    TrialTrace scope("traced_run", /*writeFile=*/false);
+    Program p = assemble(kTracedProgram);
+    SlipstreamProcessor proc(p);
+    proc.run();
+    return scope.take();
+}
+
+TEST(ObsTrace, SlipstreamRunCoversMultipleCategories)
+{
+    SKIP_WITHOUT_TRACING();
+    SessionMask enable(obs::kAllCategories);
+    const std::vector<TraceEvent> events = runTracedProgram();
+    ASSERT_FALSE(events.empty());
+
+    std::set<unsigned> categories;
+    for (const TraceEvent &e : events)
+        categories.insert(e.category);
+    // The acceptance bar for exported traces: at least the delay
+    // buffer, IR-predictor, recovery, and trial-lifecycle layers.
+    EXPECT_GE(categories.size(), 4u);
+    EXPECT_TRUE(
+        categories.count(obs::categoryBit(Category::DelayBuffer)));
+    EXPECT_TRUE(
+        categories.count(obs::categoryBit(Category::IRPredictor)));
+    EXPECT_TRUE(categories.count(obs::categoryBit(Category::Recovery)));
+    EXPECT_TRUE(categories.count(obs::categoryBit(Category::Trial)));
+
+    // Sorted by (cycle, seq): a total order any consumer can rely on.
+    for (size_t i = 1; i < events.size(); ++i) {
+        EXPECT_TRUE(events[i - 1].cycle < events[i].cycle ||
+                    (events[i - 1].cycle == events[i].cycle &&
+                     events[i - 1].seq <= events[i].seq))
+            << "unsorted at index " << i;
+    }
+}
+
+std::vector<std::vector<TraceEvent>>
+runTrialsWithJobs(unsigned jobs, unsigned trials)
+{
+    std::vector<std::vector<TraceEvent>> streams(trials);
+    SimJobRunner runner(jobs);
+    for (unsigned t = 0; t < trials; ++t) {
+        runner.add([&streams, t] {
+            streams[t] = runTracedProgram();
+            return RunMetrics{};
+        });
+    }
+    runner.run();
+    return streams;
+}
+
+TEST(ObsTrace, EventStreamIdenticalAcrossWorkerCounts)
+{
+    SessionMask enable(obs::kAllCategories);
+    const auto serial = runTrialsWithJobs(1, 4);
+    const auto parallel = runTrialsWithJobs(4, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t t = 0; t < serial.size(); ++t) {
+        ASSERT_EQ(serial[t].size(), parallel[t].size())
+            << "trial " << t;
+        ASSERT_FALSE(serial[t].empty()) << "trial " << t;
+        // TraceEvent is a packed POD: byte-identical means identical.
+        EXPECT_EQ(std::memcmp(serial[t].data(), parallel[t].data(),
+                              serial[t].size() * sizeof(TraceEvent)),
+                  0)
+            << "trial " << t;
+    }
+}
+
+TEST(ObsTrace, OverflowSurfacesInScopeAndFooter)
+{
+    SKIP_WITHOUT_TRACING();
+    SessionMask enable(static_cast<uint32_t>(Category::Recovery),
+                       /*ringCapacity=*/8);
+    TrialTrace scope("overflow", /*writeFile=*/false);
+    for (uint64_t i = 0; i < 20; ++i) {
+        SLIP_TRACE(Category::Recovery, Name::WatchdogTrip,
+                   Phase::Instant, i, 0);
+    }
+    // 21 events hit the 8-slot ring (the scope's TrialSpan frame plus
+    // 20 instants): 13 oldest dropped, newest 8 kept.
+    EXPECT_EQ(scope.droppedOldest(), 13u);
+    const uint64_t dropped = scope.droppedOldest();
+    const std::vector<TraceEvent> events = scope.take();
+    EXPECT_EQ(events.size(), 8u);
+    EXPECT_EQ(events.front().arg0, 12u); // oldest went first
+
+    std::ostringstream os;
+    obs::writeChromeTrace(os, "overflow", events, dropped);
+    EXPECT_NE(os.str().find("\"dropped_oldest\": 13"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace slip

@@ -178,5 +178,103 @@ TEST(RemovalAccounting, SlipstreamRunTalliesAreConsistent)
     EXPECT_EQ(nameTotal, r.removedSlots);
 }
 
+TEST(Histogram, Log2Bucketing)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(~uint64_t(0)), 64u);
+    // Bucket bounds tile the value space with no gaps.
+    for (unsigned b = 0; b + 1 < Histogram::kBuckets; ++b)
+        EXPECT_EQ(Histogram::bucketHi(b) + 1, Histogram::bucketLo(b + 1));
+}
+
+TEST(Histogram, SampleTracksMomentsAndBuckets)
+{
+    Histogram h;
+    h.sample(0);
+    h.sample(5);
+    h.sample(5);
+    h.sample(100);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_EQ(h.sum(), 110u);
+    EXPECT_EQ(h.bucket(0), 1u);                       // the zero
+    EXPECT_EQ(h.bucket(Histogram::bucketOf(5)), 2u);  // the fives
+    EXPECT_EQ(h.bucket(Histogram::bucketOf(100)), 1u);
+}
+
+TEST(Histogram, AddToBucketReconstructs)
+{
+    // A journal round-trip: only bucket counts survive; counts (the
+    // report's payload) must match exactly.
+    Histogram live;
+    live.sample(5);
+    live.sample(6);
+    live.sample(300);
+
+    Histogram rebuilt;
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b)
+        if (live.bucket(b))
+            rebuilt.addToBucket(b, live.bucket(b));
+    EXPECT_EQ(rebuilt.count(), live.count());
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b)
+        EXPECT_EQ(rebuilt.bucket(b), live.bucket(b)) << "bucket " << b;
+}
+
+TEST(Histogram, MergeAddsCountsAndWidensRange)
+{
+    Histogram a, b;
+    a.sample(4);
+    b.sample(1000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 4u);
+    EXPECT_EQ(a.max(), 1000u);
+    EXPECT_EQ(a.bucket(Histogram::bucketOf(1000)), 1u);
+}
+
+TEST(TimeSeries, WindowedAccumulation)
+{
+    TimeSeries ts(100);
+    ts.record(0, 2);
+    ts.record(99, 3);   // same window as cycle 0
+    ts.record(100, 5);  // next window
+    ts.record(350, 7);  // skips a window (window 2 stays zero)
+    EXPECT_EQ(ts.windows(), 4u);
+    EXPECT_EQ(ts.windowSum(0), 5u);
+    EXPECT_EQ(ts.windowSum(1), 5u);
+    EXPECT_EQ(ts.windowSum(2), 0u);
+    EXPECT_EQ(ts.windowSum(3), 7u);
+    EXPECT_EQ(ts.total(), 17u);
+    EXPECT_DOUBLE_EQ(ts.meanPerWindow(), 17.0 / 4.0);
+}
+
+TEST(Stats, GroupRendersHistogramAndSeries)
+{
+    StatGroup g("obs");
+    g.histogram("lat").sample(5);
+    g.histogram("lat").sample(300);
+    g.timeSeries("ipc", 100).record(150, 42);
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("obs.lat.count 2"), std::string::npos);
+    EXPECT_NE(out.find("obs.lat.bucket[4-7] 1"), std::string::npos);
+    EXPECT_NE(out.find("obs.lat.bucket[256-511] 1"),
+              std::string::npos);
+    EXPECT_NE(out.find("obs.ipc.window 100"), std::string::npos);
+    EXPECT_NE(out.find("obs.ipc.windows 2"), std::string::npos);
+    EXPECT_NE(out.find("obs.ipc.total 42"), std::string::npos);
+
+    g.reset();
+    EXPECT_EQ(g.getHistogram("lat").count(), 0u);
+    EXPECT_EQ(g.getTimeSeries("ipc").windows(), 0u);
+}
+
 } // namespace
 } // namespace slip

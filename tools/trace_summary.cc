@@ -1,0 +1,219 @@
+/**
+ * trace_summary: offline digest of one or more *.trace.json files
+ * written by the obs subsystem (Chrome trace-event format).
+ *
+ *   trace_summary results/trace/fig6_m88ksim_cmp.trace.json [...]
+ *   trace_summary --top 20 results/trace/<trial>.trace.json ...
+ *
+ * For each file: per-category event counts, counter ranges, the
+ * longest Begin/End spans, and the ring-overflow footer (a non-zero
+ * dropped-oldest count is surfaced loudly — overflow is never
+ * silent). The parser leans on the writer's one-event-per-line
+ * output; it is not a general JSON reader.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** Extract "key": "value" from one event line; false if absent. */
+bool
+fieldString(const std::string &line, const char *key, std::string &out)
+{
+    const std::string needle = std::string("\"") + key + "\": \"";
+    const size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    const size_t start = at + needle.size();
+    const size_t end = line.find('"', start);
+    if (end == std::string::npos)
+        return false;
+    out = line.substr(start, end - start);
+    return true;
+}
+
+/** Extract "key": <integer> from one event line; false if absent. */
+bool
+fieldU64(const std::string &line, const char *key, uint64_t &out)
+{
+    const std::string needle = std::string("\"") + key + "\": ";
+    const size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    const char *p = line.c_str() + at + needle.size();
+    char *end = nullptr;
+    out = std::strtoull(p, &end, 10);
+    return end != p;
+}
+
+struct Span
+{
+    std::string category;
+    std::string name;
+    uint64_t start = 0;
+    uint64_t length = 0;
+};
+
+struct CounterStats
+{
+    uint64_t samples = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    uint64_t last = 0;
+};
+
+int
+summarize(const std::string &path, size_t topN)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "trace_summary: cannot open '" << path << "'\n";
+        return 1;
+    }
+
+    std::map<std::string, std::map<char, uint64_t>> byCategory;
+    std::map<std::string, CounterStats> counters;
+    // Open Begin events per (category, name): spans on one track
+    // close in order, so a vector-as-stack per key suffices.
+    std::map<std::string, std::vector<uint64_t>> open;
+    std::vector<Span> spans;
+    uint64_t droppedOldest = 0;
+    bool sawFooter = false;
+    uint64_t events = 0;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string name, cat, ph;
+        if (!fieldString(line, "ph", ph) || ph == "M")
+            continue;
+        if (!fieldString(line, "name", name) ||
+            !fieldString(line, "cat", cat)) {
+            continue;
+        }
+        uint64_t ts = 0;
+        fieldU64(line, "ts", ts);
+
+        if (name == "trace_footer") {
+            sawFooter = true;
+            fieldU64(line, "dropped_oldest", droppedOldest);
+            continue;
+        }
+        ++events;
+        ++byCategory[cat][ph.empty() ? '?' : ph[0]];
+
+        if (ph == "C") {
+            uint64_t value = 0;
+            fieldU64(line, "value", value);
+            CounterStats &c = counters[cat + "/" + name];
+            if (c.samples == 0 || value < c.min)
+                c.min = value;
+            if (c.samples == 0 || value > c.max)
+                c.max = value;
+            c.last = value;
+            ++c.samples;
+        } else if (ph == "B") {
+            open[cat + "/" + name].push_back(ts);
+        } else if (ph == "E") {
+            std::vector<uint64_t> &stack = open[cat + "/" + name];
+            if (!stack.empty()) {
+                const uint64_t start = stack.back();
+                stack.pop_back();
+                spans.push_back(
+                    {cat, name, start, ts >= start ? ts - start : 0});
+            }
+        }
+    }
+
+    std::cout << "== " << path << " ==\n"
+              << "events: " << events << "\n";
+
+    std::cout << "per category (phase: count):\n";
+    for (const auto &[cat, phases] : byCategory) {
+        std::cout << "  " << cat << ":";
+        for (const auto &[ph, n] : phases)
+            std::cout << " " << ph << ":" << n;
+        std::cout << "\n";
+    }
+
+    if (!counters.empty()) {
+        std::cout << "counters (min/max/last over samples):\n";
+        for (const auto &[key, c] : counters) {
+            std::cout << "  " << key << ": " << c.min << "/" << c.max
+                      << "/" << c.last << " over " << c.samples
+                      << "\n";
+        }
+    }
+
+    uint64_t unclosed = 0;
+    for (const auto &[key, stack] : open)
+        unclosed += stack.size();
+    if (!spans.empty() || unclosed) {
+        std::stable_sort(spans.begin(), spans.end(),
+                         [](const Span &a, const Span &b) {
+                             return a.length > b.length;
+                         });
+        std::cout << "longest spans (cycles):\n";
+        for (size_t i = 0; i < spans.size() && i < topN; ++i) {
+            const Span &s = spans[i];
+            std::cout << "  " << s.category << "/" << s.name << " @"
+                      << s.start << " +" << s.length << "\n";
+        }
+        if (unclosed) {
+            std::cout << "  (" << unclosed
+                      << " span(s) never closed — e.g. an injected "
+                         "fault that was never detected)\n";
+        }
+    }
+
+    if (!sawFooter) {
+        std::cout << "WARNING: no trace_footer event — truncated "
+                     "file?\n";
+    } else if (droppedOldest) {
+        std::cout << "WARNING: ring overflow dropped " << droppedOldest
+                  << " oldest event(s); raise SLIPSTREAM_TRACE_BUFFER "
+                     "or narrow --trace categories\n";
+    } else {
+        std::cout << "ring overflow: none\n";
+    }
+    std::cout << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t topN = 10;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            topN = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--help" || arg == "-h" ||
+                   arg.rfind("--", 0) == 0) {
+            std::cerr << "usage: " << argv[0]
+                      << " [--top N] <trace.json> [...]\n";
+            return arg == "--help" || arg == "-h" ? 0 : 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        std::cerr << "usage: " << argv[0]
+                  << " [--top N] <trace.json> [...]\n";
+        return 2;
+    }
+    int rc = 0;
+    for (const std::string &path : paths)
+        rc |= summarize(path, topN);
+    return rc;
+}
