@@ -246,13 +246,24 @@ expand(const Stmt &stmt, const Resolver &resolver, Addr textBase,
 
     /** Word offset from the next-emitted instruction to the target. */
     const auto branchOffset = [&](const Expr &e, unsigned width) {
-        const int64_t target = resolver.value(e, stmt);
-        const int64_t delta =
-            target -
-            static_cast<int64_t>(textBase + out.size() * kInstBytes);
-        if (delta % kInstBytes != 0)
-            asmError(stmt, "misaligned branch target");
-        const int64_t words = delta / kInstBytes;
+        // A pure literal target IS the relative word offset — the
+        // syntax the disassembler emits with absoluteTargets=false
+        // ("beq a0, a1, +3"), so disassembled control flow
+        // reassembles to the identical encoding. Symbolic targets
+        // (labels, label+off) resolve to absolute addresses and are
+        // converted to an offset from the emitting PC.
+        int64_t words;
+        if (e.isLiteral()) {
+            words = e.offset;
+        } else {
+            const int64_t target = resolver.value(e, stmt);
+            const int64_t delta =
+                target -
+                static_cast<int64_t>(textBase + out.size() * kInstBytes);
+            if (delta % kInstBytes != 0)
+                asmError(stmt, "misaligned branch target");
+            words = delta / kInstBytes;
+        }
         if (!fitsSigned(words, width))
             asmError(stmt, "branch target out of range (" +
                                std::to_string(words) + " words)");

@@ -1,0 +1,46 @@
+#include "common/invariant.hh"
+
+#include <atomic>
+
+#include "common/env.hh"
+
+namespace slip::invariants
+{
+
+namespace
+{
+
+std::atomic<bool> &
+flag()
+{
+    // First use seeds from the environment so whole-process runs
+    // (nightly fuzz, ASan campaigns) can enable checking without code
+    // changes; setEnabled() overrides thereafter.
+    static std::atomic<bool> on{envFlag("SLIPSTREAM_INVARIANTS", false)};
+    return on;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return flag().load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    flag().store(on, std::memory_order_relaxed);
+}
+
+void
+violationImpl(const char *file, int line, const std::string &msg)
+{
+    // Mirror panicImpl's message shape, but throw a catchable,
+    // distinct type: the fuzzer converts violations into repro
+    // bundles, and tests assert on them directly.
+    throw InvariantViolation(detail::concat(file, ":", line, ": ", msg));
+}
+
+} // namespace slip::invariants

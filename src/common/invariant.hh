@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Runtime invariant checkers for the simulation hot loops.
+ *
+ * These are heavier than SLIP_ASSERT (some walk whole structures —
+ * e.g. re-summing delay-buffer occupancy), so they follow the
+ * SLIP_TRACE two-level gating model exactly:
+ *
+ *  - Compile time: defining SLIPSTREAM_DISABLE_INVARIANTS (the CMake
+ *    option of the same name; release builds that want provably zero
+ *    overhead set it, and CI's overhead guard builds that flavor)
+ *    compiles every SLIP_INVARIANT site out entirely.
+ *  - Run time: in normal builds each site costs one predictable
+ *    branch on a process-global flag, off by default. The fuzzer and
+ *    targeted tests enable it (invariants::setEnabled, or the
+ *    SLIPSTREAM_INVARIANTS env knob read at first use).
+ *
+ * A violated invariant throws InvariantViolation — catchable, so the
+ * differential fuzzer can turn a violation into a minimized repro
+ * bundle instead of taking the whole process down. The supervised
+ * trial runner classifies it like any internal error.
+ */
+
+#ifndef SLIPSTREAM_COMMON_INVARIANT_HH
+#define SLIPSTREAM_COMMON_INVARIANT_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace slip
+{
+
+/** A runtime invariant check failed (model state is inconsistent). */
+class InvariantViolation : public std::logic_error
+{
+  public:
+    explicit InvariantViolation(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace invariants
+{
+
+/** Process-global toggle. Reads $SLIPSTREAM_INVARIANTS at first use. */
+bool enabled();
+
+/** Turn checking on/off (the fuzzer enables it per run). */
+void setEnabled(bool on);
+
+/** RAII enable/restore for test scopes. */
+class Scope
+{
+  public:
+    explicit Scope(bool on)
+        : prev(enabled())
+    {
+        setEnabled(on);
+    }
+    ~Scope() { setEnabled(prev); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    bool prev;
+};
+
+[[noreturn]] void violationImpl(const char *file, int line,
+                                const std::string &msg);
+
+} // namespace invariants
+} // namespace slip
+
+// ---------------------------------------------------------------------
+// Check macros. SLIP_INVARIANT* are the only spellings the hot loops
+// use, so a build with SLIPSTREAM_DISABLE_INVARIANTS compiles every
+// checker out entirely (mirroring SLIP_TRACE).
+// ---------------------------------------------------------------------
+
+#ifdef SLIPSTREAM_DISABLE_INVARIANTS
+
+#define SLIP_INVARIANTS_ACTIVE() false
+#define SLIP_INVARIANT(cond, ...) ((void)0)
+
+#else
+
+/** Are runtime invariant checks live? (One global load + branch.) */
+#define SLIP_INVARIANTS_ACTIVE() (::slip::invariants::enabled())
+
+/**
+ * Check `cond` when invariants are enabled; throws InvariantViolation
+ * (with file:line and the formatted message) when it fails.
+ */
+#define SLIP_INVARIANT(cond, ...) \
+    do { \
+        if (::slip::invariants::enabled() && !(cond)) { \
+            ::slip::invariants::violationImpl( \
+                __FILE__, __LINE__, \
+                ::slip::detail::concat("invariant failed: " #cond \
+                                       " — ", \
+                                       ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // SLIPSTREAM_DISABLE_INVARIANTS
+
+#endif // SLIPSTREAM_COMMON_INVARIANT_HH

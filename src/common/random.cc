@@ -17,13 +17,39 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+namespace
+{
+
+/** The splitmix64 golden-ratio increment. */
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+
+} // namespace
+
 Rng::Rng(uint64_t seed)
 {
     // Expand the single seed word through splitmix64 per the xoshiro
     // authors' recommendation; avoids the all-zero state.
     uint64_t x = seed;
     for (auto &word : s) {
-        x += 0x9e3779b97f4a7c15ull;
+        x += kGolden;
+        word = mix64(x);
+    }
+    if ((s[0] | s[1] | s[2] | s[3]) == 0)
+        s[0] = 1;
+}
+
+Rng::Rng(uint64_t seed, uint64_t stream)
+{
+    // Splitmix-style stream derivation: the stream id selects the
+    // expansion increment ("gamma") *nonlinearly*, so no additive
+    // (seed, stream) aliasing exists — Rng(5, 0) and Rng(0, 5) share
+    // nothing. The gamma is forced odd (full-period splitmix) and the
+    // seed word is pre-mixed with the stream so even gamma collisions
+    // (probability 2^-63 per pair) would not align the sequences.
+    const uint64_t gamma = mix64(stream + kGolden) | 1;
+    uint64_t x = seed + mix64(stream ^ kGolden);
+    for (auto &word : s) {
+        x += gamma;
         word = mix64(x);
     }
     if ((s[0] | s[1] | s[2] | s[3]) == 0)

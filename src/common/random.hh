@@ -22,6 +22,18 @@ class Rng
     /** Seed the generator; equal seeds yield identical streams. */
     explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedull);
 
+    /**
+     * Seed one of many independent streams. Parallel consumers (fuzz
+     * jobs, per-trial generators) must NOT derive sub-seeds
+     * additively — Rng(seed + job) makes (seed, job) and
+     * (seed + k, job - k) the *same* generator. This constructor
+     * derives the splitmix expansion increment from the stream id
+     * (splitmix-style stream derivation), so distinct (seed, stream)
+     * pairs yield unrelated sequences even when seed + stream
+     * collides. Rng(s, 0) is a distinct stream from Rng(s).
+     */
+    Rng(uint64_t seed, uint64_t stream);
+
     /** Next raw 64-bit draw. */
     uint64_t next();
 

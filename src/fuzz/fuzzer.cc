@@ -1,0 +1,156 @@
+#include "fuzz/fuzzer.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "assembler/assembler.hh"
+#include "fuzz/minimize.hh"
+#include "fuzz/repro.hh"
+#include "harness/sim_runner.hh"
+
+namespace slip::fuzz
+{
+
+namespace
+{
+
+/** Run one seed end to end (executes on a pool worker). */
+FuzzCase
+runSeed(uint64_t seed, const FuzzOptions &opt)
+{
+    FuzzCase c;
+    c.seed = seed;
+    GeneratedProgram gp;
+    std::string source;
+    try {
+        gp = generate(seed, opt.gen);
+        source = gp.render();
+        const Program program = assemble(source);
+        const OracleVerdict v = runOracle(program, opt.oracle);
+        if (!v.diverged)
+            return c;
+        c.diverged = true;
+        c.report = v.report;
+    } catch (const std::exception &e) {
+        c.error = e.what();
+        return c;
+    }
+
+    // Divergence: minimize greedily, then bundle. Failures past this
+    // point must not lose the finding, so they degrade the bundle
+    // rather than abort the case.
+    std::string minimized = source;
+    MinimizeResult mr;
+    if (opt.minimizeDivergences) {
+        mr = minimize(
+            gp,
+            [&opt](const std::string &candidate) {
+                try {
+                    return runOracle(assemble(candidate), opt.oracle)
+                        .diverged;
+                } catch (const std::exception &) {
+                    // A candidate that breaks assembly (or the
+                    // harness) is not a reproducer.
+                    return false;
+                }
+            },
+            opt.minimizeAttempts);
+        minimized = mr.source;
+        try {
+            // Re-derive the report from the minimized program so the
+            // bundle's report matches the bundle's program.s.
+            const OracleVerdict v =
+                runOracle(assemble(minimized), opt.oracle);
+            if (v.diverged)
+                c.report = v.report;
+        } catch (const std::exception &) {
+        }
+    }
+
+    if (!opt.bundleDir.empty()) {
+        try {
+            ReproSpec spec;
+            spec.seed = seed;
+            spec.configSummary = opt.gen.summary();
+            spec.report = c.report;
+            spec.originalSource = source;
+            spec.minimizedSource = minimized;
+            spec.faults = opt.oracle.faults;
+            spec.unitsRemoved = mr.unitsRemoved;
+            spec.minimizeAttempts = mr.attempts;
+            c.bundlePath = writeReproBundle(opt.bundleDir, spec);
+        } catch (const std::exception &e) {
+            c.error = std::string("bundle write failed: ") + e.what();
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+FuzzSummary
+runFuzz(const FuzzOptions &options)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    const auto elapsedMs = [&start] {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - start)
+                .count());
+    };
+
+    FuzzSummary summary;
+    uint64_t next = options.seedBegin;
+    while (next < options.seedEnd) {
+        if (options.budgetMs != 0 && elapsedMs() >= options.budgetMs) {
+            summary.budgetExhausted = true;
+            break;
+        }
+
+        SimJobRunner runner(options.jobs);
+        const uint64_t batch =
+            std::min<uint64_t>(options.seedEnd - next,
+                               std::max(16u, runner.jobs() * 4));
+        std::vector<FuzzCase> cases(batch);
+        for (uint64_t i = 0; i < batch; ++i) {
+            const uint64_t seed = next + i;
+            runner.add([&cases, i, seed, &options] {
+                cases[i] = runSeed(seed, options);
+                RunMetrics m;
+                m.model = "fuzz";
+                m.outputCorrect = !cases[i].diverged;
+                return m;
+            });
+        }
+        const std::vector<JobOutcome> outcomes =
+            runner.runSupervised();
+
+        for (uint64_t i = 0; i < batch; ++i) {
+            FuzzCase &c = cases[i];
+            if (!outcomes[i].ok() && c.error.empty() && !c.diverged) {
+                // The supervisor reaped the job (deadline) or it threw
+                // outside runSeed's own handling.
+                c.seed = next + i;
+                c.error = outcomes[i].errorMessage.empty()
+                              ? std::string("job ") +
+                                    jobStatusName(outcomes[i].status)
+                              : outcomes[i].errorMessage;
+            }
+            ++summary.seedsRun;
+            const bool diverged = c.diverged;
+            if (c.diverged)
+                ++summary.divergences;
+            if (!c.error.empty())
+                ++summary.errors;
+            if (c.diverged || !c.error.empty())
+                summary.findings.push_back(std::move(c));
+            if (options.onSeed)
+                options.onSeed(next + i, diverged);
+        }
+        next += batch;
+    }
+    return summary;
+}
+
+} // namespace slip::fuzz

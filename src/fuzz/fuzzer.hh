@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The differential-fuzz campaign driver: generates one program per
+ * seed, runs the three-way oracle on each, and — on divergence —
+ * greedily minimizes the program and writes a self-contained repro
+ * bundle. Seeds execute in parallel on the existing supervised
+ * SimJobRunner pool; results are collected in seed order, so a
+ * campaign's summary, reports, and bundles are byte-identical
+ * whatever $SLIPSTREAM_JOBS says.
+ */
+
+#ifndef SLIPSTREAM_FUZZ_FUZZER_HH
+#define SLIPSTREAM_FUZZ_FUZZER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hh"
+#include "fuzz/oracle.hh"
+
+namespace slip::fuzz
+{
+
+/** Campaign configuration. */
+struct FuzzOptions
+{
+    uint64_t seedBegin = 0; // [seedBegin, seedEnd)
+    uint64_t seedEnd = 100;
+
+    /** Worker threads; 0 = defaultJobs() ($SLIPSTREAM_JOBS). */
+    unsigned jobs = 0;
+
+    /**
+     * Wall-clock budget in ms; 0 = none. Checked between batches:
+     * once exceeded, no further seeds start (running ones finish).
+     */
+    uint64_t budgetMs = 0;
+
+    bool minimizeDivergences = true;
+    unsigned minimizeAttempts = 400;
+
+    /** Where repro bundles land; empty disables bundle writing. */
+    std::string bundleDir = "fuzz-repros";
+
+    GeneratorConfig gen;
+    OracleOptions oracle;
+
+    /**
+     * Progress hook, called once per finished seed in seed order from
+     * the collecting thread (no synchronization needed).
+     */
+    std::function<void(uint64_t seed, bool diverged)> onSeed;
+};
+
+/** What one seed produced. */
+struct FuzzCase
+{
+    uint64_t seed = 0;
+    bool diverged = false;
+    std::string report;     // oracle report (minimized program's)
+    std::string bundlePath; // written bundle, if any
+    std::string error;      // infrastructure failure (not a divergence)
+};
+
+/** Campaign totals. */
+struct FuzzSummary
+{
+    uint64_t seedsRun = 0;
+    uint64_t divergences = 0;
+    uint64_t errors = 0;
+    bool budgetExhausted = false; // stopped early on budgetMs
+    std::vector<FuzzCase> findings; // divergent + errored cases only
+};
+
+/** Run the campaign. */
+FuzzSummary runFuzz(const FuzzOptions &options);
+
+} // namespace slip::fuzz
+
+#endif // SLIPSTREAM_FUZZ_FUZZER_HH

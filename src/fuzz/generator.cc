@@ -1,0 +1,375 @@
+#include "fuzz/generator.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace slip::fuzz
+{
+
+namespace
+{
+
+/**
+ * Rng stream id for program generation. Every fuzz subsystem draws on
+ * its own stream so equal seeds across subsystems stay uncorrelated.
+ */
+constexpr uint64_t kGeneratorStream = 0x67656e2d70726f67ull; // "gen-prog"
+
+/** Loop counters live in s0..s7; s18/s19 are the epilogue's. */
+constexpr int kMaxTotalLoops = 8;
+
+/** Builds the unit list for one program. */
+class Builder
+{
+  public:
+    Builder(uint64_t seed, const GeneratorConfig &config)
+        : rng(seed, kGeneratorStream), cfg(config),
+          arenaMask(config.arenaWords - 1)
+    {
+        SLIP_ASSERT((config.arenaWords & (config.arenaWords - 1)) == 0 &&
+                        config.arenaWords != 0,
+                    "arenaWords must be a nonzero power of two");
+        SLIP_ASSERT(config.scratchRegs >= 2 && config.scratchRegs <= 10,
+                    "scratchRegs out of [2, 10]");
+    }
+
+    std::vector<ProgramUnit>
+    build()
+    {
+        prologue();
+        const unsigned loops =
+            cfg.minLoops + rng.below(cfg.maxLoops - cfg.minLoops + 1);
+        for (unsigned l = 0; l < loops; ++l)
+            emitLoop(0);
+        epilogue();
+        return std::move(units);
+    }
+
+  private:
+    std::string
+    scratch()
+    {
+        std::string r = "t";
+        r += std::to_string(rng.below(cfg.scratchRegs));
+        return r;
+    }
+
+    void
+    fixed(const std::string &text)
+    {
+        units.push_back({ProgramUnit::Kind::Fixed, -1, text});
+    }
+
+    void
+    stmt(const std::string &text)
+    {
+        units.push_back({ProgramUnit::Kind::Stmt, -1, text});
+    }
+
+    std::string
+    label(const char *stem)
+    {
+        return stem + std::to_string(nextLabel++);
+    }
+
+    void
+    prologue()
+    {
+        std::ostringstream os;
+        os << ".data\n"
+           << "arena: .space " << cfg.arenaWords * 8 << "\n"
+           << ".text\n"
+           << "main:\n"
+           << "    la   s19, arena\n";
+        for (unsigned i = 0; i < cfg.scratchRegs; ++i)
+            os << "    li   t" << i << ", " << rng.below(4096) << "\n";
+        // Seed a few arena words so first loads are not all zero.
+        for (unsigned i = 0; i < 4 && i < cfg.arenaWords; ++i) {
+            os << "    li   k1, " << rng.below(100000) << "\n"
+               << "    sd   k1, " << i * 8 << "(s19)\n";
+        }
+        fixed(os.str());
+    }
+
+    /** Random arena address into k0 (always in bounds). */
+    std::string
+    arenaAddr()
+    {
+        std::ostringstream os;
+        os << "    andi k0, " << scratch() << ", " << arenaMask << "\n"
+           << "    slli k0, k0, 3\n"
+           << "    add  k0, k0, s19\n";
+        return os.str();
+    }
+
+    std::string
+    aluStmt()
+    {
+        static const char *ops[] = {"add ", "sub ", "xor ", "and ",
+                                    "or  ", "mul "};
+        std::ostringstream os;
+        if (rng.chance(0.35)) {
+            os << "    addi " << scratch() << ", " << scratch() << ", "
+               << rng.range(-64, 64) << "\n";
+        } else {
+            os << "    " << ops[rng.below(6)] << " " << scratch()
+               << ", " << scratch() << ", " << scratch() << "\n";
+        }
+        return os.str();
+    }
+
+    std::string
+    loadStmt()
+    {
+        return arenaAddr() + "    ld   " + scratch() + ", 0(k0)\n";
+    }
+
+    std::string
+    storeStmt()
+    {
+        return arenaAddr() + "    sd   " + scratch() + ", 0(k0)\n";
+    }
+
+    /** Forward branch whose direction depends on evolving data. */
+    std::string
+    unpredictableStmt()
+    {
+        std::ostringstream os;
+        if (rng.chance(0.5)) {
+            // if/else diamond (exercises J-format jumps).
+            const std::string els = label("els");
+            const std::string end = label("end");
+            os << "    andi k2, " << scratch() << ", "
+               << (1 + rng.below(3)) << "\n"
+               << "    beqz k2, " << els << "\n"
+               << "    addi " << scratch() << ", " << scratch() << ", "
+               << rng.range(-8, 8) << "\n"
+               << "    j    " << end << "\n"
+               << els << ":\n"
+               << "    xor  " << scratch() << ", " << scratch() << ", "
+               << scratch() << "\n"
+               << end << ":\n";
+        } else {
+            const std::string sk = label("sk");
+            os << "    andi k2, " << scratch() << ", "
+               << (1 + rng.below(7)) << "\n"
+               << "    bnez k2, " << sk << "\n"
+               << "    addi " << scratch() << ", " << scratch() << ", "
+               << (1 + rng.below(16)) << "\n"
+               << sk << ":\n";
+        }
+        return os.str();
+    }
+
+    /** Forward branch whose direction is statically known. */
+    std::string
+    predictableStmt()
+    {
+        std::ostringstream os;
+        const std::string sk = label("sk");
+        if (rng.chance(0.5)) {
+            // Always taken: the guarded instruction is dead code.
+            os << "    beqz zero, " << sk << "\n"
+               << "    addi " << scratch() << ", " << scratch()
+               << ", 1\n"
+               << sk << ":\n";
+        } else {
+            // Never taken: pure fall-through.
+            os << "    bnez zero, " << sk << "\n"
+               << "    addi " << scratch() << ", " << scratch() << ", "
+               << rng.range(-4, 4) << "\n"
+               << sk << ":\n";
+        }
+        return os.str();
+    }
+
+    /** IR-detector fodder: redundant writes and dead code. */
+    std::string
+    redundantStmt()
+    {
+        std::ostringstream os;
+        switch (rng.below(4)) {
+          case 0: { // same-value register write, repeated
+            const std::string v = std::to_string(rng.below(16));
+            os << "    li   k3, " << v << "\n"
+               << "    li   k3, " << v << "\n";
+            break;
+          }
+          case 1: // dead write: k4 is never read anywhere
+            os << "    addi k4, " << scratch() << ", "
+               << rng.below(32) << "\n";
+            break;
+          case 2: { // double store of the same value to one slot
+            const std::string store =
+                "    sd   " + scratch() + ", 0(k0)\n";
+            os << arenaAddr() << store << store;
+            break;
+          }
+          default: // silent store: load a word, store it back
+            os << arenaAddr()
+               << "    ld   k1, 0(k0)\n"
+               << "    sd   k1, 0(k0)\n";
+            break;
+        }
+        return os.str();
+    }
+
+    std::string
+    outputStmt()
+    {
+        return "    putn " + scratch() + "\n";
+    }
+
+    std::string
+    bodyStmt()
+    {
+        if (rng.chance(cfg.unpredictableChance))
+            return unpredictableStmt();
+        if (rng.chance(cfg.predictableChance))
+            return predictableStmt();
+        if (rng.chance(cfg.redundantChance))
+            return redundantStmt();
+        if (rng.chance(cfg.outputChance))
+            return outputStmt();
+        switch (rng.below(4)) {
+          case 0:
+            return loadStmt();
+          case 1:
+            return storeStmt();
+          default:
+            return aluStmt();
+        }
+    }
+
+    void
+    emitLoop(int depth)
+    {
+        if (loopCount >= kMaxTotalLoops)
+            return;
+        const int id = loopCount++;
+        std::string ctr = "s";
+        ctr += std::to_string(id);
+        std::string head = "loop";
+        head += std::to_string(id);
+        // Inner loops get short trip counts to bound dynamic length.
+        const unsigned span = cfg.maxIters - cfg.minIters + 1;
+        const unsigned iters =
+            depth == 0 ? cfg.minIters + rng.below(span)
+                       : 2 + rng.below(6);
+
+        std::ostringstream begin;
+        begin << "    li   " << ctr << ", " << iters << "\n"
+              << head << ":\n";
+        units.push_back(
+            {ProgramUnit::Kind::LoopBegin, id, begin.str()});
+
+        const unsigned stmts =
+            cfg.minStmts + rng.below(cfg.maxStmts - cfg.minStmts + 1);
+        const unsigned nestAt =
+            depth == 0 && rng.chance(cfg.nestedLoopChance)
+                ? rng.below(stmts)
+                : stmts;
+        for (unsigned i = 0; i < stmts; ++i) {
+            if (i == nestAt)
+                emitLoop(depth + 1);
+            stmt(bodyStmt());
+        }
+
+        std::ostringstream end;
+        end << "    addi " << ctr << ", " << ctr << ", -1\n"
+            << "    bnez " << ctr << ", " << head << "\n";
+        units.push_back({ProgramUnit::Kind::LoopEnd, id, end.str()});
+    }
+
+    void
+    epilogue()
+    {
+        std::ostringstream os;
+        os << "    li   a0, 0\n";
+        for (unsigned i = 0; i < cfg.scratchRegs; ++i)
+            os << "    add  a0, a0, t" << i << "\n";
+        os << "    li   s18, 0\n"
+           << "cksum:\n"
+           << "    slli k0, s18, 3\n"
+           << "    add  k0, k0, s19\n"
+           << "    ld   k1, 0(k0)\n"
+           << "    add  a0, a0, k1\n"
+           << "    addi s18, s18, 1\n"
+           << "    li   k2, " << cfg.arenaWords << "\n"
+           << "    blt  s18, k2, cksum\n"
+           << "    putn a0\n"
+           << "    halt\n";
+        fixed(os.str());
+    }
+
+    Rng rng;
+    const GeneratorConfig &cfg;
+    unsigned arenaMask;
+    std::vector<ProgramUnit> units;
+    int loopCount = 0;
+    unsigned nextLabel = 0;
+};
+
+} // namespace
+
+std::string
+GeneratorConfig::summary() const
+{
+    std::ostringstream os;
+    os << "arena_words=" << arenaWords << " scratch_regs=" << scratchRegs
+       << " loops=" << minLoops << ".." << maxLoops
+       << " iters=" << minIters << ".." << maxIters
+       << " stmts=" << minStmts << ".." << maxStmts
+       << " nested=" << nestedLoopChance
+       << " unpredictable=" << unpredictableChance
+       << " predictable=" << predictableChance
+       << " redundant=" << redundantChance
+       << " output=" << outputChance;
+    return os.str();
+}
+
+std::string
+GeneratedProgram::render() const
+{
+    std::string out;
+    for (const ProgramUnit &u : units)
+        out += u.text;
+    return out;
+}
+
+std::string
+GeneratedProgram::render(const std::vector<bool> &keep) const
+{
+    SLIP_ASSERT(keep.size() == units.size(),
+                "keep mask size ", keep.size(), " != unit count ",
+                units.size());
+    std::string out;
+    for (size_t i = 0; i < units.size(); ++i) {
+        if (units[i].kind == ProgramUnit::Kind::Fixed || keep[i])
+            out += units[i].text;
+    }
+    return out;
+}
+
+size_t
+GeneratedProgram::removableCount() const
+{
+    size_t n = 0;
+    for (const ProgramUnit &u : units)
+        n += u.kind != ProgramUnit::Kind::Fixed;
+    return n;
+}
+
+GeneratedProgram
+generate(uint64_t seed, const GeneratorConfig &config)
+{
+    GeneratedProgram prog;
+    prog.seed = seed;
+    prog.config = config;
+    prog.units = Builder(seed, config).build();
+    return prog;
+}
+
+} // namespace slip::fuzz

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Seeded SSIR program generator for differential fuzzing.
+ *
+ * Programs come from a template grammar: a prologue binding an arena
+ * pointer and seeding scratch registers, a body of counted loops
+ * (optionally nested) whose statements mix ALU work, bounded
+ * arena loads/stores, predictable and data-dependent branches, and
+ * the redundant-write / dead-code idioms the IR-detector feeds on,
+ * then a checksum epilogue that makes every scratch register and
+ * arena word observable through PUTN before HALT.
+ *
+ * Three properties are load-bearing:
+ *
+ *  - Deterministic: the program is a pure function of (seed, config).
+ *    Equal seeds reproduce byte-identical sources on any host.
+ *  - Terminating: all loops count a fixed register down to zero and
+ *    every other branch is strictly forward, so the functional oracle
+ *    always halts.
+ *  - Minimizable: the program is kept as a unit list, not a flat
+ *    string. Scaffolding (prologue, loop heads/tails, epilogue) is
+ *    marked so the greedy minimizer can drop statement units or whole
+ *    loop spans and re-render a still-assemblable program.
+ */
+
+#ifndef SLIPSTREAM_FUZZ_GENERATOR_HH
+#define SLIPSTREAM_FUZZ_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slip::fuzz
+{
+
+/** Shape knobs for generated programs (defaults fuzz well). */
+struct GeneratorConfig
+{
+    unsigned arenaWords = 32;  // 8-byte slots; must be a power of two
+    unsigned scratchRegs = 6;  // t0..t(N-1), at most 10
+    unsigned minLoops = 1;     // top-level loop count range
+    unsigned maxLoops = 3;
+    unsigned minIters = 6;     // per-loop trip count range
+    unsigned maxIters = 40;
+    unsigned minStmts = 3;     // per-loop-body statement range
+    unsigned maxStmts = 10;
+    double nestedLoopChance = 0.3;   // loop gains one inner loop
+    double unpredictableChance = 0.2; // data-dependent forward branch
+    double predictableChance = 0.1;  // statically-known forward branch
+    double redundantChance = 0.2;    // IR-detector fodder idioms
+    double outputChance = 0.05;      // mid-loop PUTN observation
+
+    /** One-line "key=value ..." rendering for repro bundles. */
+    std::string summary() const;
+};
+
+/** One renderable piece of a generated program. */
+struct ProgramUnit
+{
+    enum class Kind : uint8_t
+    {
+        Fixed,     // scaffolding the minimizer must keep
+        Stmt,      // independently removable statement
+        LoopBegin, // loop head; removable only with its LoopEnd
+        LoopEnd,   // loop tail (counter decrement + back edge)
+    };
+
+    Kind kind = Kind::Fixed;
+    int loopId = -1; // pairs LoopBegin/LoopEnd spans
+    std::string text; // complete assembly lines, self-contained labels
+};
+
+/** A generated program: unit list plus its provenance. */
+struct GeneratedProgram
+{
+    uint64_t seed = 0;
+    GeneratorConfig config;
+    std::vector<ProgramUnit> units;
+
+    /** Full source (every unit kept). */
+    std::string render() const;
+
+    /**
+     * Source with only the units whose `keep` bit is set; Fixed units
+     * are always emitted regardless of their bit. `keep` must match
+     * units.size().
+     */
+    std::string render(const std::vector<bool> &keep) const;
+
+    /** Units the minimizer may drop (non-Fixed). */
+    size_t removableCount() const;
+};
+
+/**
+ * Generate a program. Internally seeds the shared Rng on a dedicated
+ * stream (splitmix stream derivation), so a fuzz campaign's generator
+ * draws can never alias another subsystem's draws from the same seed,
+ * nor a neighboring job's from seed+1.
+ */
+GeneratedProgram generate(uint64_t seed,
+                          const GeneratorConfig &config = {});
+
+} // namespace slip::fuzz
+
+#endif // SLIPSTREAM_FUZZ_GENERATOR_HH

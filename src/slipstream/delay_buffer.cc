@@ -1,10 +1,56 @@
 #include "slipstream/delay_buffer.hh"
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "obs/trace_session.hh"
 
 namespace slip
 {
+
+namespace
+{
+
+/**
+ * Full FIFO consistency walk (fuzz/debug only): the occupancy
+ * counters must equal what the packets actually hold, occupancy must
+ * respect Table 2 capacities, and packet numbers must stay strictly
+ * monotonic (FIFO order is the delay buffer's whole contract).
+ */
+void
+checkFifoInvariants([[maybe_unused]] const std::deque<Packet> &packets,
+                    [[maybe_unused]] unsigned dataEntries,
+                    [[maybe_unused]] const DelayBufferParams &params)
+{
+#ifndef SLIPSTREAM_DISABLE_INVARIANTS
+    uint64_t summed = 0;
+    uint64_t lastNum = 0;
+    bool first = true;
+    for (const Packet &p : packets) {
+        unsigned executed = 0;
+        for (const PacketSlot &slot : p.slots)
+            executed += slot.executedInA ? 1 : 0;
+        SLIP_INVARIANT(executed == p.executedCount,
+                       "packet ", p.num, " claims ", p.executedCount,
+                       " executed slots but holds ", executed);
+        summed += p.executedCount;
+        SLIP_INVARIANT(first || p.num > lastNum,
+                       "packet numbers not monotonic: ", lastNum,
+                       " then ", p.num);
+        lastNum = p.num;
+        first = false;
+    }
+    SLIP_INVARIANT(summed == dataEntries, "data-entry counter ",
+                   dataEntries, " != summed executed slots ", summed);
+    SLIP_INVARIANT(packets.size() <= params.controlCapacity,
+                   "control occupancy ", packets.size(),
+                   " exceeds capacity ", params.controlCapacity);
+    SLIP_INVARIANT(dataEntries <= params.dataCapacity,
+                   "data occupancy ", dataEntries, " exceeds capacity ",
+                   params.dataCapacity);
+#endif // SLIPSTREAM_DISABLE_INVARIANTS
+}
+
+} // namespace
 
 DelayBuffer::DelayBuffer(const DelayBufferParams &params)
     : params_(params), stats_("delay_buffer")
@@ -35,6 +81,8 @@ DelayBuffer::push(Packet packet)
     SLIP_TRACE(obs::Category::DelayBuffer, obs::Name::DataOccupancy,
                obs::Phase::Counter, dataEntries_, 0);
     packets.push_back(std::move(packet));
+    if (SLIP_INVARIANTS_ACTIVE())
+        checkFifoInvariants(packets, dataEntries_, params_);
 }
 
 const Packet &
@@ -57,6 +105,8 @@ DelayBuffer::pop()
                obs::Phase::Counter, packets.size(), 0);
     SLIP_TRACE(obs::Category::DelayBuffer, obs::Name::DataOccupancy,
                obs::Phase::Counter, dataEntries_, 0);
+    if (SLIP_INVARIANTS_ACTIVE())
+        checkFifoInvariants(packets, dataEntries_, params_);
     return p;
 }
 

@@ -1,10 +1,19 @@
 #include "slipstream/ir_predictor.hh"
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "obs/trace_session.hh"
 
 namespace slip
 {
+
+namespace
+{
+
+/** Saturation cap for the resetting confidence counter. */
+constexpr unsigned kConfidenceCap = 1'000'000;
+
+} // namespace
 
 std::string
 reasonName(uint8_t mask)
@@ -71,6 +80,10 @@ IRPredictor::lookup(const PathHistory &history,
     }
     if (e.plan.irVec == 0)
         return std::nullopt;
+    SLIP_INVARIANT(e.confidence <= kConfidenceCap,
+                   "confidence counter ", e.confidence,
+                   " above saturation cap for trace ",
+                   predicted.startPc);
     ++statLookupConfident;
     SLIP_TRACE(obs::Category::IRPredictor, obs::Name::IRLookupConfident,
                obs::Phase::Instant, e.plan.irVec, predicted.startPc);
@@ -87,9 +100,14 @@ IRPredictor::update(const PathHistory &history, const TraceId &actual,
 
     if (e.valid && e.idHash == idHash && e.plan.irVec == computed.irVec) {
         // Repeated {trace-id, ir-vec} indication: build confidence.
-        if (e.confidence < 1'000'000)
+        if (e.confidence < kConfidenceCap)
             ++e.confidence;
         e.plan.reasons = computed.reasons; // keep freshest attribution
+        SLIP_INVARIANT(e.confidence >= 1 &&
+                           e.confidence <= kConfidenceCap,
+                       "confidence counter ", e.confidence,
+                       " out of [1, cap] after build for trace ",
+                       actual.startPc);
         ++statConfidenceHits;
         return;
     }

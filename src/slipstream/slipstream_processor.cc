@@ -1,5 +1,6 @@
 #include "slipstream/slipstream_processor.hh"
 
+#include "common/invariant.hh"
 #include "common/logging.hh"
 #include "obs/trace_session.hh"
 #include "slipstream/removal.hh"
@@ -46,8 +47,10 @@ SlipstreamProcessor::wire()
         return true;
     };
 
-    rCore_->onRetire = [this](const DynInst &d, Cycle) {
+    rCore_->onRetire = [this](const DynInst &d, Cycle cycle) {
         rSource_->notifyRetire(d);
+        if (onArchRetire)
+            onArchRetire(d, cycle);
 
         // Recovery-controller store tracking (paper Figure 4).
         if (d.si.isStore()) {
@@ -146,6 +149,23 @@ SlipstreamProcessor::doRecovery(Cycle now)
     aSource_->recover(rSource_->archState().pc(), rSource_->archState(),
                       trainerHistory);
 
+    // Postcondition (paper §2.3): recovery restores the A-stream's
+    // *exact* architectural state — registers and PC equal the
+    // R-stream's, and the memory overlay collapsed onto the
+    // authoritative image (nothing tracked means every A read now
+    // sees R memory byte-for-byte).
+    SLIP_INVARIANT(recovery_->trackedAddresses() == 0,
+                   "recovery left ", recovery_->trackedAddresses(),
+                   " tracked addresses in the overlay/do set");
+    SLIP_INVARIANT(
+        aSource_->archState().regsEqual(rSource_->archState()),
+        "A-stream registers differ from R-stream after recovery");
+    SLIP_INVARIANT(aSource_->archState().pc() ==
+                       rSource_->archState().pc(),
+                   "A-stream pc ", aSource_->archState().pc(),
+                   " != R-stream pc ", rSource_->archState().pc(),
+                   " after recovery");
+
     // R-stream: its context was never wrong; older in-flight
     // instructions drain normally while fetch waits out the repair.
     rCore_->stallFetchUntil(resume);
@@ -211,8 +231,10 @@ SlipstreamProcessor::degradeToROnly(Cycle now, Cycle resume)
         params_.rCore.fetchWidth, params_.tracePolicy);
     rFront_.inner = degradedSource_.get();
     rCore_->flush(now, resume);
-    rCore_->onRetire = [this](const DynInst &d, Cycle) {
+    rCore_->onRetire = [this](const DynInst &d, Cycle cycle) {
         degradedSource_->notifyRetire(d);
+        if (onArchRetire)
+            onArchRetire(d, cycle);
         return true;
     };
 }
@@ -231,6 +253,9 @@ SlipstreamProcessor::run(Cycle maxCycles, const CancelToken *cancel)
         }
         faultInjector_.setNow(now);
         SLIP_TRACE_SET_CYCLE(now);
+        if (!degraded_ && params_.degrade.forceAtCycle != 0 &&
+            now >= params_.degrade.forceAtCycle)
+            degradeToROnly(now, now);
         if (degraded_) {
             rCore_->tick(now);
             // No A-stream left: late detector callbacks are moot.

@@ -22,6 +22,7 @@
 #define SLIPSTREAM_SLIPSTREAM_SLIPSTREAM_PROCESSOR_HH
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -73,6 +74,14 @@ struct DegradeParams
     bool enabled = true;
     Cycle windowCycles = 4096;
     unsigned recoveryThreshold = 24;
+
+    /**
+     * Force the transition at this cycle regardless of recovery
+     * density (0 = never). Differential-testing hook: the fuzz oracle
+     * runs every program through the degraded R-only path too, and a
+     * recovery storm cannot be arranged on demand.
+     */
+    Cycle forceAtCycle = 0;
 };
 
 /** Full configuration of a slipstream processor (Table 2 defaults). */
@@ -206,6 +215,31 @@ class SlipstreamProcessor
                             const CancelToken *cancel = nullptr);
 
     FaultInjector &faultInjector() { return faultInjector_; }
+
+    /**
+     * Observer of the architectural instruction stream: called for
+     * every instruction the R-side core retires, in retirement order,
+     * in slipstream AND degraded R-only mode alike. First-class
+     * (rather than wrapping rCore().onRetire) because degradation
+     * replaces the core's retire hook — an external wrapper would be
+     * silently dropped at the transition. The differential oracle
+     * captures the retired-store stream through this.
+     */
+    std::function<void(const DynInst &, Cycle)> onArchRetire;
+
+    /** The authoritative memory image (all modes run/finish on it). */
+    const Memory &rMemory() const { return rMem; }
+
+    /**
+     * The architectural context: the R-stream's, or the degraded
+     * source's continuation of it after a transition to R-only.
+     */
+    const ArchState &
+    archState()
+    {
+        return degradedSource_ ? degradedSource_->state()
+                               : rSource_->archState();
+    }
 
     // Component access for tests and instrumentation.
     OoOCore &aCore() { return *aCore_; }

@@ -1,0 +1,61 @@
+# Hand-curated corpus entry: concentrated ineffectual-instruction
+# idioms (silent stores, same-value rewrites, dead writes, statically
+# known branches) inside nested loops, so the IR detector/predictor
+# build confident traces and the A-stream runs far ahead. Replay:
+#   ssir_fuzz --replay tests/corpus/handwritten_ir_stress.s
+.data
+arena: .space 128
+
+.text
+main:
+    la   s19, arena
+    li   t0, 41
+    li   t1, 1000
+    li   s0, 25
+outer:
+    li   s1, 8
+inner:
+    # silent store: load a slot, store the same value back
+    andi k0, t0, 15
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    sd   k1, 0(k0)
+    # same-value register rewrite
+    li   k3, 7
+    li   k3, 7
+    # dead write: k4 never read
+    addi k4, t0, 3
+    # statically always-taken branch guards dead code
+    beqz zero, skip1
+    addi t1, t1, 99
+skip1:
+    # statically never-taken branch, pure fall-through
+    bnez zero, skip2
+    addi t0, t0, 1
+skip2:
+    # a real store the R-stream must retire exactly
+    andi k0, t1, 15
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t0, 0(k0)
+    addi t1, t1, -3
+    addi s1, s1, -1
+    bnez s1, inner
+    addi s0, s0, -1
+    bnez s0, outer
+    # checksum the arena and the live registers
+    li   a0, 0
+    add  a0, a0, t0
+    add  a0, a0, t1
+    li   s18, 0
+cksum:
+    slli k0, s18, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    add  a0, a0, k1
+    addi s18, s18, 1
+    li   k2, 16
+    blt  s18, k2, cksum
+    putn a0
+    halt

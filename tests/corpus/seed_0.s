@@ -1,0 +1,115 @@
+# ssir_fuzz generated program, seed 0
+# generator: arena_words=32 scratch_regs=6 loops=1..3 iters=6..40 stmts=3..10 nested=0.3 unpredictable=0.2 predictable=0.1 redundant=0.2 output=0.05
+# regenerate: ssir_fuzz --seeds 0:1 --dump <dir>
+.data
+arena: .space 256
+.text
+main:
+    la   s19, arena
+    li   t0, 1923
+    li   t1, 1611
+    li   t2, 597
+    li   t3, 2157
+    li   t4, 346
+    li   t5, 1145
+    li   k1, 97809
+    sd   k1, 0(s19)
+    li   k1, 31438
+    sd   k1, 8(s19)
+    li   k1, 15467
+    sd   k1, 16(s19)
+    li   k1, 13478
+    sd   k1, 24(s19)
+    li   s0, 11
+loop0:
+    putn t0
+    addi t4, t2, -50
+    bnez zero, sk0
+    addi t0, t2, 3
+sk0:
+    andi k0, t0, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t1, 0(k0)
+    addi t3, t0, -8
+    beqz zero, sk1
+    addi t0, t1, 1
+sk1:
+    li   s1, 3
+loop1:
+    andi k2, t0, 3
+    beqz k2, els2
+    addi t5, t1, 0
+    j    end3
+els2:
+    xor  t0, t4, t4
+end3:
+    mul  t0, t5, t4
+    andi k2, t2, 5
+    bnez k2, sk4
+    addi t5, t3, 15
+sk4:
+    mul  t0, t4, t3
+    sub  t0, t5, t0
+    andi k0, t2, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t0, 0(k0)
+    andi k2, t3, 1
+    beqz k2, els5
+    addi t1, t5, 7
+    j    end6
+els5:
+    xor  t3, t4, t5
+end6:
+    and  t4, t0, t2
+    andi k2, t2, 2
+    beqz k2, els7
+    addi t5, t4, -5
+    j    end8
+els7:
+    xor  t3, t3, t2
+end8:
+    addi t0, t2, -53
+    addi s1, s1, -1
+    bnez s1, loop1
+    andi k2, t4, 2
+    beqz k2, els9
+    addi t4, t2, -8
+    j    end10
+els9:
+    xor  t2, t4, t3
+end10:
+    andi k0, t3, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t5, 0(k0)
+    andi k0, t3, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t0, 0(k0)
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    sd   k1, 0(k0)
+    addi s0, s0, -1
+    bnez s0, loop0
+    li   a0, 0
+    add  a0, a0, t0
+    add  a0, a0, t1
+    add  a0, a0, t2
+    add  a0, a0, t3
+    add  a0, a0, t4
+    add  a0, a0, t5
+    li   s18, 0
+cksum:
+    slli k0, s18, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    add  a0, a0, k1
+    addi s18, s18, 1
+    li   k2, 32
+    blt  s18, k2, cksum
+    putn a0
+    halt

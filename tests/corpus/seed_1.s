@@ -1,0 +1,88 @@
+# ssir_fuzz generated program, seed 1
+# generator: arena_words=32 scratch_regs=6 loops=1..3 iters=6..40 stmts=3..10 nested=0.3 unpredictable=0.2 predictable=0.1 redundant=0.2 output=0.05
+# regenerate: ssir_fuzz --seeds 1:2 --dump <dir>
+.data
+arena: .space 256
+.text
+main:
+    la   s19, arena
+    li   t0, 2953
+    li   t1, 3048
+    li   t2, 2372
+    li   t3, 1937
+    li   t4, 3865
+    li   t5, 2807
+    li   k1, 8234
+    sd   k1, 0(s19)
+    li   k1, 19646
+    sd   k1, 8(s19)
+    li   k1, 64482
+    sd   k1, 16(s19)
+    li   k1, 51514
+    sd   k1, 24(s19)
+    li   s0, 21
+loop0:
+    or   t2, t1, t4
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t5, 0(k0)
+    sd   t5, 0(k0)
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t4, 0(k0)
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t2, 0(k0)
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t3, 0(k0)
+    addi s0, s0, -1
+    bnez s0, loop0
+    li   s1, 27
+loop1:
+    bnez zero, sk0
+    addi t3, t5, 4
+sk0:
+    li   k3, 1
+    li   k3, 1
+    andi k2, t2, 1
+    beqz k2, els1
+    addi t0, t4, 4
+    j    end2
+els1:
+    xor  t2, t1, t2
+end2:
+    addi t4, t4, 53
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t5, 0(k0)
+    andi k2, t0, 3
+    bnez k2, sk3
+    addi t4, t0, 4
+sk3:
+    addi t0, t5, -5
+    addi s1, s1, -1
+    bnez s1, loop1
+    li   a0, 0
+    add  a0, a0, t0
+    add  a0, a0, t1
+    add  a0, a0, t2
+    add  a0, a0, t3
+    add  a0, a0, t4
+    add  a0, a0, t5
+    li   s18, 0
+cksum:
+    slli k0, s18, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    add  a0, a0, k1
+    addi s18, s18, 1
+    li   k2, 32
+    blt  s18, k2, cksum
+    putn a0
+    halt

@@ -1,0 +1,139 @@
+# ssir_fuzz generated program, seed 2
+# generator: arena_words=32 scratch_regs=6 loops=1..3 iters=6..40 stmts=3..10 nested=0.3 unpredictable=0.2 predictable=0.1 redundant=0.2 output=0.05
+# regenerate: ssir_fuzz --seeds 2:3 --dump <dir>
+.data
+arena: .space 256
+.text
+main:
+    la   s19, arena
+    li   t0, 3859
+    li   t1, 1894
+    li   t2, 3786
+    li   t3, 478
+    li   t4, 1253
+    li   t5, 936
+    li   k1, 83719
+    sd   k1, 0(s19)
+    li   k1, 94614
+    sd   k1, 8(s19)
+    li   k1, 28910
+    sd   k1, 16(s19)
+    li   k1, 73876
+    sd   k1, 24(s19)
+    li   s0, 39
+loop0:
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t0, 0(k0)
+    putn t5
+    addi t0, t1, -50
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t3, 0(k0)
+    addi t5, t2, 21
+    andi k0, t0, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t3, 0(k0)
+    andi k2, t1, 2
+    beqz k2, els0
+    addi t3, t1, 0
+    j    end1
+els0:
+    xor  t3, t1, t1
+end1:
+    andi k0, t0, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    sd   k1, 0(k0)
+    addi s0, s0, -1
+    bnez s0, loop0
+    li   s1, 19
+loop1:
+    or   t1, t5, t4
+    addi t4, t2, -3
+    mul  t4, t4, t2
+    andi k2, t5, 6
+    bnez k2, sk2
+    addi t1, t2, 6
+sk2:
+    li   s2, 5
+loop2:
+    andi k2, t2, 5
+    bnez k2, sk3
+    addi t2, t0, 7
+sk3:
+    andi k0, t3, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t0, 0(k0)
+    bnez zero, sk4
+    addi t2, t0, -2
+sk4:
+    andi k0, t0, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t5, 0(k0)
+    addi t3, t4, -58
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t2, 0(k0)
+    andi k2, t3, 2
+    bnez k2, sk5
+    addi t4, t4, 9
+sk5:
+    bnez zero, sk6
+    addi t4, t5, -1
+sk6:
+    addi s2, s2, -1
+    bnez s2, loop2
+    addi t5, t4, 64
+    addi t4, t4, 9
+    andi k0, t0, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t2, 0(k0)
+    mul  t1, t0, t0
+    andi k2, t2, 6
+    bnez k2, sk7
+    addi t2, t0, 4
+sk7:
+    addi t2, t4, -57
+    addi s1, s1, -1
+    bnez s1, loop1
+    li   s3, 38
+loop3:
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t4, 0(k0)
+    li   k3, 2
+    li   k3, 2
+    andi k2, t0, 2
+    bnez k2, sk8
+    addi t5, t4, 14
+sk8:
+    addi s3, s3, -1
+    bnez s3, loop3
+    li   a0, 0
+    add  a0, a0, t0
+    add  a0, a0, t1
+    add  a0, a0, t2
+    add  a0, a0, t3
+    add  a0, a0, t4
+    add  a0, a0, t5
+    li   s18, 0
+cksum:
+    slli k0, s18, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    add  a0, a0, k1
+    addi s18, s18, 1
+    li   k2, 32
+    blt  s18, k2, cksum
+    putn a0
+    halt

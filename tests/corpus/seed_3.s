@@ -1,0 +1,184 @@
+# ssir_fuzz generated program, seed 3
+# generator: arena_words=32 scratch_regs=6 loops=1..3 iters=6..40 stmts=3..10 nested=0.3 unpredictable=0.2 predictable=0.1 redundant=0.2 output=0.05
+# regenerate: ssir_fuzz --seeds 3:4 --dump <dir>
+.data
+arena: .space 256
+.text
+main:
+    la   s19, arena
+    li   t0, 1823
+    li   t1, 1846
+    li   t2, 1526
+    li   t3, 2878
+    li   t4, 2756
+    li   t5, 2959
+    li   k1, 812
+    sd   k1, 0(s19)
+    li   k1, 51946
+    sd   k1, 8(s19)
+    li   k1, 68883
+    sd   k1, 16(s19)
+    li   k1, 2390
+    sd   k1, 24(s19)
+    li   s0, 30
+loop0:
+    andi k2, t3, 1
+    bnez k2, sk0
+    addi t0, t1, 2
+sk0:
+    andi k2, t5, 1
+    beqz k2, els1
+    addi t3, t4, -7
+    j    end2
+els1:
+    xor  t2, t1, t2
+end2:
+    andi k0, t1, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t3, 0(k0)
+    andi k2, t4, 3
+    bnez k2, sk3
+    addi t1, t1, 12
+sk3:
+    andi k2, t3, 2
+    beqz k2, els4
+    addi t0, t5, 7
+    j    end5
+els4:
+    xor  t0, t1, t0
+end5:
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t2, 0(k0)
+    andi k2, t3, 3
+    beqz k2, els6
+    addi t4, t0, -3
+    j    end7
+els6:
+    xor  t5, t5, t0
+end7:
+    addi t0, t1, 17
+    li   s1, 7
+loop1:
+    andi k0, t1, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t1, 0(k0)
+    mul  t2, t2, t3
+    andi k0, t2, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    sd   k1, 0(k0)
+    andi k2, t3, 1
+    beqz k2, els8
+    addi t3, t2, 5
+    j    end9
+els8:
+    xor  t5, t2, t1
+end9:
+    andi k2, t2, 3
+    beqz k2, els10
+    addi t2, t5, -5
+    j    end11
+els10:
+    xor  t3, t4, t2
+end11:
+    mul  t5, t0, t4
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t2, 0(k0)
+    and  t4, t4, t0
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t4, 0(k0)
+    addi s1, s1, -1
+    bnez s1, loop1
+    bnez zero, sk12
+    addi t2, t1, -2
+sk12:
+    addi k4, t3, 22
+    addi s0, s0, -1
+    bnez s0, loop0
+    li   s2, 7
+loop2:
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t3, 0(k0)
+    andi k0, t3, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    sd   k1, 0(k0)
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    sd   k1, 0(k0)
+    li   s3, 5
+loop3:
+    sub  t1, t0, t4
+    andi k0, t3, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t2, 0(k0)
+    andi k0, t0, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t5, 0(k0)
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t1, 0(k0)
+    addi t4, t5, -32
+    andi k2, t5, 3
+    bnez k2, sk13
+    addi t1, t4, 16
+sk13:
+    andi k2, t5, 2
+    beqz k2, els14
+    addi t5, t1, -8
+    j    end15
+els14:
+    xor  t3, t2, t2
+end15:
+    andi k2, t5, 1
+    bnez k2, sk16
+    addi t2, t3, 2
+sk16:
+    addi t5, t2, -4
+    andi k0, t2, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t1, 0(k0)
+    addi s3, s3, -1
+    bnez s3, loop3
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t0, 0(k0)
+    addi s2, s2, -1
+    bnez s2, loop2
+    li   a0, 0
+    add  a0, a0, t0
+    add  a0, a0, t1
+    add  a0, a0, t2
+    add  a0, a0, t3
+    add  a0, a0, t4
+    add  a0, a0, t5
+    li   s18, 0
+cksum:
+    slli k0, s18, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    add  a0, a0, k1
+    addi s18, s18, 1
+    li   k2, 32
+    blt  s18, k2, cksum
+    putn a0
+    halt

@@ -1,0 +1,102 @@
+# ssir_fuzz generated program, seed 4
+# generator: arena_words=32 scratch_regs=6 loops=1..3 iters=6..40 stmts=3..10 nested=0.3 unpredictable=0.2 predictable=0.1 redundant=0.2 output=0.05
+# regenerate: ssir_fuzz --seeds 4:5 --dump <dir>
+.data
+arena: .space 256
+.text
+main:
+    la   s19, arena
+    li   t0, 1827
+    li   t1, 2258
+    li   t2, 2971
+    li   t3, 3983
+    li   t4, 415
+    li   t5, 3198
+    li   k1, 25250
+    sd   k1, 0(s19)
+    li   k1, 93380
+    sd   k1, 8(s19)
+    li   k1, 21440
+    sd   k1, 16(s19)
+    li   k1, 49143
+    sd   k1, 24(s19)
+    li   s0, 30
+loop0:
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t3, 0(k0)
+    sd   t3, 0(k0)
+    andi k0, t2, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t4, 0(k0)
+    sd   t4, 0(k0)
+    putn t0
+    addi s0, s0, -1
+    bnez s0, loop0
+    li   s1, 40
+loop1:
+    andi k2, t5, 2
+    beqz k2, els0
+    addi t3, t0, 3
+    j    end1
+els0:
+    xor  t1, t2, t4
+end1:
+    or   t0, t1, t3
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t3, 0(k0)
+    andi k0, t1, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t3, 0(k0)
+    addi s1, s1, -1
+    bnez s1, loop1
+    li   s2, 22
+loop2:
+    andi k2, t2, 6
+    bnez k2, sk2
+    addi t0, t2, 6
+sk2:
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t0, 0(k0)
+    andi k0, t3, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t0, 0(k0)
+    xor  t4, t1, t5
+    andi k0, t1, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t5, 0(k0)
+    sub  t1, t3, t1
+    or   t4, t5, t5
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t0, 0(k0)
+    addi s2, s2, -1
+    bnez s2, loop2
+    li   a0, 0
+    add  a0, a0, t0
+    add  a0, a0, t1
+    add  a0, a0, t2
+    add  a0, a0, t3
+    add  a0, a0, t4
+    add  a0, a0, t5
+    li   s18, 0
+cksum:
+    slli k0, s18, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    add  a0, a0, k1
+    addi s18, s18, 1
+    li   k2, 32
+    blt  s18, k2, cksum
+    putn a0
+    halt

@@ -1,0 +1,62 @@
+# ssir_fuzz generated program, seed 5
+# generator: arena_words=32 scratch_regs=6 loops=1..3 iters=6..40 stmts=3..10 nested=0.3 unpredictable=0.2 predictable=0.1 redundant=0.2 output=0.05
+# regenerate: ssir_fuzz --seeds 5:6 --dump <dir>
+.data
+arena: .space 256
+.text
+main:
+    la   s19, arena
+    li   t0, 3263
+    li   t1, 1270
+    li   t2, 121
+    li   t3, 3658
+    li   t4, 1316
+    li   t5, 2906
+    li   k1, 3621
+    sd   k1, 0(s19)
+    li   k1, 87626
+    sd   k1, 8(s19)
+    li   k1, 73685
+    sd   k1, 16(s19)
+    li   k1, 196
+    sd   k1, 24(s19)
+    li   s0, 11
+loop0:
+    andi k0, t0, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t2, 0(k0)
+    andi k0, t0, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t0, 0(k0)
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t4, 0(k0)
+    sd   t4, 0(k0)
+    andi k0, t2, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    sd   k1, 0(k0)
+    addi s0, s0, -1
+    bnez s0, loop0
+    li   a0, 0
+    add  a0, a0, t0
+    add  a0, a0, t1
+    add  a0, a0, t2
+    add  a0, a0, t3
+    add  a0, a0, t4
+    add  a0, a0, t5
+    li   s18, 0
+cksum:
+    slli k0, s18, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    add  a0, a0, k1
+    addi s18, s18, 1
+    li   k2, 32
+    blt  s18, k2, cksum
+    putn a0
+    halt

@@ -1,0 +1,112 @@
+# ssir_fuzz generated program, seed 6
+# generator: arena_words=32 scratch_regs=6 loops=1..3 iters=6..40 stmts=3..10 nested=0.3 unpredictable=0.2 predictable=0.1 redundant=0.2 output=0.05
+# regenerate: ssir_fuzz --seeds 6:7 --dump <dir>
+.data
+arena: .space 256
+.text
+main:
+    la   s19, arena
+    li   t0, 1972
+    li   t1, 979
+    li   t2, 3379
+    li   t3, 4019
+    li   t4, 3243
+    li   t5, 1038
+    li   k1, 17079
+    sd   k1, 0(s19)
+    li   k1, 75612
+    sd   k1, 8(s19)
+    li   k1, 28887
+    sd   k1, 16(s19)
+    li   k1, 16390
+    sd   k1, 24(s19)
+    li   s0, 37
+loop0:
+    bnez zero, sk0
+    addi t0, t2, -1
+sk0:
+    andi k2, t3, 1
+    beqz k2, els1
+    addi t1, t3, 1
+    j    end2
+els1:
+    xor  t3, t4, t4
+end2:
+    addi t3, t1, -49
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t4, 0(k0)
+    beqz zero, sk3
+    addi t1, t3, 1
+sk3:
+    addi s0, s0, -1
+    bnez s0, loop0
+    li   s1, 35
+loop1:
+    andi k0, t1, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    sd   k1, 0(k0)
+    andi k2, t4, 2
+    beqz k2, els4
+    addi t2, t2, 8
+    j    end5
+els4:
+    xor  t0, t5, t5
+end5:
+    beqz zero, sk6
+    addi t2, t4, 1
+sk6:
+    and  t3, t5, t1
+    or   t3, t1, t0
+    addi k4, t4, 10
+    li   s2, 7
+loop2:
+    bnez zero, sk7
+    addi t4, t3, -1
+sk7:
+    andi k2, t1, 4
+    bnez k2, sk8
+    addi t5, t0, 2
+sk8:
+    add  t3, t3, t3
+    xor  t3, t2, t2
+    addi t5, t5, 54
+    or   t0, t4, t3
+    xor  t3, t5, t1
+    sub  t3, t0, t5
+    andi k2, t4, 2
+    beqz k2, els9
+    addi t3, t4, 2
+    j    end10
+els9:
+    xor  t2, t3, t1
+end10:
+    addi s2, s2, -1
+    bnez s2, loop2
+    add  t4, t3, t4
+    bnez zero, sk11
+    addi t0, t4, 1
+sk11:
+    addi s1, s1, -1
+    bnez s1, loop1
+    li   a0, 0
+    add  a0, a0, t0
+    add  a0, a0, t1
+    add  a0, a0, t2
+    add  a0, a0, t3
+    add  a0, a0, t4
+    add  a0, a0, t5
+    li   s18, 0
+cksum:
+    slli k0, s18, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    add  a0, a0, k1
+    addi s18, s18, 1
+    li   k2, 32
+    blt  s18, k2, cksum
+    putn a0
+    halt

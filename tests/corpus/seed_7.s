@@ -1,0 +1,131 @@
+# ssir_fuzz generated program, seed 7
+# generator: arena_words=32 scratch_regs=6 loops=1..3 iters=6..40 stmts=3..10 nested=0.3 unpredictable=0.2 predictable=0.1 redundant=0.2 output=0.05
+# regenerate: ssir_fuzz --seeds 7:8 --dump <dir>
+.data
+arena: .space 256
+.text
+main:
+    la   s19, arena
+    li   t0, 3998
+    li   t1, 1807
+    li   t2, 1344
+    li   t3, 183
+    li   t4, 216
+    li   t5, 170
+    li   k1, 46393
+    sd   k1, 0(s19)
+    li   k1, 310
+    sd   k1, 8(s19)
+    li   k1, 57787
+    sd   k1, 16(s19)
+    li   k1, 16965
+    sd   k1, 24(s19)
+    li   s0, 7
+loop0:
+    andi k0, t0, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t3, 0(k0)
+    andi k0, t3, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t0, 0(k0)
+    bnez zero, sk0
+    addi t4, t4, -4
+sk0:
+    bnez zero, sk1
+    addi t5, t4, 1
+sk1:
+    andi k2, t5, 2
+    beqz k2, els2
+    addi t1, t4, -6
+    j    end3
+els2:
+    xor  t0, t2, t3
+end3:
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t5, 0(k0)
+    xor  t2, t1, t3
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t4, 0(k0)
+    li   s1, 2
+loop1:
+    andi k0, t2, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t3, 0(k0)
+    andi k0, t1, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t0, 0(k0)
+    andi k2, t2, 7
+    bnez k2, sk4
+    addi t0, t5, 8
+sk4:
+    or   t2, t2, t4
+    xor  t2, t0, t5
+    beqz zero, sk5
+    addi t2, t1, 1
+sk5:
+    addi t4, t3, 32
+    andi k0, t2, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t3, 0(k0)
+    addi s1, s1, -1
+    bnez s1, loop1
+    add  t2, t5, t0
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t4, 0(k0)
+    addi s0, s0, -1
+    bnez s0, loop0
+    li   s2, 40
+loop2:
+    bnez zero, sk6
+    addi t4, t1, -3
+sk6:
+    add  t5, t4, t4
+    andi k0, t5, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t2, 0(k0)
+    beqz zero, sk7
+    addi t5, t5, 1
+sk7:
+    and  t4, t1, t1
+    sub  t0, t5, t4
+    andi k0, t0, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    sd   t4, 0(k0)
+    add  t5, t0, t3
+    andi k0, t4, 31
+    slli k0, k0, 3
+    add  k0, k0, s19
+    ld   t3, 0(k0)
+    addi s2, s2, -1
+    bnez s2, loop2
+    li   a0, 0
+    add  a0, a0, t0
+    add  a0, a0, t1
+    add  a0, a0, t2
+    add  a0, a0, t3
+    add  a0, a0, t4
+    add  a0, a0, t5
+    li   s18, 0
+cksum:
+    slli k0, s18, 3
+    add  k0, k0, s19
+    ld   k1, 0(k0)
+    add  a0, a0, k1
+    addi s18, s18, 1
+    li   k2, 32
+    blt  s18, k2, cksum
+    putn a0
+    halt

@@ -235,6 +235,93 @@ TEST(FaultCampaign, ResumeReproducesTheReportByteForByte)
     std::remove(cfg.journalPath.c_str());
 }
 
+/**
+ * Kill-during-write interaction: the journal ends in a torn partial
+ * line AND the last *complete* record is a timed-out trial. Resume
+ * must (a) skip the torn line and re-run only that trial, and (b)
+ * restore the timed_out record as a terminal result — journaled
+ * timeouts are not retried, or a resumed report could disagree with
+ * the run it resumed.
+ */
+TEST(FaultCampaign, ResumeRestoresTimedOutRecordBeforeTornLine)
+{
+    FaultCampaignConfig cfg = smallConfig();
+    cfg.name = "resume_torn_timeout";
+    cfg.trialsPerWorkload = 4; // 8 trials across the two workloads
+    cfg.journalPath = "test_fault_campaign.torn.jsonl";
+
+    const FaultCampaignResult full = runFaultCampaign(cfg);
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(cfg.journalPath);
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty())
+                lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), full.trials.size());
+    const size_t timedOutTrial = lines.size() - 2;
+    const size_t tornTrial = lines.size() - 1;
+    // Precondition: the live run did NOT time out here, so if resume
+    // were to quietly re-run the trial it would get a different
+    // outcome and the assertion below would catch it.
+    ASSERT_NE(full.trials[timedOutTrial].outcome,
+              TrialOutcome::TimedOut);
+
+    // Tamper the last complete record into a timeout, then append
+    // the first half of the final record as the torn line a killed
+    // writer leaves behind.
+    std::string tampered = lines[timedOutTrial];
+    const std::string key = "\"outcome\":\"";
+    const size_t at = tampered.find(key);
+    ASSERT_NE(at, std::string::npos);
+    const size_t valueEnd = tampered.find('"', at + key.size());
+    ASSERT_NE(valueEnd, std::string::npos);
+    tampered.replace(at + key.size(), valueEnd - (at + key.size()),
+                     "timed_out");
+    {
+        std::ofstream out(cfg.journalPath, std::ios::trunc);
+        for (size_t i = 0; i < timedOutTrial; ++i)
+            out << lines[i] << '\n';
+        out << tampered << '\n';
+        out << lines[tornTrial].substr(0, lines[tornTrial].size() / 2);
+    }
+
+    FaultCampaignConfig again = cfg;
+    again.resume = true;
+    const FaultCampaignResult resumed = runFaultCampaign(again);
+    const std::string resumedJson = campaignJson(again, resumed);
+
+    ASSERT_EQ(resumed.trials.size(), full.trials.size());
+    // The tampered record was restored, not re-executed.
+    EXPECT_EQ(resumed.trials[timedOutTrial].outcome,
+              TrialOutcome::TimedOut);
+    EXPECT_EQ(resumed.total.outcomes(TrialOutcome::TimedOut),
+              full.total.outcomes(TrialOutcome::TimedOut) + 1);
+    // The torn trial was re-run and reproduced the live run exactly.
+    EXPECT_EQ(resumed.trials[tornTrial].outcome,
+              full.trials[tornTrial].outcome);
+    EXPECT_EQ(resumed.trials[tornTrial].cycles,
+              full.trials[tornTrial].cycles);
+    // Every other trial came back verbatim.
+    for (size_t i = 0; i < timedOutTrial; ++i) {
+        EXPECT_EQ(resumed.trials[i].outcome, full.trials[i].outcome)
+            << "trial " << i;
+        EXPECT_EQ(resumed.trials[i].cycles, full.trials[i].cycles)
+            << "trial " << i;
+    }
+    EXPECT_EQ(outcomeSum(resumed.total), resumed.total.trials);
+
+    // The re-run appended the torn trial's record, so a second resume
+    // restores all trials (timeout included, still without retrying
+    // it) and must render the identical report.
+    const std::string secondJson =
+        campaignJson(again, runFaultCampaign(again));
+    EXPECT_EQ(secondJson, resumedJson);
+
+    std::remove(cfg.journalPath.c_str());
+}
+
 /** A journal from a different campaign or seed must never leak in. */
 TEST(FaultCampaign, ResumeIgnoresForeignJournalEntries)
 {

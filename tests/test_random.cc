@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <vector>
+
 #include "common/random.hh"
 
 namespace slip
@@ -72,6 +75,81 @@ TEST(Rng, ChanceRoughlyCalibrated)
         hits += rng.chance(0.25);
     EXPECT_GT(hits, 2100);
     EXPECT_LT(hits, 2900);
+}
+
+// --- stream derivation (splitmix-style) -----------------------------
+
+/** First `n` draws never coincide between two generators. */
+bool
+streamsDisjoint(Rng a, Rng b, int n = 100)
+{
+    int same = 0;
+    for (int i = 0; i < n; ++i)
+        same += a.next() == b.next();
+    return same == 0;
+}
+
+TEST(RngStreams, DeterministicForEqualSeedAndStream)
+{
+    Rng a(123, 7), b(123, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngStreams, AdditiveAliasingDoesNotCollide)
+{
+    // The failure mode the derivation exists to kill: with naive
+    // Rng(seed + stream), (0, 5) and (5, 0) would be the same
+    // generator. Streams must decorrelate them.
+    EXPECT_TRUE(streamsDisjoint(Rng(0, 5), Rng(5, 0)));
+    EXPECT_TRUE(streamsDisjoint(Rng(3, 2), Rng(2, 3)));
+    EXPECT_TRUE(streamsDisjoint(Rng(10, 90), Rng(90, 10)));
+}
+
+TEST(RngStreams, StreamZeroDiffersFromSingleSeedCtor)
+{
+    // Rng(s, 0) is its own stream, not an alias of Rng(s).
+    EXPECT_TRUE(streamsDisjoint(Rng(42, 0), Rng(42)));
+}
+
+TEST(RngStreams, NeighboringSeedsSameStreamDiverge)
+{
+    // Parallel fuzz jobs draw (seed, sameStream) with consecutive
+    // seeds; their programs must be unrelated.
+    EXPECT_TRUE(streamsDisjoint(Rng(7, 99), Rng(8, 99)));
+}
+
+TEST(RngStreams, SameSeedDifferentStreamsDiverge)
+{
+    // One seed fanned out to per-subsystem streams.
+    EXPECT_TRUE(streamsDisjoint(Rng(7, 1), Rng(7, 2)));
+    EXPECT_TRUE(streamsDisjoint(Rng(7, 1), Rng(7, 1'000'000)));
+}
+
+TEST(RngStreams, GridHasNoPairwiseCollisions)
+{
+    // A small (seed, stream) grid: every pair of distinct generators
+    // has fully disjoint 32-draw prefixes.
+    constexpr int kN = 6;
+    std::vector<std::array<uint64_t, 32>> prefixes;
+    for (uint64_t seed = 0; seed < kN; ++seed) {
+        for (uint64_t stream = 0; stream < kN; ++stream) {
+            Rng rng(seed, stream);
+            std::array<uint64_t, 32> p;
+            for (uint64_t &v : p)
+                v = rng.next();
+            prefixes.push_back(p);
+        }
+    }
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+        for (size_t j = i + 1; j < prefixes.size(); ++j) {
+            int same = 0;
+            for (int k = 0; k < 32; ++k)
+                same += prefixes[i][k] == prefixes[j][k];
+            EXPECT_EQ(same, 0)
+                << "generators " << i << " and " << j << " overlap";
+        }
+    }
 }
 
 TEST(Rng, RealInUnitInterval)

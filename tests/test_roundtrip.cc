@@ -1,14 +1,24 @@
 /**
- * Whole-program round-trip property: disassembling every instruction
- * of every workload and reassembling the result must produce the
- * identical encoding. This locks the assembler, disassembler, and
- * encoder into mutual consistency across the full opcode/operand
- * surface that real programs exercise.
+ * Assembler/disassembler round-trip properties.
+ *
+ * Two layers:
+ *  - an exhaustive sweep over every encodable instruction form
+ *    (every opcode x representative register/immediate corners),
+ *    asserting encode/decode identity and that the disassembler's
+ *    relative-offset text reassembles to the identical instruction;
+ *  - whole-workload round trips, locking the assembler, disassembler,
+ *    and encoder into mutual consistency across the opcode/operand
+ *    surface that real programs exercise.
+ *
+ * Control flow is NOT skipped: pure-literal branch/jump targets are
+ * PC-relative word offsets ("beq a0, a1, +3"), exactly the syntax
+ * disassemble(inst, pc, false) emits.
  */
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "assembler/assembler.hh"
 #include "isa/disasm.hh"
@@ -20,6 +30,96 @@ namespace slip
 namespace
 {
 
+// Register corners: zero, low, and both ends of the file.
+const RegIndex kRegCorners[] = {0, 1, 2, 31, 63};
+// Signed immediate corners per field width.
+const int64_t kImm12Corners[] = {-2048, -1, 0, 1, 7, 2047};
+const int64_t kImm18Corners[] = {-131072, -1, 0, 1, 4095, 131071};
+
+/**
+ * Every encodable instruction form in canonical (decoded) shape:
+ * fields the encoding does not store are zero, matching what decode()
+ * reconstructs.
+ */
+std::vector<StaticInst>
+everyEncodableForm()
+{
+    std::vector<StaticInst> out;
+    for (unsigned o = 0; o < unsigned(Opcode::NumOpcodes); ++o) {
+        const Opcode op = static_cast<Opcode>(o);
+        switch (opInfo(op).format) {
+          case Format::R:
+            for (RegIndex rd : kRegCorners)
+                for (RegIndex rs1 : kRegCorners)
+                    for (RegIndex rs2 : kRegCorners)
+                        out.push_back({op, rd, rs1, rs2, 0});
+            break;
+          case Format::I:
+            for (RegIndex rd : kRegCorners)
+                for (RegIndex rs1 : kRegCorners)
+                    for (int64_t imm : kImm12Corners)
+                        out.push_back({op, rd, rs1, 0, imm});
+            break;
+          case Format::S:
+            for (RegIndex rs1 : kRegCorners)
+                for (RegIndex rs2 : kRegCorners)
+                    for (int64_t imm : kImm12Corners)
+                        out.push_back({op, 0, rs1, rs2, imm});
+            break;
+          case Format::B:
+            for (RegIndex rs1 : kRegCorners)
+                for (RegIndex rs2 : kRegCorners)
+                    for (int64_t imm : kImm12Corners)
+                        out.push_back({op, 0, rs1, rs2, imm});
+            break;
+          case Format::J:
+            for (RegIndex rd : kRegCorners)
+                for (int64_t imm : kImm18Corners)
+                    out.push_back({op, rd, 0, 0, imm});
+            break;
+          case Format::Sys:
+            if (op == Opcode::PUTC || op == Opcode::PUTN) {
+                for (RegIndex rs1 : kRegCorners)
+                    out.push_back({op, 0, rs1, 0, 0});
+            } else {
+                out.push_back({op, 0, 0, 0, 0});
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+TEST(ExhaustiveRoundTrip, EncodeDecodeIdentityEveryForm)
+{
+    for (const StaticInst &inst : everyEncodableForm())
+        EXPECT_EQ(decode(encode(inst)), inst) << disassemble(inst, 0);
+}
+
+TEST(ExhaustiveRoundTrip, DisassembleReassembleEveryForm)
+{
+    const std::vector<StaticInst> forms = everyEncodableForm();
+
+    // One program holding every form; relative branch targets need no
+    // labels, so position is irrelevant and every source line maps to
+    // exactly one instruction word.
+    std::ostringstream os;
+    os << ".text\nmain:\n";
+    for (size_t i = 0; i < forms.size(); ++i) {
+        const Addr pc = layout::kTextBase + i * kInstBytes;
+        os << "    " << disassemble(forms[i], pc, false) << "\n";
+    }
+
+    const Program p = assemble(os.str());
+    ASSERT_EQ((p.textEnd() - p.textBase()) / kInstBytes, forms.size());
+    for (size_t i = 0; i < forms.size(); ++i) {
+        const Addr pc = p.textBase() + i * kInstBytes;
+        EXPECT_EQ(p.fetch(pc), forms[i])
+            << "form " << i << ": " << disassemble(forms[i], pc, false);
+        EXPECT_EQ(p.fetchRaw(pc), encode(forms[i]));
+    }
+}
+
 class WorkloadRoundTrip : public ::testing::TestWithParam<std::string>
 {
 };
@@ -29,41 +129,26 @@ TEST_P(WorkloadRoundTrip, DisassembleReassembleIsIdentity)
     const Workload w = getWorkload(GetParam(), WorkloadSize::Test);
     const Program original = assemble(w.source);
 
-    // Render the whole text section in relative-offset syntax (so it
-    // reassembles position-independently) and reassemble it.
+    // Render the whole text section — control flow included — in
+    // relative-offset syntax and reassemble it. Every real opcode
+    // assembles 1:1, so the rebuilt text must be word-identical.
     std::ostringstream os;
     os << ".text\nmain:\n";
     for (Addr pc = original.textBase(); pc < original.textEnd();
          pc += kInstBytes) {
-        const StaticInst &inst = original.fetch(pc);
-        if (inst.isControl() && !inst.isIndirectJump()) {
-            // Branch/jump offsets need label-free form: emit the raw
-            // relative syntax the disassembler produces with
-            // absoluteTargets=false, which the assembler does not
-            // accept directly — so check encode/decode identity here
-            // instead of re-parsing.
-            EXPECT_EQ(decode(encode(inst)), inst)
-                << disassemble(inst, pc);
-            continue;
-        }
-        os << "    " << disassemble(inst, pc, false) << "\n";
+        os << "    " << disassemble(original.fetch(pc), pc, false)
+           << "\n";
     }
 
-    // Non-control instructions reassemble to the same encodings.
     const Program rebuilt = assemble(os.str());
-    size_t rebuiltIdx = 0;
+    ASSERT_EQ(rebuilt.textEnd() - rebuilt.textBase(),
+              original.textEnd() - original.textBase());
     for (Addr pc = original.textBase(); pc < original.textEnd();
          pc += kInstBytes) {
-        const StaticInst &inst = original.fetch(pc);
-        if (inst.isControl() && !inst.isIndirectJump())
-            continue;
-        const Addr rebuiltPc =
-            rebuilt.textBase() + rebuiltIdx * kInstBytes;
-        ASSERT_TRUE(rebuilt.validPc(rebuiltPc));
-        EXPECT_EQ(rebuilt.fetch(rebuiltPc), inst)
-            << "at original pc 0x" << std::hex << pc << ": "
-            << disassemble(inst, pc);
-        ++rebuiltIdx;
+        EXPECT_EQ(rebuilt.fetch(pc), original.fetch(pc))
+            << "at pc 0x" << std::hex << pc << ": "
+            << disassemble(original.fetch(pc), pc);
+        EXPECT_EQ(rebuilt.fetchRaw(pc), original.fetchRaw(pc));
     }
 }
 
