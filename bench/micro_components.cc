@@ -8,8 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "assembler/assembler.hh"
+#include "func/exec_engine.hh"
 #include "func/func_sim.hh"
+#include "mem/memory.hh"
 #include "mem/cache.hh"
 #include "slipstream/ir_detector.hh"
 #include "slipstream/ir_predictor.hh"
@@ -110,5 +114,78 @@ BM_FunctionalSimMips(benchmark::State &state)
         double(insts), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FunctionalSimMips);
+
+// Same workload pinned to each dispatch engine, so the regression
+// gate can track the threaded/legacy speedup ratio (machine-portable,
+// unlike raw insts/s).
+void
+BM_FunctionalSimDispatch(benchmark::State &state, DispatchKind kind)
+{
+    if (kind == DispatchKind::Threaded && !threadedDispatchCompiled()) {
+        state.SkipWithError("threaded dispatch not compiled in");
+        return;
+    }
+    const Program p =
+        assemble(getWorkload("jpeg", WorkloadSize::Test).source);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        FuncSim sim(p);
+        sim.setDispatch(kind);
+        insts += sim.run().instCount;
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_FunctionalSimDispatch, legacy,
+                  DispatchKind::Legacy);
+BENCHMARK_CAPTURE(BM_FunctionalSimDispatch, switch_,
+                  DispatchKind::Switch);
+BENCHMARK_CAPTURE(BM_FunctionalSimDispatch, threaded,
+                  DispatchKind::Threaded);
+
+// Same-page accesses — the single-lookup memcpy fast path.
+void
+BM_MemorySamePageAccess(benchmark::State &state)
+{
+    Memory mem;
+    mem.write(0x1000, 8, 1);
+    Addr a = 0x1000;
+    for (auto _ : state) {
+        mem.write(a, 8, a);
+        benchmark::DoNotOptimize(mem.read(a, 8));
+        a = 0x1000 + ((a + 8) & 0xff8);
+    }
+}
+BENCHMARK(BM_MemorySamePageAccess);
+
+// Page-straddling accesses — the per-byte fallback path.
+void
+BM_MemoryPageCrossAccess(benchmark::State &state)
+{
+    Memory mem;
+    const Addr edge = 2 * Memory::kPageBytes - 4;
+    mem.write(edge, 8, 1);
+    for (auto _ : state) {
+        mem.write(edge, 8, edge);
+        benchmark::DoNotOptimize(mem.read(edge, 8));
+    }
+}
+BENCHMARK(BM_MemoryPageCrossAccess);
+
+void
+BM_MemoryReadBlock(benchmark::State &state)
+{
+    Memory mem;
+    std::vector<uint8_t> image(64 * 1024, 0xa5);
+    mem.writeBlock(0x100000, image.data(), image.size());
+    std::vector<uint8_t> out(image.size());
+    for (auto _ : state) {
+        mem.readBlock(0x100000, out.data(), out.size());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(out.size()));
+}
+BENCHMARK(BM_MemoryReadBlock);
 
 } // namespace

@@ -19,6 +19,11 @@ Program::Program(std::vector<uint32_t> textWords,
     for (uint32_t w : rawText)
         text.push_back(decode(w));
     haltInst.op = Opcode::HALT;
+    micro_.reserve(text.size());
+    for (size_t i = 0; i < text.size(); ++i)
+        micro_.push_back(
+            predecode(text[i], textBase_ + i * kInstBytes));
+    microHalt_ = predecode(haltInst, 0);
     SLIP_ASSERT(validPc(entry_) || text.empty(),
                 "entry pc 0x", std::hex, entry_, " not in text");
 }

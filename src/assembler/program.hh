@@ -15,6 +15,7 @@
 
 #include "common/types.hh"
 #include "isa/isa.hh"
+#include "isa/micro_op.hh"
 
 namespace slip
 {
@@ -68,6 +69,23 @@ class Program
     /** Raw encoded word at pc (panics if pc is invalid). */
     uint32_t fetchRaw(Addr pc) const;
 
+    /**
+     * Predecoded micro-op at pc; the HALT micro-op for invalid PCs
+     * (mirrors fetch()). Predecode is eager — done once in the
+     * constructor — so a Program shared read-only across worker
+     * threads (the ProgramCache case) needs no synchronisation here.
+     */
+    const MicroOp &
+    microAt(Addr pc) const
+    {
+        if (!validPc(pc))
+            return microHalt_;
+        return micro_[(pc - textBase_) / kInstBytes];
+    }
+
+    /** The whole predecoded text image, indexed like `text`. */
+    const std::vector<MicroOp> &microOps() const { return micro_; }
+
     /** Address of a label; fatal if absent. */
     Addr symbol(const std::string &name) const;
 
@@ -84,12 +102,14 @@ class Program
   private:
     std::vector<uint32_t> rawText;
     std::vector<StaticInst> text;
+    std::vector<MicroOp> micro_;
     std::vector<uint8_t> data;
     Addr textBase_;
     Addr dataBase_;
     Addr entry_;
     std::map<std::string, Addr> symbols_;
     StaticInst haltInst;
+    MicroOp microHalt_;
 };
 
 } // namespace slip

@@ -1,5 +1,8 @@
 #include "func/arch_state.hh"
 
+#include <bit>
+#include <cstring>
+
 #include "mem/memory.hh"
 
 namespace slip
@@ -8,12 +11,48 @@ namespace slip
 uint64_t
 DirectMemPort::read(Addr addr, unsigned bytes)
 {
+    if constexpr (std::endian::native == std::endian::little) {
+        constexpr Addr kOffMask = Memory::kPageBytes - 1;
+        const size_t off = static_cast<size_t>(addr & kOffMask);
+        if (off + bytes <= Memory::kPageBytes) {
+            const Addr page = addr & ~kOffMask;
+            if (page != cachedPage_ ||
+                cachedEpoch_ != mem.epoch()) {
+                // Loads must not allocate: an untouched page reads
+                // zero through the sparse path and stays uncached.
+                uint8_t *p = mem.peekPagePtr(page);
+                if (!p)
+                    return mem.read(addr, bytes);
+                cachedPage_ = page;
+                cachedData_ = p;
+                cachedEpoch_ = mem.epoch();
+            }
+            uint64_t value = 0;
+            std::memcpy(&value, cachedData_ + off, bytes);
+            return value;
+        }
+    }
     return mem.read(addr, bytes);
 }
 
 void
 DirectMemPort::write(Addr addr, unsigned bytes, uint64_t value)
 {
+    if constexpr (std::endian::native == std::endian::little) {
+        constexpr Addr kOffMask = Memory::kPageBytes - 1;
+        const size_t off = static_cast<size_t>(addr & kOffMask);
+        if (off + bytes <= Memory::kPageBytes) {
+            const Addr page = addr & ~kOffMask;
+            if (page != cachedPage_ ||
+                cachedEpoch_ != mem.epoch()) {
+                cachedData_ = mem.touchPagePtr(page);
+                cachedPage_ = page;
+                cachedEpoch_ = mem.epoch();
+            }
+            std::memcpy(cachedData_ + off, &value, bytes);
+            return;
+        }
+    }
     mem.write(addr, bytes, value);
 }
 

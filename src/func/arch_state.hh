@@ -30,7 +30,12 @@ class MemPort
     virtual void write(Addr addr, unsigned bytes, uint64_t value) = 0;
 };
 
-/** MemPort bound directly to a Memory image. */
+/**
+ * MemPort bound directly to a Memory image, with a one-entry page
+ * pointer cache: consecutive accesses to the same data page skip the
+ * hash lookup. The cache is validated against Memory::epoch() so
+ * clear()/moves of the image can never leave a dangling pointer.
+ */
 class DirectMemPort : public MemPort
 {
   public:
@@ -43,6 +48,9 @@ class DirectMemPort : public MemPort
 
   private:
     Memory &mem;
+    Addr cachedPage_ = ~Addr(0);
+    uint8_t *cachedData_ = nullptr;
+    uint64_t cachedEpoch_ = 0;
 };
 
 /** One context's register file and PC. */

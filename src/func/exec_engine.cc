@@ -1,0 +1,112 @@
+#include "func/exec_engine.hh"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hh"
+#include "common/logging.hh"
+#include "func/arch_state.hh"
+#include "func/exec_semantics.hh"
+#include "isa/isa.hh"
+#include "isa/micro_op.hh"
+#include "mem/memory.hh"
+
+// The computed-goto engine needs the GNU labels-as-values extension;
+// gate it on compiler support and the configure-time opt-out.
+#if !defined(SLIPSTREAM_NO_THREADED_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SLIP_HAVE_THREADED_DISPATCH 1
+#else
+#define SLIP_HAVE_THREADED_DISPATCH 0
+#endif
+
+namespace slip
+{
+
+namespace
+{
+
+#if SLIP_HAVE_THREADED_DISPATCH
+EngineExit
+runThreadedImpl(ArchState &state, Memory &mem, const Program &program,
+                std::string *output, uint64_t maxInsts,
+                const StoreObserver *storeObserver)
+#define SLIP_ENGINE_THREADED 1
+#include "func/exec_engine_body.inc"
+#undef SLIP_ENGINE_THREADED
+#endif // SLIP_HAVE_THREADED_DISPATCH
+
+EngineExit
+runSwitchImpl(ArchState &state, Memory &mem, const Program &program,
+              std::string *output, uint64_t maxInsts,
+              const StoreObserver *storeObserver)
+#define SLIP_ENGINE_THREADED 0
+#include "func/exec_engine_body.inc"
+#undef SLIP_ENGINE_THREADED
+
+} // namespace
+
+const char *
+dispatchName(DispatchKind kind)
+{
+    switch (kind) {
+      case DispatchKind::Threaded: return "threaded";
+      case DispatchKind::Switch: return "switch";
+      case DispatchKind::Legacy: return "legacy";
+    }
+    return "?";
+}
+
+bool
+threadedDispatchCompiled()
+{
+    return SLIP_HAVE_THREADED_DISPATCH != 0;
+}
+
+DispatchKind
+defaultDispatch()
+{
+    const DispatchKind fallback = threadedDispatchCompiled()
+                                      ? DispatchKind::Threaded
+                                      : DispatchKind::Switch;
+    const char *env = std::getenv("SLIPSTREAM_DISPATCH");
+    if (!env || !*env)
+        return fallback;
+    const std::string v(env);
+    if (v == "threaded") {
+        if (!threadedDispatchCompiled()) {
+            SLIP_WARN("SLIPSTREAM_DISPATCH=threaded but the "
+                      "computed-goto engine is not compiled in; "
+                      "using switch");
+            return DispatchKind::Switch;
+        }
+        return DispatchKind::Threaded;
+    }
+    if (v == "switch")
+        return DispatchKind::Switch;
+    if (v == "legacy")
+        return DispatchKind::Legacy;
+    SLIP_WARN("unrecognised SLIPSTREAM_DISPATCH='", env,
+              "' (want threaded|switch|legacy); using ",
+              dispatchName(fallback));
+    return fallback;
+}
+
+EngineExit
+runPredecoded(ArchState &state, Memory &mem, const Program &program,
+              std::string *output, uint64_t maxInsts, DispatchKind kind,
+              const StoreObserver *storeObserver)
+{
+#if SLIP_HAVE_THREADED_DISPATCH
+    if (kind == DispatchKind::Threaded)
+        return runThreadedImpl(state, mem, program, output, maxInsts,
+                               storeObserver);
+#endif
+    return runSwitchImpl(state, mem, program, output, maxInsts,
+                         storeObserver);
+}
+
+} // namespace slip

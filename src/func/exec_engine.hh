@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Predecoded block execution engine for the functional core.
+ *
+ * The legacy path re-walks the Opcode switch (plus opInfo table
+ * lookups and destination resolution) for every retired instruction.
+ * This engine instead runs straight over a Program's predecoded
+ * MicroOp array with either
+ *
+ *  - computed-goto threaded dispatch (`&&label` table; GCC/Clang,
+ *    selected at configure time), or
+ *  - a portable dense-switch fallback,
+ *
+ * and keeps a one-entry data-page pointer cache so the common-case
+ * load/store is a bounds check plus memcpy instead of a hash lookup
+ * per byte. Architectural results are bit-identical to the legacy
+ * executor across all three dispatch kinds — the differential tests
+ * in tests/test_exec_engine.cc assert it, and the fuzz corpus replays
+ * byte-identically whichever engine runs the reference leg.
+ *
+ * The engine runs until HALT, the instruction budget, or control
+ * leaving the text image (a wild JALR / fall-through); the caller
+ * finishes the wild-pc case through the legacy fetch path so the
+ * park-on-synthetic-HALT semantics stay in one place.
+ *
+ * Runtime selection: $SLIPSTREAM_DISPATCH = threaded | switch |
+ * legacy overrides the default (threaded when compiled in, else
+ * switch) — the knob the perf methodology in EXPERIMENTS.md uses for
+ * apples-to-apples regression numbers.
+ */
+
+#ifndef SLIPSTREAM_FUNC_EXEC_ENGINE_HH
+#define SLIPSTREAM_FUNC_EXEC_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace slip
+{
+
+class ArchState;
+class Memory;
+class Program;
+
+/** How the functional core dispatches instructions. */
+enum class DispatchKind : uint8_t
+{
+    Threaded, // computed-goto over predecoded micro-ops
+    Switch,   // dense switch over predecoded micro-ops (portable)
+    Legacy,   // per-instruction decode switch (the pre-engine path)
+};
+
+/** Lower-case name for logs and bench labels. */
+const char *dispatchName(DispatchKind kind);
+
+/** True when the computed-goto engine was compiled in. */
+bool threadedDispatchCompiled();
+
+/**
+ * Dispatch kind from $SLIPSTREAM_DISPATCH (threaded|switch|legacy).
+ * Unset means the fastest compiled-in engine; asking for `threaded`
+ * in a build without it warns and falls back to `switch`; garbage
+ * warns and uses the default. Re-read per call (env.hh contract).
+ */
+DispatchKind defaultDispatch();
+
+/**
+ * Observer for retired stores, the one per-instruction event the fuzz
+ * oracle's reference leg needs. Invoked only from store handlers, so
+ * the non-store hot path stays observer-free.
+ */
+using StoreObserver =
+    std::function<void(Addr pc, Addr addr, unsigned bytes, Word value)>;
+
+/** Why runPredecoded returned. */
+struct EngineExit
+{
+    uint64_t retired = 0; // instructions retired by this call
+    bool halted = false;  // HALT executed; state.pc() parks on it
+    bool leftText = false; // control left text; state.pc() is wild
+};
+
+/**
+ * Run `program` from state.pc() until HALT, `maxInsts` retires, or
+ * control leaves the text image. Updates registers, pc and `mem` in
+ * place; PUTC/PUTN append to `*output` when non-null. `kind` must be
+ * Threaded or Switch (Threaded silently degrades to Switch when not
+ * compiled in); the Legacy loop lives in FuncSim.
+ */
+EngineExit runPredecoded(ArchState &state, Memory &mem,
+                         const Program &program, std::string *output,
+                         uint64_t maxInsts, DispatchKind kind,
+                         const StoreObserver *storeObserver = nullptr);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_FUNC_EXEC_ENGINE_HH

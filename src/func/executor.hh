@@ -13,6 +13,7 @@
 
 #include "func/arch_state.hh"
 #include "isa/isa.hh"
+#include "isa/micro_op.hh"
 
 namespace slip
 {
@@ -50,6 +51,17 @@ struct ExecResult
  */
 ExecResult execute(ArchState &state, const StaticInst &inst,
                    std::string *output);
+
+/**
+ * Execute one predecoded micro-op. Bit-identical to execute() on the
+ * corresponding StaticInst — the differential tests assert it — but
+ * skips the per-execution decode work (opInfo table walks, destination
+ * resolution, branch-target scaling). `state.pc()` must equal the
+ * address the micro-op was predecoded at (its branch target is
+ * absolute).
+ */
+ExecResult executeMicro(ArchState &state, const MicroOp &u,
+                        std::string *output);
 
 } // namespace slip
 

@@ -20,20 +20,74 @@ FuncSim::FuncSim(const Program &program)
 }
 
 ExecResult
-FuncSim::step()
+FuncSim::execOne()
 {
-    const StaticInst &inst = program.fetch(state_.pc());
-    ExecResult res = execute(state_, inst, &output_);
+    // Ternary direct-init: the result materializes in place, no
+    // default-construct-then-assign of the (large) ExecResult.
+    const ExecResult res =
+        dispatch_ == DispatchKind::Legacy
+            ? execute(state_, program.fetch(state_.pc()), &output_)
+            : executeMicro(state_, program.microAt(state_.pc()),
+                           &output_);
     ++retired;
     if (res.halted)
         halted_ = true;
     return res;
 }
 
+ExecResult
+FuncSim::step()
+{
+    return execOne();
+}
+
+FuncRunResult
+FuncSim::finishResult() const
+{
+    FuncRunResult result;
+    result.output = output_;
+    result.instCount = retired;
+    result.halted = halted_;
+    result.finalPc = state_.pc();
+    return result;
+}
+
+FuncRunResult
+FuncSim::runEngine(uint64_t maxInsts,
+                   const StoreObserver *storeObserver)
+{
+    while (!halted_ && retired < maxInsts) {
+        const EngineExit e =
+            runPredecoded(state_, mem, program, &output_,
+                          maxInsts - retired, dispatch_, storeObserver);
+        retired += e.retired;
+        if (e.halted) {
+            halted_ = true;
+            break;
+        }
+        if (!e.leftText || retired >= maxInsts)
+            break;
+        // Control left the text image: retire the synthetic HALT the
+        // legacy fetch path produces for a wild pc (parking there),
+        // through the same per-instruction path legacy mode uses.
+        execOne();
+    }
+    return finishResult();
+}
+
 FuncRunResult
 FuncSim::run(uint64_t maxInsts)
 {
-    return runWithObserver(nullptr, maxInsts);
+    if (maxInsts == 0)
+        maxInsts = kDefaultMaxInsts;
+
+    if (dispatch_ != DispatchKind::Legacy)
+        return runEngine(maxInsts, nullptr);
+
+    // Legacy dispatch: the pre-engine per-instruction loop.
+    while (!halted_ && retired < maxInsts)
+        execOne();
+    return finishResult();
 }
 
 FuncRunResult
@@ -42,26 +96,39 @@ FuncSim::runWithObserver(
         observer,
     uint64_t maxInsts)
 {
+    if (!observer)
+        return run(maxInsts);
+
     if (maxInsts == 0)
         maxInsts = kDefaultMaxInsts;
 
     while (!halted_ && retired < maxInsts) {
         const Addr pc = state_.pc();
         const StaticInst &inst = program.fetch(pc);
-        const ExecResult res = execute(state_, inst, &output_);
-        ++retired;
-        if (observer)
-            observer(pc, inst, res);
-        if (res.halted)
-            halted_ = true;
+        const ExecResult res = execOne();
+        observer(pc, inst, res);
     }
+    return finishResult();
+}
 
-    FuncRunResult result;
-    result.output = output_;
-    result.instCount = retired;
-    result.halted = halted_;
-    result.finalPc = state_.pc();
-    return result;
+FuncRunResult
+FuncSim::runWithStoreObserver(const StoreObserver &observer,
+                              uint64_t maxInsts)
+{
+    if (maxInsts == 0)
+        maxInsts = kDefaultMaxInsts;
+
+    if (dispatch_ != DispatchKind::Legacy)
+        return runEngine(maxInsts, &observer);
+
+    while (!halted_ && retired < maxInsts) {
+        const Addr pc = state_.pc();
+        const StaticInst &inst = program.fetch(pc);
+        const ExecResult res = execOne();
+        if (inst.isStore())
+            observer(pc, res.memAddr, res.memBytes, res.storeValue);
+    }
+    return finishResult();
 }
 
 } // namespace slip

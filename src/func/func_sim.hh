@@ -14,6 +14,7 @@
 
 #include "assembler/program.hh"
 #include "func/arch_state.hh"
+#include "func/exec_engine.hh"
 #include "func/executor.hh"
 #include "mem/memory.hh"
 
@@ -51,11 +52,27 @@ class FuncSim
     /**
      * Run with a per-instruction observer (used by differential tests
      * to compare retirement streams instruction by instruction).
+     * A null observer is the plain run() fast path; a non-null one
+     * forces per-instruction stepping, since the block engine cannot
+     * surface every ExecResult.
      */
     FuncRunResult
     runWithObserver(std::function<void(Addr pc, const StaticInst &,
                                        const ExecResult &)> observer,
                     uint64_t maxInsts = 0);
+
+    /**
+     * Run observing only retired stores. Unlike runWithObserver this
+     * keeps the block engine's full speed — store handlers are the
+     * only ones that see the hook — which is what the fuzz oracle's
+     * reference leg wants.
+     */
+    FuncRunResult runWithStoreObserver(const StoreObserver &observer,
+                                       uint64_t maxInsts = 0);
+
+    /** Override the dispatch engine (default: $SLIPSTREAM_DISPATCH). */
+    void setDispatch(DispatchKind kind) { dispatch_ = kind; }
+    DispatchKind dispatch() const { return dispatch_; }
 
     const ArchState &state() const { return state_; }
     ArchState &state() { return state_; }
@@ -64,6 +81,15 @@ class FuncSim
     bool halted() const { return halted_; }
 
   private:
+    /** One instruction through the per-instruction path. */
+    ExecResult execOne();
+
+    /** Block-engine driver shared by run()/runWithStoreObserver(). */
+    FuncRunResult runEngine(uint64_t maxInsts,
+                            const StoreObserver *storeObserver);
+
+    FuncRunResult finishResult() const;
+
     const Program &program;
     Memory mem;
     DirectMemPort port;
@@ -71,6 +97,7 @@ class FuncSim
     std::string output_;
     bool halted_ = false;
     uint64_t retired = 0;
+    DispatchKind dispatch_ = defaultDispatch();
 };
 
 } // namespace slip

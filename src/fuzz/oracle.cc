@@ -175,12 +175,9 @@ runOracle(const Program &program, const OracleOptions &options)
     // Leg 1: the functional reference, observing every retired store.
     FuncSim func(program);
     Golden golden;
-    golden.run = func.runWithObserver(
-        [&golden](Addr pc, const StaticInst &si, const ExecResult &res) {
-            if (si.isStore()) {
-                golden.stores.push_back(
-                    {pc, res.memAddr, res.memBytes, res.storeValue});
-            }
+    golden.run = func.runWithStoreObserver(
+        [&golden](Addr pc, Addr addr, unsigned bytes, Word value) {
+            golden.stores.push_back({pc, addr, bytes, value});
         },
         options.maxInsts);
     if (!golden.run.halted) {

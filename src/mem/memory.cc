@@ -1,6 +1,7 @@
 #include "mem/memory.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -51,6 +52,20 @@ uint64_t
 Memory::read(Addr addr, unsigned bytes) const
 {
     SLIP_ASSERT(validSize(bytes), "bad access size ", bytes);
+    // Single-page fast path: one hash lookup and a memcpy. The memcpy
+    // reassembles the value only on little-endian hosts, where the
+    // in-page byte order matches the architectural order.
+    if constexpr (std::endian::native == std::endian::little) {
+        const size_t off = offsetOf(addr);
+        if (off + bytes <= kPageBytes) {
+            const Page *page = findPage(pageOf(addr));
+            if (!page)
+                return 0;
+            uint64_t value = 0;
+            std::memcpy(&value, page->data() + off, bytes);
+            return value;
+        }
+    }
     uint64_t value = 0;
     for (unsigned i = 0; i < bytes; ++i) {
         const Addr a = addr + i;
@@ -65,6 +80,14 @@ void
 Memory::write(Addr addr, unsigned bytes, uint64_t value)
 {
     SLIP_ASSERT(validSize(bytes), "bad access size ", bytes);
+    if constexpr (std::endian::native == std::endian::little) {
+        const size_t off = offsetOf(addr);
+        if (off + bytes <= kPageBytes) {
+            std::memcpy(touchPage(pageOf(addr)).data() + off, &value,
+                        bytes);
+            return;
+        }
+    }
     for (unsigned i = 0; i < bytes; ++i) {
         const Addr a = addr + i;
         touchPage(pageOf(a))[offsetOf(a)] =
@@ -82,6 +105,23 @@ Memory::writeBlock(Addr addr, const uint8_t *data, size_t len)
         const size_t off = offsetOf(a);
         const size_t chunk = std::min(len - done, kPageBytes - off);
         std::memcpy(page.data() + off, data + done, chunk);
+        done += chunk;
+    }
+}
+
+void
+Memory::readBlock(Addr addr, uint8_t *out, size_t len) const
+{
+    size_t done = 0;
+    while (done < len) {
+        const Addr a = addr + done;
+        const size_t off = offsetOf(a);
+        const size_t chunk = std::min(len - done, kPageBytes - off);
+        const Page *page = findPage(pageOf(a));
+        if (page)
+            std::memcpy(out + done, page->data() + off, chunk);
+        else
+            std::memset(out + done, 0, chunk);
         done += chunk;
     }
 }

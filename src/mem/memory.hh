@@ -34,8 +34,21 @@ class Memory
     // Memory images can be large; copying must be explicit (clone()).
     Memory(const Memory &) = delete;
     Memory &operator=(const Memory &) = delete;
-    Memory(Memory &&) = default;
-    Memory &operator=(Memory &&) = default;
+    // Moves bump the epoch: any cached page pointer into either image
+    // must be revalidated.
+    Memory(Memory &&other) noexcept
+        : pages(std::move(other.pages)), epoch_(other.epoch_ + 1)
+    {
+        ++other.epoch_;
+    }
+    Memory &
+    operator=(Memory &&other) noexcept
+    {
+        pages = std::move(other.pages);
+        ++other.epoch_;
+        ++epoch_;
+        return *this;
+    }
 
     /** Read `bytes` (1/2/4/8) little-endian starting at addr. */
     uint64_t read(Addr addr, unsigned bytes) const;
@@ -45,6 +58,45 @@ class Memory
 
     /** Bulk copy-in, used by the program loader. */
     void writeBlock(Addr addr, const uint8_t *data, size_t len);
+
+    /** Bulk copy-out; bytes on never-touched pages read as zero. */
+    void readBlock(Addr addr, uint8_t *out, size_t len) const;
+
+    /**
+     * Raw storage of the page containing `pageAddr` (which must be
+     * page-aligned), or nullptr if never touched. Never allocates, so
+     * it is safe on the load path where sparse semantics require that
+     * reads leave the footprint unchanged. The pointer stays valid
+     * until epoch() changes (unordered_map nodes are stable across
+     * inserts; only clear()/moves invalidate).
+     */
+    const uint8_t *
+    peekPagePtr(Addr pageAddr) const
+    {
+        const Page *p = findPage(pageAddr);
+        return p ? p->data() : nullptr;
+    }
+
+    uint8_t *
+    peekPagePtr(Addr pageAddr)
+    {
+        Page *p = const_cast<Page *>(findPage(pageAddr));
+        return p ? p->data() : nullptr;
+    }
+
+    /** Like peekPagePtr but allocates a zero page on first touch. */
+    uint8_t *
+    touchPagePtr(Addr pageAddr)
+    {
+        return touchPage(pageAddr).data();
+    }
+
+    /**
+     * Invalidation counter for cached page pointers: incremented by
+     * clear() and by moves — the only operations that can invalidate
+     * a Page's storage.
+     */
+    uint64_t epoch() const { return epoch_; }
 
     /** Deep copy of the full image (tests / golden snapshots). */
     Memory clone() const;
@@ -59,7 +111,12 @@ class Memory
     size_t numPages() const { return pages.size(); }
 
     /** Drop every page. */
-    void clear() { pages.clear(); }
+    void
+    clear()
+    {
+        pages.clear();
+        ++epoch_;
+    }
 
   private:
     using Page = std::vector<uint8_t>;
@@ -71,6 +128,7 @@ class Memory
     Page &touchPage(Addr pageAddr);
 
     std::unordered_map<Addr, Page> pages;
+    uint64_t epoch_ = 0;
 };
 
 } // namespace slip

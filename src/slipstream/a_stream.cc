@@ -218,7 +218,8 @@ AStreamSource::walkTrace()
             }
         }
         state_.setPc(pc);
-        const ExecResult exec = execute(state_, si, &output_);
+        const ExecResult exec =
+            executeMicro(state_, program.microAt(pc), &output_);
         ++statSlotsExecuted;
 
         slot.executedInA = true;

@@ -194,7 +194,10 @@ RStreamSource::walkPacket()
         // the slot's instruction whenever the streams agree.
         const StaticInst &si =
             pcDiverged ? program.fetch(rPc) : slot.si;
-        const ExecResult exec = execute(state_, si, &output_);
+        // slot.si is the program's instruction at slot.pc == rPc, so
+        // the predecoded micro-op at rPc covers both arms above.
+        const ExecResult exec =
+            executeMicro(state_, program.microAt(rPc), &output_);
 
         const uint64_t dynIndex = walked++;
 

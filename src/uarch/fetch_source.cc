@@ -168,7 +168,7 @@ TraceFetchSource::walkTrace()
         d.si = si;
         d.packetSeq = traceNum;
         d.packetSlot = static_cast<uint8_t>(actual.length);
-        d.exec = execute(state_, si, &output_);
+        d.exec = executeMicro(state_, program.microAt(pc), &output_);
         ++actual.length;
 
         if (si.isCondBranch()) {

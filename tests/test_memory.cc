@@ -107,5 +107,66 @@ TEST(Memory, RandomizedReadWriteConsistency)
         EXPECT_EQ(m.read(a, 1), v) << "addr " << a;
 }
 
+TEST(Memory, ReadBlockZeroFillsAbsentPages)
+{
+    Memory m;
+    // A write straddling the first page edge, then a gap page: the
+    // block read must stitch written bytes and zero fill together.
+    m.write(Memory::kPageBytes - 1, 2, 0xbbaa);
+    std::vector<uint8_t> out(3 * Memory::kPageBytes, 0x5a);
+    m.readBlock(0, out.data(), out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+        const uint8_t expect = i == Memory::kPageBytes - 1 ? 0xaa
+                               : i == Memory::kPageBytes   ? 0xbb
+                                                           : 0;
+        ASSERT_EQ(out[i], expect) << "offset " << i;
+    }
+    EXPECT_EQ(m.numPages(), 2u); // readBlock allocated nothing
+}
+
+TEST(Memory, ReadBlockMatchesByteReads)
+{
+    Memory m;
+    Rng rng(77);
+    for (int i = 0; i < 512; ++i)
+        m.write(Memory::kPageBytes - 256 + rng.below(512), 1,
+                rng.next());
+    std::vector<uint8_t> block(600);
+    const Addr start = Memory::kPageBytes - 300;
+    m.readBlock(start, block.data(), block.size());
+    for (size_t i = 0; i < block.size(); ++i)
+        ASSERT_EQ(block[i], m.read(start + i, 1)) << "offset " << i;
+}
+
+TEST(Memory, PagePtrAccessors)
+{
+    Memory m;
+    EXPECT_EQ(m.peekPagePtr(0), nullptr); // peek never allocates
+    EXPECT_EQ(m.numPages(), 0u);
+
+    uint8_t *p = m.touchPagePtr(Memory::kPageBytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(m.numPages(), 1u);
+    p[3] = 0x42;
+    EXPECT_EQ(m.read(Memory::kPageBytes + 3, 1), 0x42u);
+    EXPECT_EQ(m.peekPagePtr(Memory::kPageBytes), p);
+}
+
+TEST(Memory, EpochInvalidatesOnClearAndMove)
+{
+    Memory m;
+    m.write(0, 1, 1);
+    const uint64_t e0 = m.epoch();
+    m.write(8, 8, 2); // plain writes never invalidate page pointers
+    EXPECT_EQ(m.epoch(), e0);
+    m.clear();
+    EXPECT_GT(m.epoch(), e0);
+
+    m.write(0, 1, 3);
+    const uint64_t e1 = m.epoch();
+    Memory moved = std::move(m);
+    EXPECT_GT(moved.epoch(), e1);
+}
+
 } // namespace
 } // namespace slip
