@@ -73,15 +73,26 @@ main(int argc, char **argv)
 
     // --resume (or SLIPSTREAM_CAMPAIGN_RESUME=1): skip trials already
     // journaled by an interrupted invocation; the report comes out
-    // byte-identical to an uninterrupted run's.
+    // byte-identical to an uninterrupted run's. --isolation fork
+    // (or SLIPSTREAM_ISOLATION=fork) sandboxes each trial in a worker
+    // process; the reports are byte-identical either way.
     bool resume = false;
+    IsolationMode isolation = isolationFromEnv();
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const std::string isoPrefix = "--isolation=";
         if (arg == "--resume") {
             resume = true;
+        } else if (arg.rfind(isoPrefix, 0) == 0) {
+            if (!parseIsolationMode(arg.substr(isoPrefix.size()),
+                                    isolation)) {
+                std::cerr << "bad " << arg << " (want none|fork)\n";
+                return 2;
+            }
         } else if (!bench::applyTraceArg(arg)) {
             std::cerr << "usage: " << argv[0]
-                      << " [--resume] [--trace[=categories]]\n";
+                      << " [--resume] [--isolation=none|fork]"
+                         " [--trace[=categories]]\n";
             return 2;
         }
     }
@@ -89,6 +100,9 @@ main(int argc, char **argv)
                   "multi-target bit-flip campaigns per benchmark");
     if (resume)
         std::cout << "(resuming from the trial journal)\n\n";
+    if (isolation == IsolationMode::Fork)
+        std::cout << "(fork isolation: each trial sandboxed in a "
+                     "worker process)\n\n";
 
     // Per-workload trial counts: at `default`, 256 trials x ~2 faults
     // each lands well past 500 mixed-target faults per workload.
@@ -116,6 +130,7 @@ main(int argc, char **argv)
     slip.name = "slipstream_mixed_targets";
     slip.trialsPerWorkload = trials;
     slip.resume = resume;
+    slip.isolation = isolation;
     const FaultCampaignResult slipResult = runFaultCampaign(slip);
     printCampaign(slipResult, timing);
     report.push_back(campaignJson(slip, slipResult));
@@ -127,6 +142,7 @@ main(int argc, char **argv)
     reliable.trialsPerWorkload = trials;
     reliable.reliableMode = true;
     reliable.resume = resume;
+    reliable.isolation = isolation;
     const FaultCampaignResult reliableResult =
         runFaultCampaign(reliable);
     printCampaign(reliableResult, timing);
@@ -149,6 +165,7 @@ main(int argc, char **argv)
     burst.maxFaultsPerTrial = 12;
     burst.targets = {FaultTarget::AStream};
     burst.resume = resume;
+    burst.isolation = isolation;
     burst.params.degrade.windowCycles = 100'000;
     burst.params.degrade.recoveryThreshold = 6;
     const FaultCampaignResult burstResult = runFaultCampaign(burst);

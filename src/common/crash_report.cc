@@ -1,0 +1,158 @@
+#include "common/crash_report.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+namespace slip
+{
+
+const char *
+trialPhaseName(TrialPhase phase)
+{
+    switch (phase) {
+      case TrialPhase::Idle:
+        return "idle";
+      case TrialPhase::Receive:
+        return "receive";
+      case TrialPhase::Setup:
+        return "setup";
+      case TrialPhase::Run:
+        return "run";
+      case TrialPhase::Report:
+        return "report";
+    }
+    return "?";
+}
+
+namespace
+{
+
+// Handler-visible state. Plain lock-free atomics: the handler may
+// interrupt the main thread mid-store, and relaxed loads of these are
+// the only reads it performs.
+std::atomic<int> reportFd{-1};
+std::atomic<uint64_t> currentTrial{0};
+std::atomic<uint8_t> currentPhase{0};
+std::atomic<std::atomic<uint64_t> *> heartbeat{nullptr};
+
+const int kCrashSignals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
+
+extern "C" void
+crashHandler(int sig, siginfo_t *info, void *)
+{
+    CrashNote note;
+    note.signal = sig;
+    // si_addr is only meaningful for the hardware faults; SIGABRT's
+    // siginfo carries sender data instead.
+    if (sig == SIGSEGV || sig == SIGBUS || sig == SIGILL ||
+        sig == SIGFPE) {
+        note.faultAddr =
+            reinterpret_cast<uint64_t>(info ? info->si_addr : nullptr);
+    }
+    note.trialId = currentTrial.load(std::memory_order_relaxed);
+    note.phase = currentPhase.load(std::memory_order_relaxed);
+
+    const int fd = reportFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        // One write of one pipe-atomic record (32 << PIPE_BUF). A
+        // short or failed write is unrecoverable here; the re-raise
+        // below still reports the signal through the exit status.
+        ssize_t unused = write(fd, &note, sizeof(note));
+        (void)unused;
+    }
+
+    // Restore default disposition and re-raise so the process dies
+    // with the true signal (the supervisor reads it from waitpid).
+    signal(sig, SIG_DFL);
+    raise(sig);
+}
+
+} // namespace
+
+void
+installCrashHandler(int fd)
+{
+    reportFd.store(fd, std::memory_order_relaxed);
+    if (fd < 0) {
+        for (int sig : kCrashSignals)
+            signal(sig, SIG_DFL);
+        return;
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = crashHandler;
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    for (int sig : kCrashSignals)
+        sigaction(sig, &sa, nullptr);
+}
+
+void
+setCrashContext(uint64_t trialId, TrialPhase phase)
+{
+    currentTrial.store(trialId, std::memory_order_relaxed);
+    currentPhase.store(static_cast<uint8_t>(phase),
+                       std::memory_order_relaxed);
+    if (std::atomic<uint64_t> *word =
+            heartbeat.load(std::memory_order_relaxed))
+        word->store(packProgress(trialId, phase),
+                    std::memory_order_relaxed);
+}
+
+void
+setHeartbeatSlot(std::atomic<uint64_t> *word)
+{
+    heartbeat.store(word, std::memory_order_relaxed);
+}
+
+bool
+readCrashNote(int fd, CrashNote &note)
+{
+    CrashNote buf;
+    size_t have = 0;
+    while (have < sizeof(buf)) {
+        const ssize_t n = read(fd, reinterpret_cast<char *>(&buf) + have,
+                               sizeof(buf) - have);
+        if (n > 0) {
+            have += size_t(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // EOF or would-block before a full record
+    }
+    if (buf.magic != CrashNote::kMagic)
+        return false;
+    note = buf;
+    return true;
+}
+
+const char *
+crashSignalName(int sig, char *scratch, unsigned len)
+{
+    switch (sig) {
+      case SIGSEGV:
+        return "SIGSEGV";
+      case SIGBUS:
+        return "SIGBUS";
+      case SIGILL:
+        return "SIGILL";
+      case SIGFPE:
+        return "SIGFPE";
+      case SIGABRT:
+        return "SIGABRT";
+      case SIGKILL:
+        return "SIGKILL";
+      case SIGTERM:
+        return "SIGTERM";
+      default:
+        std::snprintf(scratch, len, "signal %d", sig);
+        return scratch;
+    }
+}
+
+} // namespace slip

@@ -70,6 +70,18 @@ classifyCurrentException()
     }
 }
 
+ErrorInfo
+classifyException(std::exception_ptr exception)
+{
+    if (!exception)
+        return {ErrorKind::Unknown, "no exception"};
+    try {
+        std::rethrow_exception(exception);
+    } catch (...) {
+        return classifyCurrentException();
+    }
+}
+
 namespace detail
 {
 

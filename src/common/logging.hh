@@ -13,6 +13,7 @@
 #ifndef SLIPSTREAM_COMMON_LOGGING_HH
 #define SLIPSTREAM_COMMON_LOGGING_HH
 
+#include <exception>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -80,9 +81,19 @@ struct ErrorInfo
 /**
  * Classify the exception currently in flight. Only meaningful inside
  * a catch block; returns Unknown with a placeholder message for
- * non-std::exception throws.
+ * non-std::exception throws. std::bad_alloc (and anything derived
+ * from it) classifies as Resource — OOM-ish failures must reach the
+ * supervisor's retry-with-backoff path, not dead-end as Unknown.
  */
 ErrorInfo classifyCurrentException();
+
+/**
+ * Classify a captured exception. Null pointers classify as Unknown —
+ * fork-isolated outcomes carry no exception_ptr across the process
+ * boundary, and callers handle that case on the message/kind fields
+ * instead.
+ */
+ErrorInfo classifyException(std::exception_ptr exception);
 
 namespace detail
 {

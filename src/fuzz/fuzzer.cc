@@ -4,9 +4,11 @@
 #include <chrono>
 
 #include "assembler/assembler.hh"
+#include "common/logging.hh"
 #include "fuzz/minimize.hh"
 #include "fuzz/repro.hh"
 #include "harness/sim_runner.hh"
+#include "harness/wire.hh"
 
 namespace slip::fuzz
 {
@@ -86,6 +88,75 @@ runSeed(uint64_t seed, const FuzzOptions &opt)
     return c;
 }
 
+/** FuzzCase over the worker-pool wire (fork isolation). */
+void
+encodeFuzzCase(wire::Encoder &enc, const FuzzCase &c)
+{
+    enc.putU64(c.seed);
+    enc.putBool(c.diverged);
+    enc.putString(c.report);
+    enc.putString(c.bundlePath);
+    enc.putString(c.error);
+}
+
+FuzzCase
+decodeFuzzCase(wire::Decoder &dec)
+{
+    FuzzCase c;
+    c.seed = dec.getU64();
+    c.diverged = dec.getBool();
+    c.report = dec.getString();
+    c.bundlePath = dec.getString();
+    c.error = dec.getString();
+    return c;
+}
+
+/**
+ * A sandboxed worker died on this seed: the crash *is* the finding.
+ * The worker cannot write its own bundle (its handler may only
+ * write(2) a CrashNote), so the supervisor regenerates the program
+ * from the seed — generation is deterministic — and bundles it here.
+ */
+FuzzCase
+crashCase(uint64_t seed, const FuzzOptions &opt,
+          const IsolatedOutcome &iso)
+{
+    FuzzCase c;
+    c.seed = seed;
+    char scratch[32];
+    std::string how;
+    if (iso.status == IsolatedOutcome::Status::TimedOut) {
+        how = "sandboxed worker exceeded the trial deadline "
+              "(SIGKILLed)";
+    } else if (iso.signal) {
+        how = std::string("sandboxed worker killed by ") +
+              crashSignalName(iso.signal, scratch, sizeof(scratch));
+    } else {
+        how = "sandboxed worker exited with code " +
+              std::to_string(iso.exitCode);
+    }
+    c.error = how + " (phase " + trialPhaseName(iso.phase) + ")";
+
+    if (opt.bundleDir.empty() ||
+        iso.status != IsolatedOutcome::Status::Crashed)
+        return c;
+    try {
+        ReproSpec spec;
+        spec.seed = seed;
+        spec.title = "SSIR fuzz worker crash";
+        spec.configSummary = opt.gen.summary();
+        spec.report = c.error;
+        spec.originalSource = generate(seed, opt.gen).render();
+        spec.minimizedSource = spec.originalSource;
+        spec.faults = opt.oracle.faults;
+        c.bundlePath = writeReproBundle(opt.bundleDir, spec);
+    } catch (const std::exception &e) {
+        SLIP_WARN("failed to bundle crashed fuzz seed ", seed, ": ",
+                  e.what());
+    }
+    return c;
+}
+
 } // namespace
 
 FuzzSummary
@@ -113,30 +184,67 @@ runFuzz(const FuzzOptions &options)
             std::min<uint64_t>(options.seedEnd - next,
                                std::max(16u, runner.jobs() * 4));
         std::vector<FuzzCase> cases(batch);
-        for (uint64_t i = 0; i < batch; ++i) {
-            const uint64_t seed = next + i;
-            runner.add([&cases, i, seed, &options] {
-                cases[i] = runSeed(seed, options);
-                RunMetrics m;
-                m.model = "fuzz";
-                m.outputCorrect = !cases[i].diverged;
-                return m;
-            });
+
+        if (options.isolation == IsolationMode::Fork) {
+            // Sandboxed: each seed runs in a worker process. The case
+            // crosses back serialized (the in-process path's
+            // write-into-cases[i] side effect would die with the
+            // child); divergence bundles are written by the child
+            // (filesystem effects survive fork), crash bundles by the
+            // supervisor.
+            WorkerPoolOptions po;
+            po.workers = runner.jobs();
+            po.timeoutMs = runner.supervision().timeoutMs;
+            WorkerPool pool(po);
+            pool.run(
+                batch,
+                [&](size_t i, unsigned) {
+                    wire::Encoder enc;
+                    encodeFuzzCase(enc,
+                                   runSeed(next + i, options));
+                    return enc.bytes();
+                },
+                [&](size_t i, const IsolatedOutcome &iso) {
+                    if (iso.ok()) {
+                        wire::Decoder dec(iso.payload);
+                        cases[i] = decodeFuzzCase(dec);
+                        return;
+                    }
+                    if (iso.status == IsolatedOutcome::Status::Crashed)
+                        ++summary.workerCrashes;
+                    cases[i] = crashCase(next + i, options, iso);
+                });
+        } else {
+            for (uint64_t i = 0; i < batch; ++i) {
+                const uint64_t seed = next + i;
+                runner.add([&cases, i, seed, &options] {
+                    cases[i] = runSeed(seed, options);
+                    RunMetrics m;
+                    m.model = "fuzz";
+                    m.outputCorrect = !cases[i].diverged;
+                    return m;
+                });
+            }
+            const std::vector<JobOutcome> outcomes =
+                runner.runSupervised();
+            for (uint64_t i = 0; i < batch; ++i) {
+                FuzzCase &c = cases[i];
+                if (!outcomes[i].ok() && c.error.empty() &&
+                    !c.diverged) {
+                    // The supervisor reaped the job (deadline) or it
+                    // threw outside runSeed's own handling.
+                    c.seed = next + i;
+                    c.error =
+                        outcomes[i].errorMessage.empty()
+                            ? std::string("job ") +
+                                  jobStatusName(outcomes[i].status)
+                            : outcomes[i].errorMessage;
+                }
+            }
         }
-        const std::vector<JobOutcome> outcomes =
-            runner.runSupervised();
 
         for (uint64_t i = 0; i < batch; ++i) {
             FuzzCase &c = cases[i];
-            if (!outcomes[i].ok() && c.error.empty() && !c.diverged) {
-                // The supervisor reaped the job (deadline) or it threw
-                // outside runSeed's own handling.
-                c.seed = next + i;
-                c.error = outcomes[i].errorMessage.empty()
-                              ? std::string("job ") +
-                                    jobStatusName(outcomes[i].status)
-                              : outcomes[i].errorMessage;
-            }
             ++summary.seedsRun;
             const bool diverged = c.diverged;
             if (c.diverged)

@@ -19,6 +19,7 @@
 
 #include "fuzz/generator.hh"
 #include "fuzz/oracle.hh"
+#include "harness/worker_pool.hh"
 
 namespace slip::fuzz
 {
@@ -43,6 +44,17 @@ struct FuzzOptions
 
     /** Where repro bundles land; empty disables bundle writing. */
     std::string bundleDir = "fuzz-repros";
+
+    /**
+     * Sandboxing for the oracle legs. Defaults to
+     * $SLIPSTREAM_ISOLATION; under fork isolation a generated program
+     * that hard-crashes the simulator (wild store, stack smash,
+     * sanitizer abort) costs one seed — reported as a finding with a
+     * crash bundle — instead of killing the whole campaign. This is
+     * what lets the nightly ASan fuzzer survive the crashes it
+     * exists to find.
+     */
+    IsolationMode isolation = isolationFromEnv();
 
     GeneratorConfig gen;
     OracleOptions oracle;
@@ -70,6 +82,7 @@ struct FuzzSummary
     uint64_t seedsRun = 0;
     uint64_t divergences = 0;
     uint64_t errors = 0;
+    uint64_t workerCrashes = 0; // seeds whose sandboxed worker died
     bool budgetExhausted = false; // stopped early on budgetMs
     std::vector<FuzzCase> findings; // divergent + errored cases only
 };

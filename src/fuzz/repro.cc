@@ -65,8 +65,10 @@ std::string
 writeReproBundle(const std::string &outDir, const ReproSpec &spec)
 {
     namespace fs = std::filesystem;
-    const fs::path dir =
-        fs::path(outDir) / ("seed_" + std::to_string(spec.seed));
+    const std::string name = !spec.bundleName.empty()
+                                 ? spec.bundleName
+                                 : "seed_" + std::to_string(spec.seed);
+    const fs::path dir = fs::path(outDir) / name;
     std::error_code ec;
     fs::create_directories(dir, ec);
     if (ec)
@@ -75,9 +77,12 @@ writeReproBundle(const std::string &outDir, const ReproSpec &spec)
 
     const bool shrunk = spec.minimizedSource != spec.originalSource;
 
+    const std::string title = !spec.title.empty()
+                                  ? spec.title
+                                  : "SSIR differential-fuzz divergence";
     std::ostringstream readme;
-    readme << "SSIR differential-fuzz divergence\n"
-           << "=================================\n\n"
+    readme << title << "\n"
+           << std::string(title.size(), '=') << "\n\n"
            << "seed:       " << spec.seed << "\n"
            << "generator:  " << spec.configSummary << "\n";
     if (!spec.faults.empty())
@@ -88,7 +93,11 @@ writeReproBundle(const std::string &outDir, const ReproSpec &spec)
                << " oracle evaluations\n";
     }
     readme << "\nreplay:\n"
-           << "  tools/ssir_fuzz --replay " << (dir / "program.s").string()
+           << "  "
+           << (!spec.replayCommand.empty()
+                   ? spec.replayCommand
+                   : "tools/ssir_fuzz --replay " +
+                         (dir / "program.s").string())
            << "\n\nfiles:\n"
            << "  program.s       minimized reproducer\n";
     if (shrunk)

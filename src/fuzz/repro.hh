@@ -31,6 +31,13 @@ struct ReproSpec
     std::vector<FaultPlan> faults; // armed faults, if any
     size_t unitsRemoved = 0;      // minimizer statistics
     unsigned minimizeAttempts = 0;
+
+    // Overrides for non-fuzz producers (the campaign supervisor's
+    // poison-trial quarantine reuses the bundle format). Empty keeps
+    // the fuzz defaults.
+    std::string bundleName;    // directory name; "" = "seed_<seed>"
+    std::string title;         // README heading
+    std::string replayCommand; // README replay line
 };
 
 /** "target=memory_cell index=40 bit=3" style rendering. */

@@ -1,18 +1,23 @@
 #include "harness/fault_campaign.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
+#include <unistd.h>
 
+#include "common/crash_report.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "fuzz/repro.hh"
 #include "harness/sim_runner.hh"
 #include "obs/trace_session.hh"
 
@@ -103,6 +108,7 @@ FaultCampaignConfig::FaultCampaignConfig()
     // cheap without risking false trips — healthy runs never go even
     // hundreds of cycles without R retirement.
     params.watchdog.stallCycles = 20'000;
+    isolation = isolationFromEnv();
 }
 
 void
@@ -123,6 +129,14 @@ CampaignTally::add(const TrialRecord &trial)
     latencyMax = std::max(latencyMax, trial.latencyMax);
     for (const auto &[target, hist] : trial.latencyByTarget)
         latencyByTarget[target].merge(hist);
+    if (trial.crashSignal != 0) {
+        char scratch[32];
+        ++crashBySignal[crashSignalName(trial.crashSignal, scratch,
+                                        sizeof(scratch))];
+    } else if (!trial.crashPhase.empty()) {
+        // A worker death without a signal is a bare _exit().
+        ++crashBySignal["exit_" + std::to_string(trial.crashExit)];
+    }
 }
 
 namespace
@@ -311,18 +325,33 @@ journalLine(const FaultCampaignConfig &cfg, size_t trial,
         << ",\"lat_hist\":\""
         << jsonEscape(encodeLatencyHistograms(t.latencyByTarget))
         << "\",\"cycles\":" << t.cycles << ",\"error\":\""
-        << jsonEscape(t.error) << "\"}";
+        << jsonEscape(t.error) << "\"";
+    // Worker-death triage rides along only when a worker actually
+    // died, so healthy trials' lines are byte-identical across
+    // isolation modes (and to journals written before fork isolation
+    // existed).
+    if (!t.crashPhase.empty())
+        out << ",\"signal\":" << t.crashSignal
+            << ",\"wexit\":" << t.crashExit << ",\"crash_phase\":\""
+            << jsonEscape(t.crashPhase) << "\"";
+    out << "}";
     return out.str();
 }
 
 /**
- * Append-and-flush journal of completed trials. Opening failures
- * warn and disable journaling; they never take down the campaign.
+ * Append-and-flush journal of completed trials, on a raw fd so each
+ * line can be fsync'd. Flushing alone survives process death (the
+ * page cache holds the bytes); only fsync survives power loss — that
+ * durability costs ~ms per trial, so it is a knob
+ * ($SLIPSTREAM_JOURNAL_FSYNC, default on; the test suite turns it
+ * off). Opening failures warn and disable journaling; they never
+ * take down the campaign.
  */
 class TrialJournal
 {
   public:
-    TrialJournal(const std::string &path, bool resume) : path_(path)
+    TrialJournal(const std::string &path, bool resume, bool fsyncEach)
+        : path_(path), fsyncEach_(fsyncEach)
     {
         try {
             const std::filesystem::path dir =
@@ -334,33 +363,56 @@ class TrialJournal
                       path_, "': ", e.what());
         }
         const bool truncate = !resume && firstJournalOpen(path_);
-        out_.open(path_, truncate ? std::ios::trunc : std::ios::app);
-        if (!out_)
+        fd_ = ::open(path_.c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND |
+                         (truncate ? O_TRUNC : 0),
+                     0644);
+        if (fd_ < 0)
             SLIP_WARN("cannot open campaign journal '", path_,
                       "'; trials will not be journaled (a killed "
                       "campaign cannot be resumed)");
+    }
+
+    ~TrialJournal()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
     }
 
     void
     append(const FaultCampaignConfig &cfg, size_t trial,
            const TrialRecord &t)
     {
-        if (!out_)
+        if (fd_ < 0)
             return;
         std::lock_guard<std::mutex> lock(mu_);
-        out_ << journalLine(cfg, trial, t) << '\n';
-        out_.flush();
-        if (!out_) {
-            SLIP_WARN("write to campaign journal '", path_,
-                      "' failed; journaling disabled");
-            out_.close();
+        // One write() per line: O_APPEND makes the line land whole
+        // even if several campaigns share the journal file.
+        const std::string line = journalLine(cfg, trial, t) + "\n";
+        size_t off = 0;
+        while (off < line.size()) {
+            const ssize_t n =
+                ::write(fd_, line.data() + off, line.size() - off);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                SLIP_WARN("write to campaign journal '", path_,
+                          "' failed; journaling disabled");
+                ::close(fd_);
+                fd_ = -1;
+                return;
+            }
+            off += size_t(n);
         }
+        if (fsyncEach_)
+            ::fsync(fd_);
     }
 
   private:
     std::string path_;
+    bool fsyncEach_;
     std::mutex mu_;
-    std::ofstream out_;
+    int fd_ = -1;
 };
 
 /** Per-trial aggregates the tallies and the journal consume. */
@@ -510,6 +562,14 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
                 decodeLatencyHistograms(latHist, t.latencyByTarget);
             jsonFieldU64(line, "cycles", t.cycles);
             t.error = std::move(error);
+            // Optional worker-death triage (absent on healthy lines
+            // and on journals from before fork isolation existed).
+            uint64_t sig = 0, wexit = 0;
+            if (jsonFieldU64(line, "signal", sig))
+                t.crashSignal = int(sig);
+            if (jsonFieldU64(line, "wexit", wexit))
+                t.crashExit = int(wexit);
+            jsonFieldString(line, "crash_phase", t.crashPhase);
             if (!done[trial])
                 ++used;
             done[trial] = std::move(t);
@@ -524,9 +584,14 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
                         " trials restored from ", journalPath);
     }
 
-    TrialJournal journal(journalPath, resume);
+    const bool fsyncEach =
+        cfg.journalFsync >= 0
+            ? cfg.journalFsync != 0
+            : envFlag("SLIPSTREAM_JOURNAL_FSYNC", true);
+    TrialJournal journal(journalPath, resume, fsyncEach);
 
-    SimJobRunner runner;
+    SimJobRunner runner(cfg.workers);
+    runner.setIsolation(cfg.isolation);
     std::vector<size_t> jobToSpec;
     for (size_t i = 0; i < specs.size(); ++i) {
         if (done[i])
@@ -535,8 +600,11 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
         const TrialSpec *s = &specs[i];
         const std::string trialName = cfg.name + "_" + s->workload +
                                       "_t" + std::to_string(i);
-        runner.add([&params, s, trialName](const CancelToken &cancel) {
+        runner.add([&cfg, &params, s, i,
+                    trialName](const CancelToken &cancel) {
             obs::TrialTrace scope(trialName);
+            if (cfg.trialHook)
+                cfg.trialHook(i);
             RunMetrics m = runSlipstream(s->entry->program, params,
                                          s->entry->golden, s->plans,
                                          s->maxCycles, &cancel);
@@ -549,9 +617,42 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
         });
     }
 
-    // Supervised execution: a throwing or reaped trial becomes a
-    // classified record instead of voiding the batch, and every
-    // finished trial hits the journal (append + flush) immediately.
+    // A poisoned trial (crashed its way past the poison threshold)
+    // leaves a repro bundle behind — the campaign's findings must
+    // survive the campaign. Quarantine failures warn; they never take
+    // down the supervisor.
+    const auto quarantine = [&](size_t i, const TrialRecord &t) {
+        try {
+            fuzz::ReproSpec spec;
+            spec.seed = cfg.seed;
+            spec.bundleName = cfg.name + "_trial_" + std::to_string(i);
+            spec.title = "Slipstream campaign poison trial";
+            spec.configSummary = "campaign '" + cfg.name +
+                                 "', workload " + t.workload +
+                                 ", trial " + std::to_string(i);
+            spec.replayCommand =
+                "tools/slip_campaign --isolation fork --seed " +
+                std::to_string(cfg.seed) + "   # trial " +
+                std::to_string(i) + " re-crashes deterministically";
+            spec.report = "poisoned trial " + std::to_string(i) + ": " +
+                          t.error;
+            spec.originalSource =
+                getWorkload(t.workload, cfg.size).source;
+            spec.minimizedSource = spec.originalSource;
+            spec.faults = t.plans;
+            const std::string dir =
+                fuzz::writeReproBundle(cfg.quarantineDir, spec);
+            SLIP_WARN("campaign '", cfg.name, "' trial ", i,
+                      " quarantined: ", dir);
+        } catch (const std::exception &e) {
+            SLIP_WARN("failed to quarantine poisoned trial ", i, ": ",
+                      e.what());
+        }
+    };
+
+    // Supervised execution: a throwing, reaped, or crashing trial
+    // becomes a classified record instead of voiding the batch, and
+    // every finished trial hits the journal immediately.
     runner.runSupervised([&](size_t job, const JobOutcome &o) {
         const size_t i = jobToSpec[job];
         TrialRecord t;
@@ -575,6 +676,20 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
                       o.errorMessage;
             SLIP_WARN("campaign '", cfg.name, "' trial ", i,
                       " crashed (", t.error, "); siblings unaffected");
+            break;
+          case JobOutcome::Status::Crashed:
+            // A worker process died under this trial (fork isolation):
+            // signal + last-known phase from the supervisor's triage.
+            t.outcome = TrialOutcome::Crashed;
+            t.error = o.errorMessage;
+            t.crashSignal = o.termSignal;
+            t.crashExit = o.termExitCode;
+            t.crashPhase = trialPhaseName(o.crashPhase);
+            SLIP_WARN("campaign '", cfg.name, "' trial ", i,
+                      " lost its worker (", t.error,
+                      "); siblings unaffected");
+            if (o.poisoned)
+                quarantine(i, t);
             break;
         }
         journal.append(cfg, i, t);
@@ -616,8 +731,22 @@ tallyJson(std::ostringstream &out, const CampaignTally &t,
             << "\": " << t.byOutcome[o];
     }
     out << "},\n"
-        << indent << "\"degraded_runs\": " << t.degradedRuns << ",\n"
-        << indent << "\"detection_latency_cycles\": {\"samples\": "
+        << indent << "\"degraded_runs\": " << t.degradedRuns << ",\n";
+    // Worker-death histogram appears only when a worker actually died,
+    // so healthy campaigns report byte-identically across isolation
+    // modes (and against reports from before fork isolation existed).
+    if (!t.crashBySignal.empty()) {
+        out << indent << "\"worker_crashes\": {";
+        bool firstCrash = true;
+        for (const auto &[cause, n] : t.crashBySignal) {
+            if (!firstCrash)
+                out << ", ";
+            firstCrash = false;
+            out << "\"" << cause << "\": " << n;
+        }
+        out << "},\n";
+    }
+    out << indent << "\"detection_latency_cycles\": {\"samples\": "
         << t.latencySamples << ", \"avg\": " << t.avgLatency()
         << ", \"max\": " << t.latencyMax << "},\n"
         << indent << "\"detection_latency_histogram\": {";

@@ -42,6 +42,8 @@
 #define SLIPSTREAM_HARNESS_FAULT_CAMPAIGN_HH
 
 #include <array>
+#include <cstddef>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -49,6 +51,7 @@
 
 #include "common/stats.hh"
 #include "harness/experiment.hh"
+#include "harness/worker_pool.hh"
 #include "workloads/workloads.hh"
 
 namespace slip
@@ -135,6 +138,39 @@ struct FaultCampaignConfig
      */
     bool resume = false;
 
+    /**
+     * How trials are sandboxed. The constructor reads
+     * $SLIPSTREAM_ISOLATION (default none). Under fork isolation a
+     * trial that SIGSEGVs the simulator becomes a journaled `crashed`
+     * outcome (with signal + last-known phase) instead of killing the
+     * campaign; after `poisonThresholdFromEnv()` crashes the trial is
+     * quarantined as a repro bundle under `quarantineDir`.
+     */
+    IsolationMode isolation = IsolationMode::None;
+
+    /** Trial workers; 0 = $SLIPSTREAM_WORKERS, else defaultJobs(). */
+    unsigned workers = 0;
+
+    /** Where poisoned trials' repro bundles land. */
+    std::string quarantineDir = "results/quarantine";
+
+    /**
+     * fsync the journal after every appended trial: -1 consults
+     * $SLIPSTREAM_JOURNAL_FSYNC (default on), 0/1 force. Durability
+     * against power loss, at ~ms per trial — campaigns default on;
+     * the test suite turns it off via ctest's environment.
+     */
+    int journalFsync = -1;
+
+    /**
+     * Test/CI hook: runs inside the trial job (in the worker process
+     * under fork isolation) before the simulation, with the trial
+     * index. Lets crash-containment tests make specific trials
+     * raise(SIGSEGV) / _exit(3) / spin without touching simulator
+     * code.
+     */
+    std::function<void(size_t trial)> trialHook;
+
     FaultCampaignConfig();
 };
 
@@ -155,6 +191,12 @@ struct TrialRecord
 
     /** Crashed trials: the classified exception text. */
     std::string error;
+
+    // Worker-death triage (fork isolation only; journaled so resumed
+    // campaigns keep their crash histogram).
+    int crashSignal = 0;    // terminating signal, 0 if it _exit()ed
+    int crashExit = 0;      // exit status when crashSignal == 0
+    std::string crashPhase; // trialPhaseName() of last-known progress
 
     // Journaled aggregates (the report's inputs).
     uint64_t faultsPlanned = 0;
@@ -191,6 +233,15 @@ struct CampaignTally
 
     /** Per-target latency histograms, merged over the tally's trials. */
     std::map<std::string, Histogram> latencyByTarget;
+
+    /**
+     * Trials whose final outcome was a worker death, by cause
+     * ("SIGSEGV", "exit_3", ...). A trial re-dispatched after a crash
+     * and then succeeding does not appear. Empty when no worker died
+     * — in-process (`none`) campaigns always, healthy fork campaigns
+     * too — so reports stay byte-identical across isolation modes.
+     */
+    std::map<std::string, uint64_t> crashBySignal;
 
     void add(const TrialRecord &trial);
 

@@ -4,14 +4,17 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <sstream>
 #include <thread>
 #include <utility>
 
 #include "assembler/assembler.hh"
+#include "common/crash_report.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "func/func_sim.hh"
 #include "harness/thread_pool.hh"
+#include "harness/wire.hh"
 #include "obs/trace_session.hh"
 
 namespace slip
@@ -73,6 +76,8 @@ jobStatusName(JobOutcome::Status status)
         return "error";
       case JobOutcome::Status::TimedOut:
         return "timed_out";
+      case JobOutcome::Status::Crashed:
+        return "crashed";
     }
     return "?";
 }
@@ -164,7 +169,8 @@ class SimJobRunner::DeadlineWatchdog
 };
 
 SimJobRunner::SimJobRunner(unsigned jobs, Supervision supervision)
-    : jobs_(jobs > 0 ? jobs : defaultJobs()), supervision_(supervision)
+    : jobs_(jobs > 0 ? jobs : defaultJobs()), supervision_(supervision),
+      isolation_(isolationFromEnv())
 {
 }
 
@@ -233,11 +239,91 @@ SimJobRunner::executeOne(const CancellableJob &job,
     }
 }
 
+/**
+ * Fork-isolation path: the jobs stay in this process's memory (the
+ * workers inherit them copy-on-write at fork), only indices go down
+ * the pipe and serialized JobOutcomes come back. The per-attempt
+ * deadline is enforced by the supervisor with SIGKILL — cooperative
+ * cancellation cannot cross a process boundary — and in-child retry
+ * of retryable exceptions still applies, so classification matches
+ * in-process execution.
+ */
+std::vector<JobOutcome>
+SimJobRunner::runForkIsolated(const std::vector<CancellableJob> &batch,
+                              const OnOutcome &onOutcome) const
+{
+    WorkerPoolOptions opts;
+    opts.workers = jobs_;
+    opts.timeoutMs = supervision_.timeoutMs;
+    WorkerPool pool(opts);
+
+    std::vector<JobOutcome> outcomes(batch.size());
+
+    const auto execute = [&](size_t job, unsigned) -> std::string {
+        // Worker child. No watchdog: the parent holds the deadline.
+        setCrashContext(job, TrialPhase::Run);
+        const JobOutcome out = executeOne(batch[job], nullptr);
+        wire::Encoder enc;
+        wire::encodeJobOutcome(enc, out);
+        return enc.bytes();
+    };
+
+    const auto collect = [&](size_t job, const IsolatedOutcome &iso) {
+        JobOutcome out;
+        switch (iso.status) {
+          case IsolatedOutcome::Status::Ok: {
+            wire::Decoder dec(iso.payload);
+            out = wire::decodeJobOutcome(dec);
+            break;
+          }
+          case IsolatedOutcome::Status::Crashed: {
+            out.status = JobOutcome::Status::Crashed;
+            out.errorKind = ErrorKind::InternalError;
+            out.termSignal = iso.signal;
+            out.termExitCode = iso.exitCode;
+            out.crashAddr = iso.faultAddr;
+            out.crashPhase = iso.phase;
+            out.poisoned = iso.poisoned;
+            char scratch[32];
+            std::ostringstream msg;
+            if (iso.signal) {
+                msg << "worker killed by "
+                    << crashSignalName(iso.signal, scratch,
+                                       sizeof(scratch));
+                if (iso.faultAddr)
+                    msg << " at 0x" << std::hex << iso.faultAddr
+                        << std::dec;
+            } else {
+                msg << "worker exited with code " << iso.exitCode;
+            }
+            msg << " (phase " << trialPhaseName(iso.phase) << ")";
+            out.errorMessage = msg.str();
+            break;
+          }
+          case IsolatedOutcome::Status::TimedOut:
+            out.status = JobOutcome::Status::TimedOut;
+            out.metrics.cancelled = true;
+            out.crashPhase = iso.phase;
+            break;
+        }
+        out.attempts = std::max(out.attempts, iso.attempts);
+        outcomes[job] = std::move(out);
+        if (onOutcome)
+            onOutcome(job, outcomes[job]);
+    };
+
+    pool.run(batch.size(), execute, collect);
+    return outcomes;
+}
+
 std::vector<JobOutcome>
 SimJobRunner::runSupervised(const OnOutcome &onOutcome)
 {
     std::vector<CancellableJob> batch;
     batch.swap(pending_);
+
+    if (isolation_ == IsolationMode::Fork && !batch.empty())
+        return runForkIsolated(batch, onOutcome);
 
     std::vector<JobOutcome> outcomes(batch.size());
 
@@ -278,11 +364,19 @@ SimJobRunner::run()
     std::vector<RunMetrics> results;
     results.reserve(outcomes.size());
     std::exception_ptr firstError;
+    std::string firstErrorMessage;
     size_t firstTimeout = outcomes.size();
     for (size_t i = 0; i < outcomes.size(); ++i) {
         JobOutcome &o = outcomes[i];
-        if (o.status == JobOutcome::Status::Error && !firstError)
+        const bool failed = o.status == JobOutcome::Status::Error ||
+                            o.status == JobOutcome::Status::Crashed;
+        if (failed && !firstError && firstErrorMessage.empty()) {
+            // Fork-isolated failures carry no exception_ptr (it
+            // cannot cross the process boundary); keep the message.
             firstError = o.exception;
+            firstErrorMessage = "job " + std::to_string(i) + ": " +
+                                o.errorMessage;
+        }
         if (o.status == JobOutcome::Status::TimedOut &&
             firstTimeout == outcomes.size())
             firstTimeout = i;
@@ -290,6 +384,8 @@ SimJobRunner::run()
     }
     if (firstError)
         std::rethrow_exception(firstError);
+    if (!firstErrorMessage.empty())
+        throw FatalError(firstErrorMessage);
     if (firstTimeout != outcomes.size())
         SLIP_FATAL("job ", firstTimeout, " exceeded the ",
                    supervision_.timeoutMs,

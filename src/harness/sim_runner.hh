@@ -39,6 +39,7 @@
 #include "common/cancel.hh"
 #include "common/logging.hh"
 #include "harness/experiment.hh"
+#include "harness/worker_pool.hh"
 #include "workloads/workloads.hh"
 
 namespace slip
@@ -90,7 +91,10 @@ class ProgramCache
  * `timed_out` means the supervisor's wall-clock deadline reaped the
  * job (metrics hold whatever partial state the cancelled run
  * returned); `error` means the job threw, with the exception
- * classified (common/logging taxonomy) and preserved for rethrow.
+ * classified (common/logging taxonomy) and preserved for rethrow;
+ * `crashed` (fork isolation only) means the worker process running
+ * the job died — signal, exit code, faulting address, and last-known
+ * phase come from the supervisor's triage.
  */
 struct JobOutcome
 {
@@ -99,6 +103,7 @@ struct JobOutcome
         Ok,
         Error,
         TimedOut,
+        Crashed,
     };
 
     Status status = Status::Ok;
@@ -109,13 +114,20 @@ struct JobOutcome
     std::string errorMessage;
     std::exception_ptr exception;
 
+    // Crashed only (fork isolation): worker-death triage.
+    int termSignal = 0;   // terminating signal, 0 if it _exit()ed
+    int termExitCode = 0; // exit status when termSignal == 0
+    uint64_t crashAddr = 0;
+    TrialPhase crashPhase = TrialPhase::Idle;
+    bool poisoned = false; // crashed repeatedly — quarantine material
+
     /** Executions performed, including retries (>= 1). */
     unsigned attempts = 1;
 
     bool ok() const { return status == Status::Ok; }
 };
 
-/** "ok", "error", "timed_out". */
+/** "ok", "error", "timed_out", "crashed". */
 const char *jobStatusName(JobOutcome::Status status);
 
 /**
@@ -171,9 +183,22 @@ class SimJobRunner
     /** Called once per finished job (serialized, any thread). */
     using OnOutcome = std::function<void(size_t, const JobOutcome &)>;
 
-    /** `jobs` == 0 means defaultJobs(). */
+    /** `jobs` == 0 means defaultJobs(). Isolation defaults to
+     *  $SLIPSTREAM_ISOLATION (none when unset). */
     explicit SimJobRunner(unsigned jobs = 0,
                           Supervision supervision = Supervision::fromEnv());
+
+    /**
+     * Select how jobs are sandboxed. Fork isolation executes each job
+     * in a worker *process* (harness/worker_pool.hh): a job that
+     * SIGSEGVs or gets OOM-killed becomes a `crashed` outcome instead
+     * of taking the harness down. Results are byte-identical to
+     * in-process execution for jobs that complete (the wire codec
+     * round-trips RunMetrics exactly); crashes and timeouts differ
+     * only in how much partial state survives.
+     */
+    void setIsolation(IsolationMode mode) { isolation_ = mode; }
+    IsolationMode isolation() const { return isolation_; }
 
     /** Queue one job; returns its index in the result vector. */
     size_t add(Job job);
@@ -205,8 +230,13 @@ class SimJobRunner
     JobOutcome executeOne(const CancellableJob &job,
                           DeadlineWatchdog *watchdog) const;
 
+    std::vector<JobOutcome>
+    runForkIsolated(const std::vector<CancellableJob> &batch,
+                    const OnOutcome &onOutcome) const;
+
     unsigned jobs_;
     Supervision supervision_;
+    IsolationMode isolation_;
     std::vector<CancellableJob> pending_;
 };
 

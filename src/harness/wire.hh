@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The versioned, length-prefixed pipe protocol between the trial
+ * supervisor and its forked worker processes.
+ *
+ * Framing: every message is
+ *
+ *     u32 payload length | u32 magic | u16 version | u8 type | payload
+ *
+ * read and written with plain read(2)/write(2) loops (EINTR-safe,
+ * partial-I/O-safe). The magic and version are checked on every frame
+ * — a supervisor never interprets bytes from a worker running a
+ * different protocol revision; it fails loudly instead.
+ *
+ * Payloads are built with Encoder/Decoder: fixed-width little-endian
+ * integers, bit-pattern doubles (exact round-trip — determinism
+ * across isolation modes depends on it), and length-prefixed strings.
+ * Decoder getters bounds-check and raise fatal() on truncation, so a
+ * torn or corrupt payload is an error, never a silent misparse.
+ *
+ * The higher-level codecs (RunMetrics, JobOutcome) serialize exactly
+ * the state the harness consumes, so a trial executed in a worker
+ * process reports byte-for-byte what the same trial reports in-process.
+ */
+
+#ifndef SLIPSTREAM_HARNESS_WIRE_HH
+#define SLIPSTREAM_HARNESS_WIRE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace slip
+{
+struct JobOutcome; // harness/sim_runner.hh
+} // namespace slip
+
+namespace slip::wire
+{
+
+inline constexpr uint32_t kMagic = 0x53504C57; // "WLPS" on the wire
+inline constexpr uint16_t kVersion = 1;
+
+/** Frame types the worker protocol speaks. */
+enum class MsgType : uint8_t
+{
+    JobRequest = 1, // supervisor -> worker: {u64 job, u32 attempt}
+    JobResult = 2,  // worker -> supervisor: {u64 job, bytes payload}
+    Shutdown = 3,   // supervisor -> worker: drain and _exit(0)
+};
+
+/** Append-only payload builder. */
+class Encoder
+{
+  public:
+    void putU8(uint8_t v) { buf_.push_back(char(v)); }
+    void putU16(uint16_t v);
+    void putU32(uint32_t v);
+    void putU64(uint64_t v);
+    void putI32(int32_t v) { putU32(uint32_t(v)); }
+    void putBool(bool v) { putU8(v ? 1 : 0); }
+    /** Bit pattern, not decimal text: doubles round-trip exactly. */
+    void putDouble(double v);
+    void putString(const std::string &s);
+
+    const std::string &bytes() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked payload reader; truncation raises fatal(). */
+class Decoder
+{
+  public:
+    explicit Decoder(const std::string &bytes) : buf_(bytes) {}
+
+    uint8_t getU8();
+    uint16_t getU16();
+    uint32_t getU32();
+    uint64_t getU64();
+    int32_t getI32() { return int32_t(getU32()); }
+    bool getBool() { return getU8() != 0; }
+    double getDouble();
+    std::string getString();
+
+    bool atEnd() const { return pos_ == buf_.size(); }
+
+  private:
+    void need(size_t n) const;
+
+    const std::string &buf_;
+    size_t pos_ = 0;
+};
+
+/** Result of one frame read. */
+enum class ReadResult : uint8_t
+{
+    Ok,
+    Eof,   // clean close before any byte of a frame
+    Error, // torn frame, bad magic/version, or an I/O error
+};
+
+/**
+ * Write one frame; returns false on any write error (a dead peer —
+ * the caller treats it like a crashed worker, not an exception).
+ * The caller is expected to have SIGPIPE ignored.
+ */
+bool writeFrame(int fd, MsgType type, const std::string &payload);
+
+/**
+ * Read one frame (blocking). Eof only when the peer closed cleanly
+ * between frames; a close mid-frame is Error.
+ */
+ReadResult readFrame(int fd, MsgType &type, std::string &payload);
+
+// ---------------------------------------------------------------------
+// Harness codecs.
+// ---------------------------------------------------------------------
+
+/** Everything in RunMetrics, including the per-fault records. */
+void encodeRunMetrics(Encoder &enc, const RunMetrics &m);
+RunMetrics decodeRunMetrics(Decoder &dec);
+
+/**
+ * A JobOutcome minus the bits that cannot cross a process boundary:
+ * the exception_ptr stays behind (kind + message travel instead).
+ */
+void encodeJobOutcome(Encoder &enc, const JobOutcome &o);
+JobOutcome decodeJobOutcome(Decoder &dec);
+
+} // namespace slip::wire
+
+#endif // SLIPSTREAM_HARNESS_WIRE_HH

@@ -43,9 +43,10 @@ enum class Category : uint32_t
     Core = 1u << 4,        // per-core fetch/retire windows, squashes
     Trial = 1u << 5,       // trial lifecycle, retries, timeouts
     Fault = 1u << 6,       // fault injection → detection spans
+    Worker = 1u << 7,      // sandbox worker lifecycle, crashes
 };
 
-inline constexpr unsigned kNumCategories = 7;
+inline constexpr unsigned kNumCategories = 8;
 inline constexpr uint32_t kAllCategories =
     (1u << kNumCategories) - 1;
 
@@ -108,6 +109,13 @@ enum class Name : uint16_t
     // Fault
     FaultInjected, // instant: arg0 target, arg1 dynamic index
     FaultDetected, // instant: arg0 target, arg1 detection latency
+
+    // Worker
+    WorkerSpawn,    // instant: arg0 slot index, arg1 pid
+    WorkerExit,     // instant: arg0 pid, arg1 wait status
+    WorkerCrash,    // instant: arg0 signal, arg1 job index
+    JobRedispatch,  // instant: arg0 job index, arg1 new attempt
+    JobQuarantined, // instant: arg0 job index, arg1 signal
 };
 
 /** Display string for a name id (the Chrome `name` field). */

@@ -43,6 +43,8 @@ categoryName(Category category)
         return "trial";
       case Category::Fault:
         return "fault";
+      case Category::Worker:
+        return "worker";
     }
     return "?";
 }
@@ -145,6 +147,16 @@ eventNameString(Name name)
         return "fault_injected";
       case Name::FaultDetected:
         return "fault_detected";
+      case Name::WorkerSpawn:
+        return "worker_spawn";
+      case Name::WorkerExit:
+        return "worker_exit";
+      case Name::WorkerCrash:
+        return "worker_crash";
+      case Name::JobRedispatch:
+        return "job_redispatch";
+      case Name::JobQuarantined:
+        return "job_quarantined";
     }
     return "?";
 }

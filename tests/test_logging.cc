@@ -93,6 +93,55 @@ TEST(ErrorTaxonomy, ClassifiesTheExceptionFamilies)
     EXPECT_FALSE(nonStd.message.empty());
 }
 
+TEST(ErrorTaxonomy, BadAllocDerivativesClassifyAsResource)
+{
+    // The whole std::bad_alloc family must reach the retryable
+    // Resource bucket — including library-thrown derived types like
+    // std::bad_array_new_length — or OOM-ish failures dead-end as
+    // Unknown and never hit the supervisor's retry path.
+    struct CustomOom : std::bad_alloc
+    {
+        const char *what() const noexcept override { return "oom"; }
+    };
+    const ErrorInfo derived = classify([] { throw CustomOom(); });
+    EXPECT_EQ(derived.kind, ErrorKind::Resource);
+    EXPECT_EQ(derived.message, "oom");
+
+    const ErrorInfo arr =
+        classify([] { throw std::bad_array_new_length(); });
+    EXPECT_EQ(arr.kind, ErrorKind::Resource);
+}
+
+TEST(ErrorTaxonomy, ClassifyExceptionFromPointer)
+{
+    // The exception_ptr variant (used where the throw site and the
+    // classification site are different threads or processes) must
+    // agree with classifyCurrentException.
+    const auto capture = [](const std::function<void()> &thrower) {
+        try {
+            thrower();
+        } catch (...) {
+            return std::current_exception();
+        }
+        return std::exception_ptr();
+    };
+
+    const ErrorInfo user = classifyException(
+        capture([] { SLIP_FATAL("bad input"); }));
+    EXPECT_EQ(user.kind, ErrorKind::UserError);
+    EXPECT_NE(user.message.find("bad input"), std::string::npos);
+
+    const ErrorInfo alloc =
+        classifyException(capture([] { throw std::bad_alloc(); }));
+    EXPECT_EQ(alloc.kind, ErrorKind::Resource);
+
+    // Null pointers (a fork-isolated outcome has no exception) are
+    // Unknown, not a crash.
+    const ErrorInfo none = classifyException(nullptr);
+    EXPECT_EQ(none.kind, ErrorKind::Unknown);
+    EXPECT_EQ(none.message, "no exception");
+}
+
 TEST(ErrorTaxonomy, OnlyResourceFailuresAreRetryable)
 {
     EXPECT_TRUE(errorRetryable(ErrorKind::Resource));

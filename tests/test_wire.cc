@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "harness/sim_runner.hh"
+#include "harness/wire.hh"
+
+namespace slip::wire
+{
+namespace
+{
+
+TEST(WireEncoder, IntegersRoundTrip)
+{
+    Encoder enc;
+    enc.putU8(0xab);
+    enc.putU16(0xbeef);
+    enc.putU32(0xdeadbeefu);
+    enc.putU64(0x0123456789abcdefull);
+    enc.putI32(-42);
+    enc.putBool(true);
+    enc.putBool(false);
+
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.getU8(), 0xab);
+    EXPECT_EQ(dec.getU16(), 0xbeef);
+    EXPECT_EQ(dec.getU32(), 0xdeadbeefu);
+    EXPECT_EQ(dec.getU64(), 0x0123456789abcdefull);
+    EXPECT_EQ(dec.getI32(), -42);
+    EXPECT_TRUE(dec.getBool());
+    EXPECT_FALSE(dec.getBool());
+    EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(WireEncoder, IntegersAreLittleEndian)
+{
+    // The layout is part of the protocol (version 1), not an
+    // implementation detail: a future mixed-endian supervisor/worker
+    // pair must agree on it.
+    Encoder enc;
+    enc.putU32(0x04030201u);
+    const std::string &b = enc.bytes();
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(uint8_t(b[0]), 1);
+    EXPECT_EQ(uint8_t(b[1]), 2);
+    EXPECT_EQ(uint8_t(b[2]), 3);
+    EXPECT_EQ(uint8_t(b[3]), 4);
+}
+
+TEST(WireEncoder, DoublesRoundTripExactly)
+{
+    // Bit-pattern transport: determinism across isolation modes
+    // depends on doubles surviving without a decimal detour.
+    const double values[] = {0.0, -0.0, 1.0 / 3.0, 1e-308, 6.02e23,
+                             -123.456789012345678};
+    Encoder enc;
+    for (double v : values)
+        enc.putDouble(v);
+    enc.putDouble(std::nan(""));
+
+    Decoder dec(enc.bytes());
+    for (double v : values) {
+        const double got = dec.getDouble();
+        uint64_t a = 0, b = 0;
+        std::memcpy(&a, &v, sizeof(a));
+        std::memcpy(&b, &got, sizeof(b));
+        EXPECT_EQ(a, b);
+    }
+    EXPECT_TRUE(std::isnan(dec.getDouble()));
+}
+
+TEST(WireEncoder, StringsRoundTripIncludingNuls)
+{
+    Encoder enc;
+    enc.putString("");
+    enc.putString(std::string("a\0b", 3));
+    enc.putString("plain");
+
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.getString(), "");
+    EXPECT_EQ(dec.getString(), std::string("a\0b", 3));
+    EXPECT_EQ(dec.getString(), "plain");
+    EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(WireDecoder, TruncationIsFatalNotSilent)
+{
+    Encoder enc;
+    enc.putU64(7);
+    const std::string whole = enc.bytes();
+
+    Decoder short1(whole);
+    EXPECT_EQ(short1.getU64(), 7u);
+    EXPECT_THROW(short1.getU8(), FatalError); // past the end
+
+    const std::string torn = whole.substr(0, 3);
+    Decoder short2(torn);
+    EXPECT_THROW(short2.getU64(), FatalError);
+}
+
+TEST(WireDecoder, TruncatedStringIsFatal)
+{
+    Encoder enc;
+    enc.putString("hello");
+    // Length prefix says 5, but only 2 payload bytes survive.
+    const std::string torn = enc.bytes().substr(0, 6);
+    Decoder dec(torn);
+    EXPECT_THROW(dec.getString(), FatalError);
+}
+
+/** pipe(2) fixture for frame-level tests. */
+class WireFrame : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ASSERT_EQ(pipe(fds), 0);
+    }
+
+    void
+    TearDown() override
+    {
+        if (fds[0] >= 0)
+            close(fds[0]);
+        if (fds[1] >= 0)
+            close(fds[1]);
+    }
+
+    void
+    closeWrite()
+    {
+        close(fds[1]);
+        fds[1] = -1;
+    }
+
+    int fds[2] = {-1, -1};
+};
+
+TEST_F(WireFrame, RoundTripOverPipe)
+{
+    Encoder enc;
+    enc.putU64(31337);
+    enc.putString("payload");
+    ASSERT_TRUE(writeFrame(fds[1], MsgType::JobResult, enc.bytes()));
+
+    MsgType type{};
+    std::string payload;
+    ASSERT_EQ(readFrame(fds[0], type, payload), ReadResult::Ok);
+    EXPECT_EQ(type, MsgType::JobResult);
+    Decoder dec(payload);
+    EXPECT_EQ(dec.getU64(), 31337u);
+    EXPECT_EQ(dec.getString(), "payload");
+}
+
+TEST_F(WireFrame, EmptyPayloadFrame)
+{
+    ASSERT_TRUE(writeFrame(fds[1], MsgType::Shutdown, ""));
+    MsgType type{};
+    std::string payload;
+    ASSERT_EQ(readFrame(fds[0], type, payload), ReadResult::Ok);
+    EXPECT_EQ(type, MsgType::Shutdown);
+    EXPECT_TRUE(payload.empty());
+}
+
+TEST_F(WireFrame, CleanCloseBetweenFramesIsEof)
+{
+    closeWrite();
+    MsgType type{};
+    std::string payload;
+    EXPECT_EQ(readFrame(fds[0], type, payload), ReadResult::Eof);
+}
+
+TEST_F(WireFrame, CloseMidFrameIsError)
+{
+    // A valid header promising 100 payload bytes, then death.
+    Encoder enc;
+    enc.putString(std::string(100, 'x'));
+    std::string frame;
+    {
+        // Build a full frame in memory by writing to a scratch pipe.
+        int scratch[2];
+        ASSERT_EQ(pipe(scratch), 0);
+        ASSERT_TRUE(
+            writeFrame(scratch[1], MsgType::JobResult, enc.bytes()));
+        char buf[4096];
+        const ssize_t n = read(scratch[0], buf, sizeof(buf));
+        ASSERT_GT(n, 12);
+        frame.assign(buf, size_t(n));
+        close(scratch[0]);
+        close(scratch[1]);
+    }
+    // Ship the header plus half the payload, then hang up.
+    ASSERT_EQ(write(fds[1], frame.data(), frame.size() / 2),
+              ssize_t(frame.size() / 2));
+    closeWrite();
+
+    MsgType type{};
+    std::string payload;
+    setLogQuiet(true);
+    EXPECT_EQ(readFrame(fds[0], type, payload), ReadResult::Error);
+    setLogQuiet(false);
+}
+
+TEST_F(WireFrame, BadMagicIsError)
+{
+    // 12 garbage header bytes: enough for a full (wrong) header.
+    const char junk[12] = {'x', 'x', 'x', 'x', 'x', 'x',
+                           'x', 'x', 'x', 'x', 'x', 'x'};
+    ASSERT_EQ(write(fds[1], junk, sizeof(junk)), ssize_t(sizeof(junk)));
+    MsgType type{};
+    std::string payload;
+    setLogQuiet(true);
+    EXPECT_EQ(readFrame(fds[0], type, payload), ReadResult::Error);
+    setLogQuiet(false);
+}
+
+RunMetrics
+sampleMetrics()
+{
+    RunMetrics m;
+    m.model = "CMP(2x64x4)";
+    m.cycles = 123456;
+    m.retired = 98765;
+    m.ipc = 1.75;
+    m.branchMispPer1000 = 3.25;
+    m.outputCorrect = true;
+    m.outputBytes = 4242;
+    m.removedFraction = 0.375;
+    m.removedByReason = {{"branch", 17}, {"store", 3}};
+    m.removedByReasonMask[0] = 11;
+    m.removedByReasonMask[5] = 7;
+    m.irMispPer1000 = 0.5;
+    m.avgIRPenalty = 12.5;
+    m.recoveries = 9;
+    m.cancelled = false;
+    m.hung = false;
+    m.watchdogTrips = 2;
+    m.degraded = true;
+    m.degradedAtCycle = 555;
+    m.rOnlyRetired = 333;
+    m.faultOutcome.injected = true;
+    m.faultOutcome.targetWasRedundant = true;
+    m.faultOutcome.detected = true;
+    m.faultOutcome.pc = 0x1234;
+    m.faultOutcome.planned = 2;
+    m.faultOutcome.numInjected = 2;
+    m.faultOutcome.numDetected = 1;
+    FaultRecord rec;
+    rec.plan.target = FaultTarget::ARegister;
+    rec.plan.dynIndex = 77;
+    rec.plan.bit = 13;
+    rec.plan.reg = 5;
+    rec.fired = true;
+    rec.injected = true;
+    rec.targetWasRedundant = true;
+    rec.detected = true;
+    rec.pc = 0x2000;
+    rec.injectCycle = 100;
+    rec.detectCycle = 250;
+    m.faultOutcome.records.push_back(rec);
+    return m;
+}
+
+void
+expectMetricsEqual(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.branchMispPer1000, b.branchMispPer1000);
+    EXPECT_EQ(a.outputCorrect, b.outputCorrect);
+    EXPECT_EQ(a.outputBytes, b.outputBytes);
+    EXPECT_EQ(a.removedFraction, b.removedFraction);
+    EXPECT_EQ(a.removedByReason, b.removedByReason);
+    EXPECT_EQ(a.removedByReasonMask, b.removedByReasonMask);
+    EXPECT_EQ(a.irMispPer1000, b.irMispPer1000);
+    EXPECT_EQ(a.avgIRPenalty, b.avgIRPenalty);
+    EXPECT_EQ(a.recoveries, b.recoveries);
+    EXPECT_EQ(a.cancelled, b.cancelled);
+    EXPECT_EQ(a.hung, b.hung);
+    EXPECT_EQ(a.watchdogTrips, b.watchdogTrips);
+    EXPECT_EQ(a.degraded, b.degraded);
+    EXPECT_EQ(a.degradedAtCycle, b.degradedAtCycle);
+    EXPECT_EQ(a.rOnlyRetired, b.rOnlyRetired);
+    EXPECT_EQ(a.faultOutcome.injected, b.faultOutcome.injected);
+    EXPECT_EQ(a.faultOutcome.targetWasRedundant,
+              b.faultOutcome.targetWasRedundant);
+    EXPECT_EQ(a.faultOutcome.detected, b.faultOutcome.detected);
+    EXPECT_EQ(a.faultOutcome.pc, b.faultOutcome.pc);
+    EXPECT_EQ(a.faultOutcome.planned, b.faultOutcome.planned);
+    EXPECT_EQ(a.faultOutcome.numInjected, b.faultOutcome.numInjected);
+    EXPECT_EQ(a.faultOutcome.numDetected, b.faultOutcome.numDetected);
+    ASSERT_EQ(a.faultOutcome.records.size(),
+              b.faultOutcome.records.size());
+    for (size_t i = 0; i < a.faultOutcome.records.size(); ++i) {
+        const FaultRecord &ra = a.faultOutcome.records[i];
+        const FaultRecord &rb = b.faultOutcome.records[i];
+        EXPECT_EQ(ra.plan.target, rb.plan.target);
+        EXPECT_EQ(ra.plan.dynIndex, rb.plan.dynIndex);
+        EXPECT_EQ(ra.plan.bit, rb.plan.bit);
+        EXPECT_EQ(ra.plan.reg, rb.plan.reg);
+        EXPECT_EQ(ra.fired, rb.fired);
+        EXPECT_EQ(ra.injected, rb.injected);
+        EXPECT_EQ(ra.targetWasRedundant, rb.targetWasRedundant);
+        EXPECT_EQ(ra.detected, rb.detected);
+        EXPECT_EQ(ra.pc, rb.pc);
+        EXPECT_EQ(ra.injectCycle, rb.injectCycle);
+        EXPECT_EQ(ra.detectCycle, rb.detectCycle);
+    }
+}
+
+TEST(WireCodec, RunMetricsRoundTrip)
+{
+    const RunMetrics m = sampleMetrics();
+    Encoder enc;
+    encodeRunMetrics(enc, m);
+    Decoder dec(enc.bytes());
+    const RunMetrics back = decodeRunMetrics(dec);
+    EXPECT_TRUE(dec.atEnd());
+    expectMetricsEqual(m, back);
+}
+
+TEST(WireCodec, JobOutcomeRoundTrip)
+{
+    JobOutcome o;
+    o.status = JobOutcome::Status::Error;
+    o.metrics = sampleMetrics();
+    o.errorKind = ErrorKind::Resource;
+    o.errorMessage = "allocation failed";
+    o.attempts = 3;
+
+    Encoder enc;
+    encodeJobOutcome(enc, o);
+    Decoder dec(enc.bytes());
+    const JobOutcome back = decodeJobOutcome(dec);
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_EQ(back.status, JobOutcome::Status::Error);
+    EXPECT_EQ(back.errorKind, ErrorKind::Resource);
+    EXPECT_EQ(back.errorMessage, "allocation failed");
+    EXPECT_EQ(back.attempts, 3u);
+    // The exception_ptr never crosses the wire.
+    EXPECT_EQ(back.exception, nullptr);
+    expectMetricsEqual(o.metrics, back.metrics);
+}
+
+TEST(WireCodec, CrashTriageFieldsRoundTrip)
+{
+    JobOutcome o;
+    o.status = JobOutcome::Status::Crashed;
+    o.termSignal = 11;
+    o.termExitCode = 0;
+    o.crashAddr = 0xdeadbeef;
+    o.crashPhase = TrialPhase::Run;
+    o.poisoned = true;
+    o.errorMessage = "worker killed by SIGSEGV";
+
+    Encoder enc;
+    encodeJobOutcome(enc, o);
+    Decoder dec(enc.bytes());
+    const JobOutcome back = decodeJobOutcome(dec);
+    EXPECT_EQ(back.status, JobOutcome::Status::Crashed);
+    EXPECT_EQ(back.termSignal, 11);
+    EXPECT_EQ(back.crashAddr, 0xdeadbeefu);
+    EXPECT_EQ(back.crashPhase, TrialPhase::Run);
+    EXPECT_TRUE(back.poisoned);
+}
+
+} // namespace
+} // namespace slip::wire

@@ -40,6 +40,10 @@ usage(std::ostream &os)
           "(default 0:100)\n"
           "  --jobs N        worker threads                "
           "(default $SLIPSTREAM_JOBS or cores)\n"
+          "  --isolation M   none | fork: sandbox each seed in a "
+          "worker process\n"
+          "                  (default $SLIPSTREAM_ISOLATION; fork "
+          "survives crashing seeds)\n"
           "  --budget-ms N   wall-clock budget; stop starting new "
           "seeds once exceeded\n"
           "  --max-cycles N  per-leg cycle budget          "
@@ -181,6 +185,13 @@ main(int argc, char **argv)
                 return 2;
             }
             opt.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--isolation") {
+            const std::string v = value("--isolation");
+            if (!slip::parseIsolationMode(v, opt.isolation)) {
+                std::cerr << "ssir_fuzz: bad --isolation '" << v
+                          << "' (want none|fork)\n";
+                return 2;
+            }
         } else if (arg == "--budget-ms") {
             if (!parseU64(value("--budget-ms"), n)) {
                 std::cerr << "ssir_fuzz: bad --budget-ms\n";
@@ -247,8 +258,11 @@ main(int argc, char **argv)
         const slip::fuzz::FuzzSummary summary = runFuzz(opt);
         std::cout << "ssir_fuzz: " << summary.seedsRun << " seeds, "
                   << summary.divergences << " divergences, "
-                  << summary.errors << " errors"
-                  << (summary.budgetExhausted ? " (budget exhausted)"
+                  << summary.errors << " errors";
+        if (summary.workerCrashes)
+            std::cout << ", " << summary.workerCrashes
+                      << " worker crashes";
+        std::cout << (summary.budgetExhausted ? " (budget exhausted)"
                                               : "")
                   << "\n";
         for (const slip::fuzz::FuzzCase &c : summary.findings) {
