@@ -35,8 +35,8 @@ printCampaign(const FaultCampaignResult &result, bench::Timing &timing)
 {
     Table table({"benchmark", "trials", "faults", "det+rec", "hung+rec",
                  "silent-benign", "silent-corrupt", "det-but-corrupt",
-                 "no-victim", "hung", "timed-out", "crashed",
-                 "degraded"});
+                 "det-unrepaired", "no-victim", "hung", "timed-out",
+                 "crashed", "degraded"});
     for (const auto &[name, t] : result.perWorkload) {
         table.addRow(
             {name, Table::count(t.trials), Table::count(t.faultsInjected),
@@ -45,6 +45,7 @@ printCampaign(const FaultCampaignResult &result, bench::Timing &timing)
              Table::count(t.outcomes(TrialOutcome::SilentBenign)),
              Table::count(t.outcomes(TrialOutcome::SilentCorrupt)),
              Table::count(t.outcomes(TrialOutcome::DetectedButCorrupt)),
+             Table::count(t.outcomes(TrialOutcome::DetectedUnrepaired)),
              Table::count(t.outcomes(TrialOutcome::NoVictim)),
              Table::count(t.outcomes(TrialOutcome::Hung)),
              Table::count(t.outcomes(TrialOutcome::TimedOut)),

@@ -52,4 +52,27 @@ envFlag(const char *name, bool fallback)
     return fallback;
 }
 
+size_t
+envChoice(const char *name,
+          std::initializer_list<const char *> choices, size_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || *env == '\0')
+        return fallback;
+    size_t i = 0;
+    for (const char *choice : choices) {
+        if (std::string(env) == choice)
+            return i;
+        ++i;
+    }
+    std::string valid;
+    for (const char *choice : choices) {
+        if (!valid.empty())
+            valid += '|';
+        valid += choice;
+    }
+    SLIP_FATAL(name, "='", env, "' is not a valid mode (want ", valid,
+               "); refusing to guess");
+}
+
 } // namespace slip

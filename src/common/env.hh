@@ -11,7 +11,9 @@
 #ifndef SLIPSTREAM_COMMON_ENV_HH
 #define SLIPSTREAM_COMMON_ENV_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 
 namespace slip
 {
@@ -27,6 +29,22 @@ uint64_t envU64(const char *name, uint64_t fallback);
  * (case-insensitive). Anything else warns and returns `fallback`.
  */
 bool envFlag(const char *name, bool fallback);
+
+/**
+ * $name matched (case-sensitively) against a closed set of mode
+ * names. Unset or empty returns `fallback`; a listed value returns
+ * its index in `choices`.
+ *
+ * Unlike the numeric knobs above, mode knobs get the STRICT contract:
+ * an unrecognized value throws FatalError naming the variable and
+ * listing every valid choice. A typo'd mode would silently run the
+ * wrong experiment for hours — failing fast is the only safe
+ * fallback ($SLIPSTREAM_DETECT, $SLIPSTREAM_ISOLATION and
+ * $SLIPSTREAM_DISPATCH all parse through this).
+ */
+size_t envChoice(const char *name,
+                 std::initializer_list<const char *> choices,
+                 size_t fallback);
 
 } // namespace slip
 

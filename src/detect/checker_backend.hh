@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Checker-core detection (MEEK-style). A simplified in-order checker
+ * with its own register file re-executes every retired leader
+ * instruction, fed the leader's load values through the delay-buffer
+ * path (a MemPort that returns the leader's loadedValue and captures
+ * stores for comparison instead of writing real memory).
+ *
+ * Trusting leader loads keeps the checker tiny — no shadow memory —
+ * at a deliberate coverage cost: corruption of the memory image
+ * itself (MemoryCell) passes through unchallenged, exactly the hole
+ * MEEK leaves to ECC. Register-file corruption that silently retires
+ * (non-redundant R-pipeline faults) is caught at the first use.
+ *
+ * Timing: the checker validates `checkerBandwidth` instructions per
+ * cycle. Each retired instruction occupies the next free checker
+ * slot; its mismatch (if any) is reported at the slot's completion
+ * cycle, so checker lag shows up as detection latency. When the
+ * backlog exceeds `checkerQueue` slots the leader is modeled as
+ * stalled for the excess — charged to DetectStats::overheadCycles.
+ */
+
+#ifndef SLIPSTREAM_DETECT_CHECKER_BACKEND_HH
+#define SLIPSTREAM_DETECT_CHECKER_BACKEND_HH
+
+#include "detect/detection_backend.hh"
+#include "func/arch_state.hh"
+
+namespace slip
+{
+
+class Program;
+
+class CheckerBackend : public DetectionBackend
+{
+  public:
+    CheckerBackend(const DetectParams &params, const Program &program,
+                   FaultInjector &injector);
+
+    DetectBackendKind kind() const override
+    {
+        return DetectBackendKind::Checker;
+    }
+
+    void onRetire(const DynInst &d, Cycle now) override;
+    void onSuspicion(Cycle now) override;
+    void onDegrade(const ArchState &resume, const Memory &mem,
+                   Cycle now) override;
+    void finish(Cycle now) override;
+
+  private:
+    /**
+     * The checker's operand feed: loads return what the leader
+     * loaded; stores are captured for comparison and go nowhere.
+     */
+    class FeedPort : public MemPort
+    {
+      public:
+        uint64_t
+        read(Addr, unsigned) override
+        {
+            return feedValue;
+        }
+
+        void
+        write(Addr addr, unsigned bytes, uint64_t value) override
+        {
+            sawStore = true;
+            sawAddr = addr;
+            sawBytes = bytes;
+            sawValue = value;
+        }
+
+        Word feedValue = 0;
+        bool sawStore = false;
+        Addr sawAddr = 0;
+        unsigned sawBytes = 0;
+        Word sawValue = 0;
+    };
+
+    const Program &program_;
+    unsigned bandwidth_;
+    unsigned queue_;
+
+    FeedPort feed_;
+    ArchState checker_;
+
+    /** Checker clock in 1/bandwidth sub-cycle units. */
+    uint64_t busyUntilUnits_ = 0;
+};
+
+} // namespace slip
+
+#endif // SLIPSTREAM_DETECT_CHECKER_BACKEND_HH

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "assembler/program.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "func/arch_state.hh"
 #include "func/exec_semantics.hh"
@@ -72,11 +73,15 @@ defaultDispatch()
     const DispatchKind fallback = threadedDispatchCompiled()
                                       ? DispatchKind::Threaded
                                       : DispatchKind::Switch;
-    const char *env = std::getenv("SLIPSTREAM_DISPATCH");
-    if (!env || !*env)
-        return fallback;
-    const std::string v(env);
-    if (v == "threaded") {
+    // Strict mode-knob contract (common/env::envChoice): a typo here
+    // would silently benchmark the wrong engine, so unknown values
+    // throw. "threaded" on a build without the computed-goto engine
+    // is a *valid* request that cannot be honored — that stays a
+    // warning plus the switch engine, not an error.
+    switch (envChoice("SLIPSTREAM_DISPATCH",
+                      {"threaded", "switch", "legacy"},
+                      size_t(fallback))) {
+      case 0:
         if (!threadedDispatchCompiled()) {
             SLIP_WARN("SLIPSTREAM_DISPATCH=threaded but the "
                       "computed-goto engine is not compiled in; "
@@ -84,15 +89,13 @@ defaultDispatch()
             return DispatchKind::Switch;
         }
         return DispatchKind::Threaded;
-    }
-    if (v == "switch")
+      case 1:
         return DispatchKind::Switch;
-    if (v == "legacy")
+      case 2:
         return DispatchKind::Legacy;
-    SLIP_WARN("unrecognised SLIPSTREAM_DISPATCH='", env,
-              "' (want threaded|switch|legacy); using ",
-              dispatchName(fallback));
-    return fallback;
+      default:
+        return fallback;
+    }
 }
 
 EngineExit

@@ -62,8 +62,10 @@ bool threadedDispatchCompiled();
 /**
  * Dispatch kind from $SLIPSTREAM_DISPATCH (threaded|switch|legacy).
  * Unset means the fastest compiled-in engine; asking for `threaded`
- * in a build without it warns and falls back to `switch`; garbage
- * warns and uses the default. Re-read per call (env.hh contract).
+ * in a build without it warns and falls back to `switch`; an
+ * unrecognized value throws FatalError listing the valid choices
+ * (the strict mode-knob contract, common/env::envChoice). Re-read
+ * per call.
  */
 DispatchKind defaultDispatch();
 

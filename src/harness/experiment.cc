@@ -1,7 +1,10 @@
 #include "harness/experiment.hh"
 
+#include <memory>
+
 #include "assembler/assembler.hh"
 #include "common/logging.hh"
+#include "detect/detection_backend.hh"
 #include "func/func_sim.hh"
 #include "harness/sim_runner.hh"
 
@@ -78,7 +81,22 @@ runSlipstream(const Program &program, const SlipstreamParams &params,
     SlipstreamProcessor proc(program, params);
     if (!faults.empty())
         proc.faultInjector().arm(faults);
+
+    // The detection backend observes the architectural stream; the
+    // processor only detects/repairs through its native mechanism.
+    const std::unique_ptr<DetectionBackend> backend =
+        makeDetectionBackend(params.detect, program,
+                             proc.faultInjector());
+    proc.onArchRetire = [&](const DynInst &d, Cycle now) {
+        backend->onRetire(d, now);
+    };
+    proc.onRecoveryEvent = [&](Cycle now) { backend->onSuspicion(now); };
+    proc.onDegradeEvent = [&](Cycle now) {
+        backend->onDegrade(proc.archState(), proc.rMemory(), now);
+    };
+
     const SlipstreamRunResult r = proc.run(maxCycles, cancel);
+    backend->finish(r.cycles);
 
     RunMetrics m;
     m.model = "CMP(2x64x4)";
@@ -100,7 +118,17 @@ runSlipstream(const Program &program, const SlipstreamParams &params,
     m.degraded = r.degraded;
     m.degradedAtCycle = r.degradedAtCycle;
     m.rOnlyRetired = r.rOnlyRetired;
-    m.faultOutcome = r.faultOutcome;
+    m.detectBackend = detectBackendName(params.detect.kind);
+    m.detectChecked = backend->stats().checked;
+    m.detectMismatches = backend->stats().mismatches;
+    m.detectExternal = backend->stats().externalDetections;
+    m.detectReplays = backend->stats().replays;
+    m.detectReplayedInsts = backend->stats().replayedInsts;
+    m.detectOverheadCycles = backend->stats().overheadCycles;
+    // Re-fetch rather than copying r.faultOutcome: finish() drains
+    // buffered validation and may mark detections after run() already
+    // snapshotted the outcome.
+    m.faultOutcome = proc.faultInjector().outcome();
     return m;
 }
 

@@ -49,6 +49,16 @@ struct RunMetrics
     Cycle degradedAtCycle = 0;
     uint64_t rOnlyRetired = 0;
 
+    // Detection-backend telemetry (slipstream only; the backend named
+    // by SlipstreamParams::detect observes every retired instruction).
+    std::string detectBackend;         // "slipstream"|"replay"|"checker"
+    uint64_t detectChecked = 0;        // instructions validated
+    uint64_t detectMismatches = 0;     // raw mismatch events
+    uint64_t detectExternal = 0;       // fault records newly detected
+    uint64_t detectReplays = 0;        // replay windows flushed
+    uint64_t detectReplayedInsts = 0;  // instructions re-executed
+    uint64_t detectOverheadCycles = 0; // modeled detection cost
+
     // Fault-campaign result (meaningful when a FaultPlan was armed).
     FaultOutcome faultOutcome;
 };

@@ -46,6 +46,8 @@ trialOutcomeName(TrialOutcome outcome)
         return "timed_out";
       case TrialOutcome::Crashed:
         return "crashed";
+      case TrialOutcome::DetectedUnrepaired:
+        return "detected_unrepaired";
     }
     return "?";
 }
@@ -79,11 +81,15 @@ classifyTrial(const RunMetrics &m)
         return TrialOutcome::SilentBenign;
     }
     // Corrupted output with an undetected landed fault is that
-    // fault's doing (scenario #2). Only when *every* landed fault was
-    // detected is a corrupt output anomalous.
-    return m.faultOutcome.numDetected >= m.faultOutcome.numInjected
-               ? TrialOutcome::DetectedButCorrupt
-               : TrialOutcome::SilentCorrupt;
+    // fault's doing (scenario #2). When every landed fault was
+    // detected, ask who detected: an external backend observes but
+    // never repairs, so corruption it caught is expected
+    // (detected-unrepaired); if the *repairing* mechanism claimed
+    // every detection, a corrupt output is anomalous.
+    if (m.faultOutcome.numDetected < m.faultOutcome.numInjected)
+        return TrialOutcome::SilentCorrupt;
+    return m.detectExternal > 0 ? TrialOutcome::DetectedUnrepaired
+                                : TrialOutcome::DetectedButCorrupt;
 }
 
 std::vector<FaultTarget>
@@ -109,6 +115,9 @@ FaultCampaignConfig::FaultCampaignConfig()
     // hundreds of cycles without R retirement.
     params.watchdog.stallCycles = 20'000;
     isolation = isolationFromEnv();
+    // $SLIPSTREAM_DETECT (strict) + the backend tuning knobs pick the
+    // detection architecture every trial runs under.
+    params.detect = detectParamsFromEnv(params.detect);
 }
 
 void
@@ -127,6 +136,13 @@ CampaignTally::add(const TrialRecord &trial)
     latencySamples += trial.latencySamples;
     latencyTotal += trial.latencyTotal;
     latencyMax = std::max(latencyMax, trial.latencyMax);
+    cyclesTotal += trial.cycles;
+    detectChecked += trial.detectChecked;
+    detectMismatches += trial.detectMismatches;
+    detectExternal += trial.detectExternal;
+    detectOverhead += trial.detectOverhead;
+    if (trial.detectOverhead)
+        overheadHist.sample(trial.detectOverhead);
     for (const auto &[target, hist] : trial.latencyByTarget)
         latencyByTarget[target].merge(hist);
     if (trial.crashSignal != 0) {
@@ -324,8 +340,15 @@ journalLine(const FaultCampaignConfig &cfg, size_t trial,
         << ",\"latency_max\":" << t.latencyMax
         << ",\"lat_hist\":\""
         << jsonEscape(encodeLatencyHistograms(t.latencyByTarget))
-        << "\",\"cycles\":" << t.cycles << ",\"error\":\""
-        << jsonEscape(t.error) << "\"";
+        << "\",\"cycles\":" << t.cycles
+        << ",\"backend\":\"" << jsonEscape(t.detectBackend) << "\""
+        << ",\"checked\":" << t.detectChecked
+        << ",\"det_mismatch\":" << t.detectMismatches
+        << ",\"det_external\":" << t.detectExternal
+        << ",\"det_replays\":" << t.detectReplays
+        << ",\"det_replayed\":" << t.detectReplayedInsts
+        << ",\"det_overhead\":" << t.detectOverhead
+        << ",\"error\":\"" << jsonEscape(t.error) << "\"";
     // Worker-death triage rides along only when a worker actually
     // died, so healthy trials' lines are byte-identical across
     // isolation modes (and to journals written before fork isolation
@@ -424,6 +447,12 @@ fillAggregates(TrialRecord &t)
     t.faultsDetected = fo.numDetected;
     t.degraded = t.metrics.degraded;
     t.cycles = t.metrics.cycles;
+    t.detectChecked = t.metrics.detectChecked;
+    t.detectMismatches = t.metrics.detectMismatches;
+    t.detectExternal = t.metrics.detectExternal;
+    t.detectReplays = t.metrics.detectReplays;
+    t.detectReplayedInsts = t.metrics.detectReplayedInsts;
+    t.detectOverhead = t.metrics.detectOverheadCycles;
     for (const FaultRecord &r : fo.records) {
         if (!r.detected)
             continue;
@@ -561,6 +590,31 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
             if (jsonFieldString(line, "lat_hist", latHist))
                 decodeLatencyHistograms(latHist, t.latencyByTarget);
             jsonFieldU64(line, "cycles", t.cycles);
+            // A journaled trial only counts for the backend it ran
+            // under: resuming a replay campaign over a slipstream
+            // journal must re-run, not adopt, those trials. Lines
+            // without the field (pre-backend journals) are only
+            // sound for the slipstream (native) configuration.
+            const char *cfgBackend =
+                detectBackendName(cfg.params.detect.kind);
+            std::string backend;
+            if (jsonFieldString(line, "backend", backend)) {
+                if (backend != cfgBackend) {
+                    ++skipped;
+                    continue;
+                }
+            } else if (cfg.params.detect.kind !=
+                       DetectBackendKind::Slipstream) {
+                ++skipped;
+                continue;
+            }
+            t.detectBackend = cfgBackend;
+            jsonFieldU64(line, "checked", t.detectChecked);
+            jsonFieldU64(line, "det_mismatch", t.detectMismatches);
+            jsonFieldU64(line, "det_external", t.detectExternal);
+            jsonFieldU64(line, "det_replays", t.detectReplays);
+            jsonFieldU64(line, "det_replayed", t.detectReplayedInsts);
+            jsonFieldU64(line, "det_overhead", t.detectOverhead);
             t.error = std::move(error);
             // Optional worker-death triage (absent on healthy lines
             // and on journals from before fork isolation existed).
@@ -623,6 +677,26 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
     // down the supervisor.
     const auto quarantine = [&](size_t i, const TrialRecord &t) {
         try {
+            // Bound quarantine growth: a pathological campaign (every
+            // trial poisoned) must not fill the disk with repro
+            // bundles. At the cap, skip loudly — existing bundles are
+            // never pruned; they are findings.
+            const uint64_t maxBundles =
+                envU64("SLIPSTREAM_QUARANTINE_MAX", 32);
+            uint64_t existing = 0;
+            if (std::filesystem::is_directory(cfg.quarantineDir))
+                for ([[maybe_unused]] const auto &entry :
+                     std::filesystem::directory_iterator(
+                         cfg.quarantineDir))
+                    ++existing;
+            if (existing >= maxBundles) {
+                SLIP_WARN("quarantine '", cfg.quarantineDir,
+                          "' is at its cap (", existing, " of ",
+                          maxBundles, " bundles, SLIPSTREAM_QUARANTINE"
+                          "_MAX); NOT writing a bundle for trial ",
+                          i, " — raise the cap or clear the directory");
+                return;
+            }
             fuzz::ReproSpec spec;
             spec.seed = cfg.seed;
             spec.bundleName = cfg.name + "_trial_" + std::to_string(i);
@@ -659,6 +733,9 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
         t.workload = specs[i].workload;
         t.plans = specs[i].plans;
         t.faultsPlanned = specs[i].plans.size();
+        // Every trial ran under the config's backend, whatever its
+        // outcome — crashed trials included, so they resume cleanly.
+        t.detectBackend = detectBackendName(cfg.params.detect.kind);
         switch (o.status) {
           case JobOutcome::Status::Ok:
             t.metrics = o.metrics;
@@ -731,7 +808,27 @@ tallyJson(std::ostringstream &out, const CampaignTally &t,
             << "\": " << t.byOutcome[o];
     }
     out << "},\n"
-        << indent << "\"degraded_runs\": " << t.degradedRuns << ",\n";
+        << indent << "\"degraded_runs\": " << t.degradedRuns << ",\n"
+        << indent << "\"cycles_total\": " << t.cyclesTotal << ",\n"
+        << indent << "\"detect\": {\"checked\": " << t.detectChecked
+        << ", \"mismatches\": " << t.detectMismatches
+        << ", \"external\": " << t.detectExternal
+        << ", \"overhead_cycles\": " << t.detectOverhead << "},\n"
+        << indent << "\"detect_overhead_histogram\": {";
+    // Per-trial modeled-overhead distribution (log2 buckets, non-zero
+    // trials only) — zero by construction for the native backend.
+    bool firstOverhead = true;
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+        if (!t.overheadHist.bucket(b))
+            continue;
+        if (!firstOverhead)
+            out << ", ";
+        firstOverhead = false;
+        out << "\"" << Histogram::bucketLo(b) << "-"
+            << Histogram::bucketHi(b)
+            << "\": " << t.overheadHist.bucket(b);
+    }
+    out << "},\n";
     // Worker-death histogram appears only when a worker actually died,
     // so healthy campaigns report byte-identically across isolation
     // modes (and against reports from before fork isolation existed).
@@ -791,6 +888,8 @@ campaignJson(const FaultCampaignConfig &cfg,
         << "  \"campaign\": \"" << cfg.name << "\",\n"
         << "  \"mode\": \""
         << (cfg.reliableMode ? "reliable" : "slipstream") << "\",\n"
+        << "  \"detect_backend\": \""
+        << detectBackendName(cfg.params.detect.kind) << "\",\n"
         << "  \"size\": \"" << sizeName(cfg.size) << "\",\n"
         << "  \"seed\": " << cfg.seed << ",\n"
         << "  \"trials_per_workload\": " << cfg.trialsPerWorkload

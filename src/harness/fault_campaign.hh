@@ -69,9 +69,20 @@ enum class TrialOutcome : uint8_t
     Hung,
     TimedOut,
     Crashed,
+
+    /**
+     * Output corrupted, every landed fault detected, and at least
+     * one detection came from an external backend (replay / checker)
+     * — which observes but does not repair. The corruption was
+     * *caught*, just not healed: the machine knows it must not
+     * commit the result. Distinct from DetectedButCorrupt, where the
+     * repairing mechanism itself claimed the detection and a corrupt
+     * output is a model-soundness anomaly.
+     */
+    DetectedUnrepaired,
 };
 
-inline constexpr unsigned kNumTrialOutcomes = 9;
+inline constexpr unsigned kNumTrialOutcomes = 10;
 
 /** "detected_recovered", "hung_recovered", ... (report keys). */
 const char *trialOutcomeName(TrialOutcome outcome);
@@ -208,6 +219,15 @@ struct TrialRecord
     Cycle latencyMax = 0;
     Cycle cycles = 0;
 
+    // Detection-backend aggregates (journaled; see RunMetrics).
+    std::string detectBackend;
+    uint64_t detectChecked = 0;
+    uint64_t detectMismatches = 0;
+    uint64_t detectExternal = 0;
+    uint64_t detectReplays = 0;
+    uint64_t detectReplayedInsts = 0;
+    uint64_t detectOverhead = 0;
+
     /**
      * Detection latency distribution per fault target (log2 buckets),
      * keyed by faultTargetName(). Journaled as compact bucket counts,
@@ -230,6 +250,16 @@ struct CampaignTally
     uint64_t latencySamples = 0;
     Cycle latencyTotal = 0;
     Cycle latencyMax = 0;
+
+    // Detection-backend totals over the tally's trials.
+    uint64_t cyclesTotal = 0;
+    uint64_t detectChecked = 0;
+    uint64_t detectMismatches = 0;
+    uint64_t detectExternal = 0;
+    uint64_t detectOverhead = 0;
+
+    /** Per-trial detection-overhead distribution (log2 buckets). */
+    Histogram overheadHist;
 
     /** Per-target latency histograms, merged over the tally's trials. */
     std::map<std::string, Histogram> latencyByTarget;

@@ -1,0 +1,166 @@
+#include "harness/shootout.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "harness/table.hh"
+
+namespace slip
+{
+
+ShootoutRow
+shootoutRow(const std::string &backend, const CampaignTally &tally)
+{
+    ShootoutRow row;
+    row.backend = backend;
+    row.trials = tally.trials;
+    row.faultsInjected = tally.faultsInjected;
+    row.faultsDetected = tally.faultsDetected;
+    row.silentCorrupt = tally.outcomes(TrialOutcome::SilentCorrupt);
+    row.detectedUnrepaired =
+        tally.outcomes(TrialOutcome::DetectedUnrepaired);
+    row.latencyAvg = tally.avgLatency();
+    row.latencyMax = tally.latencyMax;
+    row.overheadCycles = tally.detectOverhead;
+    row.cyclesTotal = tally.cyclesTotal;
+    return row;
+}
+
+std::string
+renderShootoutTable(const std::vector<ShootoutRow> &rows)
+{
+    Table table({"backend", "trials", "injected", "detected",
+                 "coverage", "silent-corrupt", "det-unrepaired",
+                 "lat-avg", "lat-max", "overhead-cycles", "overhead"});
+    for (const ShootoutRow &r : rows) {
+        table.addRow({r.backend, Table::count(r.trials),
+                      Table::count(r.faultsInjected),
+                      Table::count(r.faultsDetected),
+                      Table::percent(r.coverage()),
+                      Table::count(r.silentCorrupt),
+                      Table::count(r.detectedUnrepaired),
+                      Table::fixed(r.latencyAvg, 1),
+                      Table::count(r.latencyMax),
+                      Table::count(r.overheadCycles),
+                      Table::percent(r.overheadFraction())});
+    }
+    std::ostringstream out;
+    table.print(out);
+    return out.str();
+}
+
+void
+writeShootoutTable(const std::vector<ShootoutRow> &rows,
+                   const std::string &path)
+{
+    try {
+        const std::filesystem::path dir =
+            std::filesystem::path(path).parent_path();
+        if (!dir.empty())
+            std::filesystem::create_directories(dir);
+        const std::string tmp = path + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            if (!out) {
+                SLIP_WARN("cannot open shootout table temp file '", tmp,
+                          "' for writing; table not written");
+                return;
+            }
+            out << renderShootoutTable(rows);
+            out.flush();
+            if (!out) {
+                SLIP_WARN("write to shootout table temp file '", tmp,
+                          "' failed; table not written");
+                std::remove(tmp.c_str());
+                return;
+            }
+        }
+        std::filesystem::rename(tmp, path);
+    } catch (const std::exception &e) {
+        SLIP_WARN("failed to write shootout table '", path,
+                  "': ", e.what());
+    }
+}
+
+namespace
+{
+
+/** "key": <number> within `chunk`; false when absent. */
+bool
+findNumber(const std::string &chunk, const char *key, double &out)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const size_t at = chunk.find(needle);
+    if (at == std::string::npos)
+        return false;
+    const char *p = chunk.c_str() + at + needle.size();
+    char *end = nullptr;
+    out = std::strtod(p, &end);
+    return end != p;
+}
+
+uint64_t
+findU64(const std::string &chunk, const char *key)
+{
+    double v = 0.0;
+    findNumber(chunk, key, v);
+    return v < 0 ? 0 : uint64_t(v);
+}
+
+/** "key": "value" within `chunk`; empty when absent. */
+std::string
+findString(const std::string &chunk, const char *key)
+{
+    const std::string needle = std::string("\"") + key + "\": \"";
+    const size_t at = chunk.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const size_t from = at + needle.size();
+    const size_t end = chunk.find('"', from);
+    return end == std::string::npos ? ""
+                                    : chunk.substr(from, end - from);
+}
+
+} // namespace
+
+std::vector<ShootoutRow>
+shootoutRowsFromReport(const std::string &jsonText)
+{
+    std::vector<ShootoutRow> rows;
+    const std::string marker = "\"campaign\": \"";
+    size_t pos = jsonText.find(marker);
+    while (pos != std::string::npos) {
+        const size_t next = jsonText.find(marker, pos + marker.size());
+        std::string chunk = jsonText.substr(
+            pos, (next == std::string::npos ? jsonText.size() : next) -
+                     pos);
+        pos = next;
+        // Only the campaign-level tally: the per-workload breakdown
+        // repeats every key with per-workload values.
+        const size_t cut = chunk.find("\"workloads\"");
+        if (cut != std::string::npos)
+            chunk.resize(cut);
+        const std::string backend = findString(chunk, "detect_backend");
+        if (backend.empty())
+            continue; // pre-backend report object
+        ShootoutRow row;
+        row.backend = backend;
+        row.trials = findU64(chunk, "trials");
+        row.faultsInjected = findU64(chunk, "injected");
+        row.faultsDetected = findU64(chunk, "detected");
+        row.silentCorrupt = findU64(chunk, "silent_corrupt");
+        row.detectedUnrepaired = findU64(chunk, "detected_unrepaired");
+        findNumber(chunk, "avg", row.latencyAvg);
+        row.latencyMax = findU64(chunk, "max");
+        row.overheadCycles = findU64(chunk, "overhead_cycles");
+        row.cyclesTotal = findU64(chunk, "cycles_total");
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace slip

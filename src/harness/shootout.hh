@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Detection-backend shootout reporting: the three-way coverage /
+ * detection-latency / overhead comparison table that none of the
+ * source papers prints. One row per backend, built either live from
+ * a CampaignTally or offline from a fault-campaign JSON report
+ * (tools/detect_report re-renders results/detect_shootout.json).
+ */
+
+#ifndef SLIPSTREAM_HARNESS_SHOOTOUT_HH
+#define SLIPSTREAM_HARNESS_SHOOTOUT_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/fault_campaign.hh"
+
+namespace slip
+{
+
+/** One backend's line in the shootout table. */
+struct ShootoutRow
+{
+    std::string backend;
+    uint64_t trials = 0;
+    uint64_t faultsInjected = 0;
+    uint64_t faultsDetected = 0;
+    uint64_t silentCorrupt = 0;
+    uint64_t detectedUnrepaired = 0;
+    double latencyAvg = 0.0;
+    uint64_t latencyMax = 0;
+    uint64_t overheadCycles = 0;
+    uint64_t cyclesTotal = 0;
+
+    /** Detected fraction of landed faults. */
+    double
+    coverage() const
+    {
+        return faultsInjected
+                   ? double(faultsDetected) / double(faultsInjected)
+                   : 0.0;
+    }
+
+    /** Modeled detection cost relative to simulated cycles (IPC tax). */
+    double
+    overheadFraction() const
+    {
+        return cyclesTotal ? double(overheadCycles) / double(cyclesTotal)
+                           : 0.0;
+    }
+};
+
+/** Condense one campaign's grand tally into a table row. */
+ShootoutRow shootoutRow(const std::string &backend,
+                        const CampaignTally &tally);
+
+/** The aligned three-way table, ready to print. */
+std::string renderShootoutTable(const std::vector<ShootoutRow> &rows);
+
+/**
+ * Write the rendered table to `path` (atomic tmp+rename, like the
+ * JSON report). Never throws; failures warn with path and reason.
+ */
+void writeShootoutTable(const std::vector<ShootoutRow> &rows,
+                        const std::string &path);
+
+/**
+ * Reconstruct rows from a fault-campaign report (the JSON array
+ * campaignJson/writeFaultReport emit — a format we own, parsed by
+ * string search like the journal). Campaigns whose top-level tally
+ * carries a "detect_backend" key each become one row, in file order.
+ */
+std::vector<ShootoutRow> shootoutRowsFromReport(
+    const std::string &jsonText);
+
+} // namespace slip
+
+#endif // SLIPSTREAM_HARNESS_SHOOTOUT_HH

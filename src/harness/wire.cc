@@ -319,6 +319,14 @@ encodeRunMetrics(Encoder &enc, const RunMetrics &m)
     enc.putU64(m.degradedAtCycle);
     enc.putU64(m.rOnlyRetired);
 
+    enc.putString(m.detectBackend);
+    enc.putU64(m.detectChecked);
+    enc.putU64(m.detectMismatches);
+    enc.putU64(m.detectExternal);
+    enc.putU64(m.detectReplays);
+    enc.putU64(m.detectReplayedInsts);
+    enc.putU64(m.detectOverheadCycles);
+
     encodeFaultOutcome(enc, m.faultOutcome);
 }
 
@@ -358,6 +366,14 @@ decodeRunMetrics(Decoder &dec)
     m.degraded = dec.getBool();
     m.degradedAtCycle = dec.getU64();
     m.rOnlyRetired = dec.getU64();
+
+    m.detectBackend = dec.getString();
+    m.detectChecked = dec.getU64();
+    m.detectMismatches = dec.getU64();
+    m.detectExternal = dec.getU64();
+    m.detectReplays = dec.getU64();
+    m.detectReplayedInsts = dec.getU64();
+    m.detectOverheadCycles = dec.getU64();
 
     m.faultOutcome = decodeFaultOutcome(dec);
     return m;

@@ -40,7 +40,7 @@ namespace slip::wire
 {
 
 inline constexpr uint32_t kMagic = 0x53504C57; // "WLPS" on the wire
-inline constexpr uint16_t kVersion = 1;
+inline constexpr uint16_t kVersion = 2; // v2: RunMetrics detect* block
 
 /** Frame types the worker protocol speaks. */
 enum class MsgType : uint8_t

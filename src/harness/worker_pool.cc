@@ -51,15 +51,15 @@ parseIsolationMode(const std::string &text, IsolationMode &mode)
 IsolationMode
 isolationFromEnv(IsolationMode fallback)
 {
-    const char *raw = std::getenv("SLIPSTREAM_ISOLATION");
-    if (!raw || !*raw)
-        return fallback;
-    IsolationMode mode;
-    if (parseIsolationMode(raw, mode))
-        return mode;
-    SLIP_WARN("SLIPSTREAM_ISOLATION: unrecognized mode \"", raw,
-              "\" (want none|fork); using ", isolationModeName(fallback));
-    return fallback;
+    // Strict mode-knob contract: a typo'd isolation mode would run a
+    // whole campaign unsandboxed — refuse rather than guess.
+    switch (envChoice("SLIPSTREAM_ISOLATION", {"none", "fork"},
+                      size_t(fallback))) {
+      case 1:
+        return IsolationMode::Fork;
+      default:
+        return IsolationMode::None;
+    }
 }
 
 unsigned

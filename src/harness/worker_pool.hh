@@ -56,8 +56,9 @@ const char *isolationModeName(IsolationMode mode);
 bool parseIsolationMode(const std::string &text, IsolationMode &mode);
 
 /**
- * $SLIPSTREAM_ISOLATION per the env-knob contract: unset means
- * `fallback`, garbage warns (naming the variable) and falls back.
+ * $SLIPSTREAM_ISOLATION per the STRICT mode-knob contract: unset
+ * means `fallback`; an unrecognized value throws FatalError listing
+ * the valid choices (none|fork) — see common/env::envChoice.
  */
 IsolationMode isolationFromEnv(IsolationMode fallback = IsolationMode::None);
 

@@ -168,6 +168,33 @@ FaultInjector::onRecovery(Cycle now)
     }
 }
 
+unsigned
+FaultInjector::onExternalDetection(Cycle now)
+{
+    unsigned newly = 0;
+    for (FaultRecord &r : outcome_.records) {
+        if (!r.fired || !r.injected || r.detected)
+            continue;
+        // Only claim faults that corrupt R-visible architectural
+        // state (the slipstream blind spots). A-side corruption is
+        // healed by recovery before it can retire, so an external
+        // mismatch can never be evidence of it.
+        const bool rVisible =
+            r.plan.target == FaultTarget::RPipeline ||
+            r.plan.target == FaultTarget::MemoryCell;
+        if (!rVisible)
+            continue;
+        r.detected = true;
+        r.detectCycle = now;
+        ++newly;
+        SLIP_TRACE_AT(obs::Category::Fault, obs::Name::FaultDetected,
+                      obs::Phase::End, now,
+                      static_cast<uint64_t>(r.plan.target),
+                      r.detectCycle - r.injectCycle);
+    }
+    return newly;
+}
+
 const FaultOutcome &
 FaultInjector::outcome()
 {

@@ -190,6 +190,17 @@ class FaultInjector
      */
     void onRecovery(Cycle now);
 
+    /**
+     * An external detection backend (replay / checker-core) observed
+     * a retirement-state mismatch at `now`. Marks live fault records
+     * the slipstream sphere itself cannot see — the silently-retiring
+     * targets (non-redundant RPipeline, MemoryCell) — as detected and
+     * stamps their latency. Returns how many records were newly
+     * marked, so backends can count genuine coverage rather than raw
+     * mismatch events.
+     */
+    unsigned onExternalDetection(Cycle now);
+
     /** Aggregate + per-fault outcomes (aggregates recomputed). */
     const FaultOutcome &outcome();
 

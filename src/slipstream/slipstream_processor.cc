@@ -191,6 +191,8 @@ SlipstreamProcessor::doRecovery(Cycle now)
 
     // Fault bookkeeping: the A context was just resynchronized.
     faultInjector_.onRecovery(now);
+    if (onRecoveryEvent)
+        onRecoveryEvent(now);
 
     // Graceful degradation: recoveries this dense mean the A-stream
     // is doing more harm than good — finish the program R-only.
@@ -237,6 +239,8 @@ SlipstreamProcessor::degradeToROnly(Cycle now, Cycle resume)
             onArchRetire(d, cycle);
         return true;
     };
+    if (onDegradeEvent)
+        onDegradeEvent(now);
 }
 
 SlipstreamRunResult

@@ -29,6 +29,7 @@
 
 #include "assembler/program.hh"
 #include "common/cancel.hh"
+#include "detect/detect_params.hh"
 #include "slipstream/a_stream.hh"
 #include "slipstream/removal.hh"
 #include "slipstream/delay_buffer.hh"
@@ -105,6 +106,14 @@ struct SlipstreamParams
     RecoveryParams recovery;
     WatchdogParams watchdog;
     DegradeParams degrade;
+
+    /**
+     * Which error-detection backend observes the run (and its
+     * tuning). The processor itself always runs the native
+     * delay-buffer comparison — the backend is an external observer
+     * wired up by the harness (see detect/detection_backend.hh).
+     */
+    DetectParams detect;
 
     /**
      * Reset all removal confidence after a recovery. Avoids repeated
@@ -226,6 +235,21 @@ class SlipstreamProcessor
      * captures the retired-store stream through this.
      */
     std::function<void(const DynInst &, Cycle)> onArchRetire;
+
+    /**
+     * Called after every completed recovery, whatever triggered it
+     * (IR-misprediction, fault comparison, watchdog). Detection
+     * backends treat this as a suspicion trigger.
+     */
+    std::function<void(Cycle)> onRecoveryEvent;
+
+    /**
+     * Called after a degrade-to-R-only transition. The degrade flush
+     * discards walked-but-unretired instructions whose architectural
+     * effects are already applied, so the retired stream has a gap —
+     * observers must resync from archState()/rMemory().
+     */
+    std::function<void(Cycle)> onDegradeEvent;
 
     /** The authoritative memory image (all modes run/finish on it). */
     const Memory &rMemory() const { return rMem; }

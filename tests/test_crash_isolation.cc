@@ -327,6 +327,27 @@ TEST_F(CrashIsolation, SpinningTrialTimesOutUnderFork)
     EXPECT_NE(result.trials[2].outcome, TrialOutcome::TimedOut);
 }
 
+TEST_F(CrashIsolation, QuarantineCapSkipsNewBundles)
+{
+    // SLIPSTREAM_QUARANTINE_MAX bounds results/quarantine growth: at
+    // the cap, a poisoned trial still gets its journaled crashed
+    // outcome, but no new repro bundle lands on disk.
+    EnvGuard cap("SLIPSTREAM_QUARANTINE_MAX", "0");
+    FaultCampaignConfig cfg = baseConfig(journal("qcap"));
+    cfg.isolation = IsolationMode::Fork;
+    cfg.trialsPerWorkload = 3;
+    cfg.trialHook = [](size_t trial) {
+        if (trial == 1)
+            raise(SIGSEGV);
+    };
+
+    const FaultCampaignResult result = runFaultCampaign(cfg);
+    EXPECT_EQ(result.trials[1].outcome, TrialOutcome::Crashed);
+    EXPECT_FALSE(std::filesystem::exists(
+        std::filesystem::path("test_crash_isolation.quarantine") /
+        "crash_isolation_test_trial_1"));
+}
+
 TEST_F(CrashIsolation, FsyncKnobDoesNotChangeJournalContent)
 {
     FaultCampaignConfig fsynced = baseConfig(journal("fsync_on"));

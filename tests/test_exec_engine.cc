@@ -414,15 +414,20 @@ TEST_F(DispatchEnv, SelectsNamedEngines)
                                      : DispatchKind::Switch);
 }
 
-TEST_F(DispatchEnv, UnsetAndGarbageUseTheDefault)
+TEST_F(DispatchEnv, UnsetUsesTheDefault)
 {
     unsetenv("SLIPSTREAM_DISPATCH");
-    const DispatchKind fallback = defaultDispatch();
-    EXPECT_EQ(fallback, threadedDispatchCompiled()
-                            ? DispatchKind::Threaded
-                            : DispatchKind::Switch);
+    EXPECT_EQ(defaultDispatch(), threadedDispatchCompiled()
+                                     ? DispatchKind::Threaded
+                                     : DispatchKind::Switch);
+}
+
+TEST_F(DispatchEnv, GarbageThrows)
+{
+    // Strict mode-knob contract: a typo'd engine name would silently
+    // benchmark the wrong dispatch path, so it throws.
     setenv("SLIPSTREAM_DISPATCH", "turbo", 1);
-    EXPECT_EQ(defaultDispatch(), fallback);
+    EXPECT_THROW(defaultDispatch(), FatalError);
 }
 
 } // namespace

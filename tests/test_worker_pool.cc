@@ -75,11 +75,14 @@ TEST(IsolationMode, EnvSetOverrides)
     EXPECT_EQ(isolationFromEnv(), IsolationMode::Fork);
 }
 
-TEST(IsolationMode, EnvGarbageWarnsAndFallsBack)
+TEST(IsolationMode, EnvGarbageThrows)
 {
+    // Mode knobs parse strictly (common/env::envChoice): a typo'd
+    // isolation mode would run a whole campaign unsandboxed, so an
+    // unrecognized value throws instead of falling back.
     EnvGuard g("SLIPSTREAM_ISOLATION", "yes-please");
     setLogQuiet(true);
-    EXPECT_EQ(isolationFromEnv(), IsolationMode::None);
+    EXPECT_THROW(isolationFromEnv(), FatalError);
     setLogQuiet(false);
 }
 

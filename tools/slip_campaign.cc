@@ -18,7 +18,9 @@
  *
  * Exit codes: 0 = campaign completed and no non-demo trial was lost,
  * 1 = a trial that should have been healthy crashed or timed out,
- * 2 = usage error.
+ * 2 = usage error, 130 = interrupted (SIGINT) — completed trials are
+ * already journaled and fsync'd, so rerunning with --resume finishes
+ * the campaign without repeating them.
  */
 
 #include <cerrno>
@@ -42,6 +44,32 @@ namespace
 
 using namespace slip;
 
+/**
+ * Graceful SIGINT: every completed trial is already journaled (one
+ * write() per line, fsync'd by default), so there is nothing to
+ * flush — the job is to die deliberately: tell the operator how to
+ * resume, use a distinct exit status (130, the shell convention for
+ * SIGINT), and never from a forked worker's inherited handler (the
+ * supervisor triages worker deaths itself, so workers exit silently).
+ * Async-signal-safe only: write() + _exit().
+ */
+pid_t g_mainPid = 0;
+
+extern "C" void
+onSigint(int)
+{
+    if (getpid() == g_mainPid) {
+        static const char msg[] =
+            "\nslip_campaign: interrupted — completed trials are "
+            "journaled;\nrerun with --resume to finish without "
+            "repeating them\n";
+        const ssize_t n =
+            ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+        (void)n;
+    }
+    _exit(130);
+}
+
 void
 usage(std::ostream &os)
 {
@@ -49,6 +77,10 @@ usage(std::ostream &os)
           "  --isolation M    trial sandboxing: none | fork\n"
           "                   (default $SLIPSTREAM_ISOLATION, else "
           "none)\n"
+          "  --detect B       detection backend: slipstream | replay "
+          "| checker\n"
+          "                   (default $SLIPSTREAM_DETECT, else "
+          "slipstream)\n"
           "  --workers N      worker processes/threads\n"
           "                   (default $SLIPSTREAM_WORKERS, else "
           "$SLIPSTREAM_JOBS)\n"
@@ -108,8 +140,8 @@ printCampaign(const FaultCampaignResult &result)
 {
     Table table({"benchmark", "trials", "faults", "det+rec", "hung+rec",
                  "silent-benign", "silent-corrupt", "det-but-corrupt",
-                 "no-victim", "hung", "timed-out", "crashed",
-                 "degraded"});
+                 "det-unrepaired", "no-victim", "hung", "timed-out",
+                 "crashed", "degraded"});
     for (const auto &[name, t] : result.perWorkload) {
         table.addRow(
             {name, Table::count(t.trials), Table::count(t.faultsInjected),
@@ -118,6 +150,7 @@ printCampaign(const FaultCampaignResult &result)
              Table::count(t.outcomes(TrialOutcome::SilentBenign)),
              Table::count(t.outcomes(TrialOutcome::SilentCorrupt)),
              Table::count(t.outcomes(TrialOutcome::DetectedButCorrupt)),
+             Table::count(t.outcomes(TrialOutcome::DetectedUnrepaired)),
              Table::count(t.outcomes(TrialOutcome::NoVictim)),
              Table::count(t.outcomes(TrialOutcome::Hung)),
              Table::count(t.outcomes(TrialOutcome::TimedOut)),
@@ -170,6 +203,13 @@ main(int argc, char **argv)
             if (!parseIsolationMode(v, cfg.isolation)) {
                 std::cerr << "slip_campaign: bad --isolation '" << v
                           << "' (want none|fork)\n";
+                return 2;
+            }
+        } else if (arg == "--detect") {
+            const std::string v = value("--detect");
+            if (!parseDetectBackend(v, cfg.params.detect.kind)) {
+                std::cerr << "slip_campaign: bad --detect '" << v
+                          << "' (want slipstream|replay|checker)\n";
                 return 2;
             }
         } else if (arg == "--workers") {
@@ -266,9 +306,16 @@ main(int argc, char **argv)
 
     std::cout << "=== slip_campaign: " << cfg.name << " ===\n"
               << "isolation: " << isolationModeName(cfg.isolation)
+              << ", detect: "
+              << detectBackendName(cfg.params.detect.kind)
               << ", trials/workload: " << cfg.trialsPerWorkload
               << ", seed: " << cfg.seed << "\n\n";
     setLogQuiet(false);
+
+    g_mainPid = getpid();
+    struct sigaction sa = {};
+    sa.sa_handler = onSigint;
+    sigaction(SIGINT, &sa, nullptr);
 
     FaultCampaignResult result;
     try {
