@@ -86,6 +86,17 @@ class Program
     /** The whole predecoded text image, indexed like `text`. */
     const std::vector<MicroOp> &microOps() const { return micro_; }
 
+    /**
+     * The encoded text image exactly as assembled. Together with
+     * dataBytes() and entry() this is the program's complete identity
+     * — the serve result cache hashes these (not the source string, so
+     * comment/whitespace edits that assemble identically still hit).
+     */
+    const std::vector<uint32_t> &rawTextWords() const { return rawText; }
+
+    /** The initialized data image (see rawTextWords()). */
+    const std::vector<uint8_t> &dataBytes() const { return data; }
+
     /** Address of a label; fatal if absent. */
     Addr symbol(const std::string &name) const;
 

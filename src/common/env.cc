@@ -10,11 +10,37 @@
 namespace slip
 {
 
+namespace
+{
+
+/**
+ * The raw value of $name, or nullptr when the variable is unset OR
+ * set to an empty / whitespace-only string. `FOO= cmd` and
+ * `FOO=" " cmd` are how shells and supervisors *clear* a knob, not
+ * how anyone spells a value — every helper treats them as unset, so
+ * an empty SLIPSTREAM_DETECT= can never trip the strict mode-knob
+ * contract. Leading/trailing whitespace around a real value is NOT
+ * stripped here; the individual parsers decide what they accept.
+ */
+const char *
+envRaw(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return nullptr;
+    for (const char *p = env; *p; ++p)
+        if (!std::isspace(static_cast<unsigned char>(*p)))
+            return env;
+    return nullptr;
+}
+
+} // namespace
+
 uint64_t
 envU64(const char *name, uint64_t fallback)
 {
-    const char *env = std::getenv(name);
-    if (!env || *env == '\0')
+    const char *env = envRaw(name);
+    if (!env)
         return fallback;
     // strtoull silently accepts "-1" by wrapping; reject signs up
     // front so garbage cannot masquerade as a huge count.
@@ -35,8 +61,8 @@ envU64(const char *name, uint64_t fallback)
 bool
 envFlag(const char *name, bool fallback)
 {
-    const char *env = std::getenv(name);
-    if (!env || *env == '\0')
+    const char *env = envRaw(name);
+    if (!env)
         return fallback;
     std::string v;
     for (const char *p = env; *p; ++p)
@@ -56,8 +82,8 @@ size_t
 envChoice(const char *name,
           std::initializer_list<const char *> choices, size_t fallback)
 {
-    const char *env = std::getenv(name);
-    if (!env || *env == '\0')
+    const char *env = envRaw(name);
+    if (!env)
         return fallback;
     size_t i = 0;
     for (const char *choice : choices) {

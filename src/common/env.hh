@@ -4,8 +4,10 @@
  * one contract (the one SLIPSTREAM_JOBS established): an unset
  * variable means the built-in default, a well-formed value wins, and
  * garbage earns a warning naming the variable and falls back to the
- * default — it never aborts a run. Values are re-read on every call
- * so tests can override per-run.
+ * default — it never aborts a run. An empty or whitespace-only value
+ * (`SLIPSTREAM_DETECT= cmd`) counts as *unset*, not as garbage: that
+ * is how shells and supervisors clear a knob. Values are re-read on
+ * every call so tests can override per-run.
  */
 
 #ifndef SLIPSTREAM_COMMON_ENV_HH
@@ -32,8 +34,8 @@ bool envFlag(const char *name, bool fallback);
 
 /**
  * $name matched (case-sensitively) against a closed set of mode
- * names. Unset or empty returns `fallback`; a listed value returns
- * its index in `choices`.
+ * names. Unset, empty, or whitespace-only returns `fallback`; a
+ * listed value returns its index in `choices`.
  *
  * Unlike the numeric knobs above, mode knobs get the STRICT contract:
  * an unrecognized value throws FatalError naming the variable and

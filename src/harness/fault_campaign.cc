@@ -467,8 +467,8 @@ fillAggregates(TrialRecord &t)
 
 } // namespace
 
-FaultCampaignResult
-runFaultCampaign(const FaultCampaignConfig &cfg)
+std::vector<CampaignTrialSpec>
+planCampaignTrials(const FaultCampaignConfig &cfg)
 {
     std::vector<std::string> names = cfg.workloads;
     if (names.empty())
@@ -484,21 +484,12 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
                 "bad faults-per-trial range [", cfg.minFaultsPerTrial,
                 ", ", cfg.maxFaultsPerTrial, "]");
 
-    SlipstreamParams params = cfg.params;
-    if (cfg.reliableMode)
-        params.irPred.enabled = false;
-
     // Draw every trial's plan list serially, in a fixed order, before
-    // submitting any job: determinism for any worker count.
-    struct TrialSpec
-    {
-        const ProgramCache::Entry *entry;
-        std::string workload;
-        std::vector<FaultPlan> plans;
-        Cycle maxCycles;
-    };
+    // any job runs: determinism for any worker count — and for any
+    // *client* count, since the serve protocol addresses trials by
+    // index into exactly this vector.
     Rng rng(cfg.seed);
-    std::vector<TrialSpec> specs;
+    std::vector<CampaignTrialSpec> specs;
     for (const std::string &name : names) {
         const ProgramCache::Entry &e =
             ProgramCache::global().get(name, cfg.size);
@@ -506,8 +497,8 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
         // IPC, plus every watchdog trip the processor may spend.
         const Cycle maxCycles =
             e.goldenInstCount * cfg.cycleCapPerInst +
-            Cycle(params.watchdog.maxTrips + 2) *
-                params.watchdog.stallCycles +
+            Cycle(cfg.params.watchdog.maxTrips + 2) *
+                cfg.params.watchdog.stallCycles +
             100'000;
         for (unsigned t = 0; t < cfg.trialsPerWorkload; ++t) {
             const unsigned numFaults =
@@ -531,6 +522,96 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
                 {&e, name, std::move(plans), maxCycles});
         }
     }
+    return specs;
+}
+
+RunMetrics
+runCampaignTrial(const FaultCampaignConfig &cfg,
+                 const CampaignTrialSpec &spec, size_t trial,
+                 const CancelToken &cancel)
+{
+    const auto *entry =
+        static_cast<const ProgramCache::Entry *>(spec.entry);
+    const std::string trialName =
+        cfg.name + "_" + spec.workload + "_t" + std::to_string(trial);
+    obs::TrialTrace scope(trialName);
+    if (cfg.trialHook)
+        cfg.trialHook(trial);
+    SlipstreamParams params = cfg.params;
+    if (cfg.reliableMode)
+        params.irPred.enabled = false;
+    RunMetrics m = runSlipstream(entry->program, params, entry->golden,
+                                 spec.plans, spec.maxCycles, &cancel);
+    if (m.cancelled) {
+        SLIP_TRACE(obs::Category::Trial, obs::Name::TrialTimeout,
+                   obs::Phase::Instant, m.cycles, 0);
+    }
+    return m;
+}
+
+TrialRecord
+recordCampaignTrial(const FaultCampaignConfig &cfg,
+                    const CampaignTrialSpec &spec, size_t trial,
+                    const JobOutcome &o)
+{
+    TrialRecord t;
+    t.workload = spec.workload;
+    t.plans = spec.plans;
+    t.faultsPlanned = spec.plans.size();
+    // Every trial ran under the config's backend, whatever its
+    // outcome — crashed trials included, so they resume cleanly.
+    t.detectBackend = detectBackendName(cfg.params.detect.kind);
+    switch (o.status) {
+      case JobOutcome::Status::Ok:
+        t.metrics = o.metrics;
+        t.outcome = classifyTrial(t.metrics);
+        fillAggregates(t);
+        break;
+      case JobOutcome::Status::TimedOut:
+        t.metrics = o.metrics; // partial, still informative
+        t.outcome = TrialOutcome::TimedOut;
+        fillAggregates(t);
+        break;
+      case JobOutcome::Status::Error:
+        t.outcome = TrialOutcome::Crashed;
+        t.error = std::string(errorKindName(o.errorKind)) + ": " +
+                  o.errorMessage;
+        SLIP_WARN("campaign '", cfg.name, "' trial ", trial,
+                  " crashed (", t.error, "); siblings unaffected");
+        break;
+      case JobOutcome::Status::Crashed:
+        // A worker process died under this trial (fork isolation):
+        // signal + last-known phase from the supervisor's triage.
+        t.outcome = TrialOutcome::Crashed;
+        t.error = o.errorMessage;
+        t.crashSignal = o.termSignal;
+        t.crashExit = o.termExitCode;
+        t.crashPhase = trialPhaseName(o.crashPhase);
+        SLIP_WARN("campaign '", cfg.name, "' trial ", trial,
+                  " lost its worker (", t.error,
+                  "); siblings unaffected");
+        break;
+    }
+    return t;
+}
+
+std::string
+campaignTrialLine(const FaultCampaignConfig &cfg, size_t trial,
+                  const TrialRecord &t)
+{
+    return journalLine(cfg, trial, t);
+}
+
+FaultCampaignResult
+runFaultCampaign(const FaultCampaignConfig &cfg)
+{
+    std::vector<std::string> names = cfg.workloads;
+    if (names.empty())
+        for (const Workload &w : allWorkloads(cfg.size))
+            names.push_back(w.name);
+
+    const std::vector<CampaignTrialSpec> specs =
+        planCampaignTrials(cfg);
 
     const std::string journalPath = resolveJournalPath(cfg);
     const bool resume =
@@ -651,23 +732,9 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
         if (done[i])
             continue;
         jobToSpec.push_back(i);
-        const TrialSpec *s = &specs[i];
-        const std::string trialName = cfg.name + "_" + s->workload +
-                                      "_t" + std::to_string(i);
-        runner.add([&cfg, &params, s, i,
-                    trialName](const CancelToken &cancel) {
-            obs::TrialTrace scope(trialName);
-            if (cfg.trialHook)
-                cfg.trialHook(i);
-            RunMetrics m = runSlipstream(s->entry->program, params,
-                                         s->entry->golden, s->plans,
-                                         s->maxCycles, &cancel);
-            if (m.cancelled) {
-                SLIP_TRACE(obs::Category::Trial,
-                           obs::Name::TrialTimeout, obs::Phase::Instant,
-                           m.cycles, 0);
-            }
-            return m;
+        const CampaignTrialSpec *s = &specs[i];
+        runner.add([&cfg, s, i](const CancelToken &cancel) {
+            return runCampaignTrial(cfg, *s, i, cancel);
         });
     }
 
@@ -729,46 +796,9 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
     // every finished trial hits the journal immediately.
     runner.runSupervised([&](size_t job, const JobOutcome &o) {
         const size_t i = jobToSpec[job];
-        TrialRecord t;
-        t.workload = specs[i].workload;
-        t.plans = specs[i].plans;
-        t.faultsPlanned = specs[i].plans.size();
-        // Every trial ran under the config's backend, whatever its
-        // outcome — crashed trials included, so they resume cleanly.
-        t.detectBackend = detectBackendName(cfg.params.detect.kind);
-        switch (o.status) {
-          case JobOutcome::Status::Ok:
-            t.metrics = o.metrics;
-            t.outcome = classifyTrial(t.metrics);
-            fillAggregates(t);
-            break;
-          case JobOutcome::Status::TimedOut:
-            t.metrics = o.metrics; // partial, still informative
-            t.outcome = TrialOutcome::TimedOut;
-            fillAggregates(t);
-            break;
-          case JobOutcome::Status::Error:
-            t.outcome = TrialOutcome::Crashed;
-            t.error = std::string(errorKindName(o.errorKind)) + ": " +
-                      o.errorMessage;
-            SLIP_WARN("campaign '", cfg.name, "' trial ", i,
-                      " crashed (", t.error, "); siblings unaffected");
-            break;
-          case JobOutcome::Status::Crashed:
-            // A worker process died under this trial (fork isolation):
-            // signal + last-known phase from the supervisor's triage.
-            t.outcome = TrialOutcome::Crashed;
-            t.error = o.errorMessage;
-            t.crashSignal = o.termSignal;
-            t.crashExit = o.termExitCode;
-            t.crashPhase = trialPhaseName(o.crashPhase);
-            SLIP_WARN("campaign '", cfg.name, "' trial ", i,
-                      " lost its worker (", t.error,
-                      "); siblings unaffected");
-            if (o.poisoned)
-                quarantine(i, t);
-            break;
-        }
+        TrialRecord t = recordCampaignTrial(cfg, specs[i], i, o);
+        if (o.status == JobOutcome::Status::Crashed && o.poisoned)
+            quarantine(i, t);
         journal.append(cfg, i, t);
         done[i] = std::move(t);
     });
@@ -885,6 +915,7 @@ campaignJson(const FaultCampaignConfig &cfg,
 
     std::ostringstream out;
     out << "{\n"
+        << "  \"report_version\": " << kFaultReportVersion << ",\n"
         << "  \"campaign\": \"" << cfg.name << "\",\n"
         << "  \"mode\": \""
         << (cfg.reliableMode ? "reliable" : "slipstream") << "\",\n"

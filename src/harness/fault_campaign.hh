@@ -51,6 +51,7 @@
 
 #include "common/stats.hh"
 #include "harness/experiment.hh"
+#include "harness/sim_runner.hh"
 #include "harness/worker_pool.hh"
 #include "workloads/workloads.hh"
 
@@ -299,8 +300,74 @@ struct FaultCampaignResult
     CampaignTally total;
 };
 
+// ---------------------------------------------------------------------
+// The campaign pipeline, stage by stage. runFaultCampaign() composes
+// these; the slipd campaign server drives them one trial at a time
+// (plan -> cache probe -> execute -> record -> render), so a trial
+// served remotely reports byte-for-byte what the batch CLI reports.
+// ---------------------------------------------------------------------
+
+/** One planned trial: workload, fault plans, and its cycle cap. */
+struct CampaignTrialSpec
+{
+    /**
+     * The shared immutable ProgramCache::Entry (program + golden);
+     * consumers recover it with
+     * static_cast<const ProgramCache::Entry *>(entry).
+     */
+    const void *entry = nullptr;
+    std::string workload;
+    std::vector<FaultPlan> plans;
+    Cycle maxCycles = 0;
+};
+
+/**
+ * Draw every trial's plan list, serially from one Rng seeded with
+ * cfg.seed, in a fixed order — the determinism root for any worker
+ * count, any isolation mode, and any client count. Index i in the
+ * returned vector is campaign trial i everywhere (journal, cache,
+ * serve protocol).
+ */
+std::vector<CampaignTrialSpec>
+planCampaignTrials(const FaultCampaignConfig &cfg);
+
+/**
+ * Execute one planned trial (the exact job body batch campaigns run:
+ * trialHook, then the armed slipstream simulation under the spec's
+ * cycle cap).
+ */
+RunMetrics runCampaignTrial(const FaultCampaignConfig &cfg,
+                            const CampaignTrialSpec &spec, size_t trial,
+                            const CancelToken &cancel);
+
+/**
+ * Classify one finished job into the TrialRecord the tallies, the
+ * journal, and the JSONL stream consume — including crash triage for
+ * trials whose worker died.
+ */
+TrialRecord recordCampaignTrial(const FaultCampaignConfig &cfg,
+                                const CampaignTrialSpec &spec,
+                                size_t trial, const JobOutcome &outcome);
+
+/**
+ * One trial as its canonical JSONL journal line (no trailing
+ * newline). The journal, the serve result stream, and the result
+ * cache all store exactly these bytes.
+ */
+std::string campaignTrialLine(const FaultCampaignConfig &cfg,
+                              size_t trial, const TrialRecord &t);
+
 /** Run the campaign (parallel trials, deterministic results). */
 FaultCampaignResult runFaultCampaign(const FaultCampaignConfig &cfg);
+
+/**
+ * Schema revision stamped into every campaign JSON object
+ * ("report_version"). Consumers (tools/detect_report) refuse a
+ * report from a different revision with a diagnostic instead of
+ * misparsing it; reports from before the field existed read as
+ * legacy and are accepted.
+ */
+inline constexpr unsigned kFaultReportVersion = 1;
 
 /**
  * One campaign as a JSON object (config echo, outcome counts,

@@ -1,5 +1,6 @@
 #include "harness/shootout.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -161,6 +162,54 @@ shootoutRowsFromReport(const std::string &jsonText)
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+bool
+validateShootoutReport(const std::string &jsonText, std::string &err)
+{
+    size_t begin = 0;
+    size_t end = jsonText.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(jsonText[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(jsonText[end - 1])))
+        --end;
+    if (begin == end) {
+        err = "report is empty";
+        return false;
+    }
+    if (jsonText[begin] != '[') {
+        err = "report does not start with a JSON array (foreign or "
+              "corrupt file)";
+        return false;
+    }
+    if (jsonText[end - 1] != ']') {
+        err = "report is truncated (no closing ']' — writer died "
+              "mid-file?)";
+        return false;
+    }
+    // Every campaign object must be this schema revision. Objects
+    // written before "report_version" existed have no field and pass
+    // as legacy.
+    size_t pos = 0;
+    const std::string needle = "\"report_version\":";
+    while ((pos = jsonText.find(needle, pos)) != std::string::npos) {
+        const char *p = jsonText.c_str() + pos + needle.size();
+        char *numEnd = nullptr;
+        const unsigned long v = std::strtoul(p, &numEnd, 10);
+        if (numEnd == p || v != kFaultReportVersion) {
+            err = "report schema version " +
+                  (numEnd == p ? std::string("<garbage>")
+                               : std::to_string(v)) +
+                  " does not match this build's version " +
+                  std::to_string(kFaultReportVersion) +
+                  " (regenerate the report)";
+            return false;
+        }
+        pos += needle.size();
+    }
+    return true;
 }
 
 } // namespace slip

@@ -73,6 +73,19 @@ void writeShootoutTable(const std::vector<ShootoutRow> &rows,
 std::vector<ShootoutRow> shootoutRowsFromReport(
     const std::string &jsonText);
 
+/**
+ * Sanity-check raw report text before parsing it: the file must be a
+ * complete JSON array (writeFaultReport writes `[...]` atomically, so
+ * anything else is a truncated or foreign file) and every
+ * "report_version" present must equal kFaultReportVersion (reports
+ * predating the field count as legacy and pass). False puts a
+ * one-line diagnosis — empty / truncated / version N vs M — in
+ * `err`; consumers print it and exit non-zero instead of rendering a
+ * silently wrong table.
+ */
+bool validateShootoutReport(const std::string &jsonText,
+                            std::string &err);
+
 } // namespace slip
 
 #endif // SLIPSTREAM_HARNESS_SHOOTOUT_HH

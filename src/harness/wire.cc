@@ -178,10 +178,17 @@ constexpr uint32_t kMaxFrame = 64u << 20;
 bool
 writeFrame(int fd, MsgType type, const std::string &payload)
 {
+    return writeFrameVersion(fd, type, kVersion, payload);
+}
+
+bool
+writeFrameVersion(int fd, MsgType type, uint16_t version,
+                  const std::string &payload)
+{
     FrameHeader hdr;
     hdr.length = uint32_t(payload.size());
     hdr.magic = kMagic;
-    hdr.version = kVersion;
+    hdr.version = version;
     hdr.type = uint8_t(type);
     hdr.pad = 0;
     if (!writeAll(fd, &hdr, sizeof(hdr)))
@@ -209,6 +216,31 @@ readFrame(int fd, MsgType &type, std::string &payload)
     if (hdr.length > 0 && readAll(fd, payload.data(), hdr.length) != 1)
         return ReadResult::Error;
     type = MsgType(hdr.type);
+    return ReadResult::Ok;
+}
+
+ReadResult
+readFrameInfo(int fd, FrameInfo &frame)
+{
+    FrameHeader hdr;
+    const int got = readAll(fd, &hdr, sizeof(hdr));
+    if (got == 0)
+        return ReadResult::Eof;
+    if (got < 0)
+        return ReadResult::Error;
+    // Version deliberately unchecked (the caller negotiates); a bad
+    // magic or an insane length is still garbage, not a peer.
+    if (hdr.magic != kMagic || hdr.length > kMaxFrame) {
+        SLIP_WARN("wire: bad frame header (magic 0x", std::hex, hdr.magic,
+                  std::dec, " length ", hdr.length, ")");
+        return ReadResult::Error;
+    }
+    frame.payload.resize(hdr.length);
+    if (hdr.length > 0 &&
+        readAll(fd, frame.payload.data(), hdr.length) != 1)
+        return ReadResult::Error;
+    frame.type = MsgType(hdr.type);
+    frame.version = hdr.version;
     return ReadResult::Ok;
 }
 

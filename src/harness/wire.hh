@@ -1,7 +1,8 @@
 /**
  * @file
- * The versioned, length-prefixed pipe protocol between the trial
- * supervisor and its forked worker processes.
+ * The versioned, length-prefixed frame protocol shared by the trial
+ * supervisor / forked-worker pipes and the slipd campaign server's
+ * client sockets.
  *
  * Framing: every message is
  *
@@ -11,6 +12,18 @@
  * partial-I/O-safe). The magic and version are checked on every frame
  * — a supervisor never interprets bytes from a worker running a
  * different protocol revision; it fails loudly instead.
+ *
+ * Two readers exist for two trust models:
+ *
+ *  - readFrame(): strict — any version other than kVersion is an
+ *    Error. The worker pipes use this everywhere, and the serve
+ *    protocol uses it for every frame after the handshake.
+ *  - readFrameInfo(): lenient on *version only* (magic and length are
+ *    still enforced). Used exactly once per connection, for the
+ *    Hello/HelloReject exchange, so a peer speaking a different
+ *    protocol revision gets told "server speaks v2, you speak v1"
+ *    instead of a silent close — version negotiation fails closed
+ *    with a diagnosis, never open.
  *
  * Payloads are built with Encoder/Decoder: fixed-width little-endian
  * integers, bit-pattern doubles (exact round-trip — determinism
@@ -42,12 +55,43 @@ namespace slip::wire
 inline constexpr uint32_t kMagic = 0x53504C57; // "WLPS" on the wire
 inline constexpr uint16_t kVersion = 2; // v2: RunMetrics detect* block
 
-/** Frame types the worker protocol speaks. */
+/** Frame types the worker and serve protocols speak. */
 enum class MsgType : uint8_t
 {
+    // Worker pipes (supervisor <-> forked worker).
     JobRequest = 1, // supervisor -> worker: {u64 job, u32 attempt}
     JobResult = 2,  // worker -> supervisor: {u64 job, bytes payload}
     Shutdown = 3,   // supervisor -> worker: drain and _exit(0)
+
+    // Serve protocol (slipc <-> slipd). Types 16+ so a serve frame
+    // misdelivered to a worker pipe reads as protocol confusion, not
+    // as a job.
+    Hello = 16,        // client -> server: {string client name}
+    HelloAck = 17,     // server -> client: {u16 version, string server}
+    HelloReject = 18,  // server -> client: {u16 server version,
+                       //                    string reason}
+    BatchRequest = 19, // client -> server: serve::BatchRequest codec
+    TrialResult = 20,  // server -> client: one finished trial's JSONL
+    BatchDone = 21,    // server -> client: batch summary + status
+    CancelBatch = 22,  // client -> server: revoke undispatched trials
+    StatsRequest = 23, // client -> server: {}
+    StatsReply = 24,   // server -> client: serve::ServeStats codec
+    DrainRequest = 25, // client -> server: drain + exit after reply
+    DrainAck = 26,     // server -> client: drain began
+};
+
+/**
+ * One frame as read leniently: the header's version rides along
+ * instead of being enforced, so handshake code can diagnose a
+ * revision mismatch in its error message. Magic and the length
+ * sanity cap are still enforced — this is version-lenient, not
+ * trust-everything.
+ */
+struct FrameInfo
+{
+    MsgType type = MsgType::Shutdown;
+    uint16_t version = 0;
+    std::string payload;
 };
 
 /** Append-only payload builder. */
@@ -114,6 +158,20 @@ bool writeFrame(int fd, MsgType type, const std::string &payload);
  * between frames; a close mid-frame is Error.
  */
 ReadResult readFrame(int fd, MsgType &type, std::string &payload);
+
+/**
+ * Write one frame stamping an explicit protocol version into the
+ * header (tests and cross-version handshake probes; everything else
+ * uses writeFrame, which stamps kVersion).
+ */
+bool writeFrameVersion(int fd, MsgType type, uint16_t version,
+                       const std::string &payload);
+
+/**
+ * Read one frame accepting any header version (see FrameInfo).
+ * Handshake use only; mid-stream frames go through readFrame.
+ */
+ReadResult readFrameInfo(int fd, FrameInfo &frame);
 
 // ---------------------------------------------------------------------
 // Harness codecs.

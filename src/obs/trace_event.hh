@@ -44,9 +44,10 @@ enum class Category : uint32_t
     Trial = 1u << 5,       // trial lifecycle, retries, timeouts
     Fault = 1u << 6,       // fault injection → detection spans
     Worker = 1u << 7,      // sandbox worker lifecycle, crashes
+    Serve = 1u << 8,       // slipd client/batch lifecycle, cache
 };
 
-inline constexpr unsigned kNumCategories = 8;
+inline constexpr unsigned kNumCategories = 9;
 inline constexpr uint32_t kAllCategories =
     (1u << kNumCategories) - 1;
 
@@ -116,6 +117,17 @@ enum class Name : uint16_t
     WorkerCrash,    // instant: arg0 signal, arg1 job index
     JobRedispatch,  // instant: arg0 job index, arg1 new attempt
     JobQuarantined, // instant: arg0 job index, arg1 signal
+
+    // Serve
+    ClientConnect,   // instant: arg0 connection id
+    ClientDisconnect,// instant: arg0 connection id
+    BatchSpan,       // begin/end: arg0 batch id, arg1 trial count
+    BatchCancelled,  // instant: arg0 batch id, arg1 trials revoked
+    CacheHit,        // instant: arg0 batch id, arg1 trial index
+    CacheMiss,       // instant: arg0 batch id, arg1 trial index
+    CacheStore,      // instant: arg0 batch id, arg1 trial index
+    CacheEvict,      // instant: arg0 entries evicted, arg1 remaining
+    DrainSpan,       // begin/end: graceful-drain window
 };
 
 /** Display string for a name id (the Chrome `name` field). */

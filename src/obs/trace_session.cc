@@ -45,6 +45,8 @@ categoryName(Category category)
         return "fault";
       case Category::Worker:
         return "worker";
+      case Category::Serve:
+        return "serve";
     }
     return "?";
 }
@@ -157,6 +159,24 @@ eventNameString(Name name)
         return "job_redispatch";
       case Name::JobQuarantined:
         return "job_quarantined";
+      case Name::ClientConnect:
+        return "client_connect";
+      case Name::ClientDisconnect:
+        return "client_disconnect";
+      case Name::BatchSpan:
+        return "batch";
+      case Name::BatchCancelled:
+        return "batch_cancelled";
+      case Name::CacheHit:
+        return "cache_hit";
+      case Name::CacheMiss:
+        return "cache_miss";
+      case Name::CacheStore:
+        return "cache_store";
+      case Name::CacheEvict:
+        return "cache_evict";
+      case Name::DrainSpan:
+        return "drain";
     }
     return "?";
 }

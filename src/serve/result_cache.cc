@@ -1,0 +1,307 @@
+#include "serve/result_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "detect/detect_params.hh"
+#include "harness/sim_runner.hh"
+#include "harness/wire.hh"
+#include "obs/trace_session.hh"
+
+namespace fs = std::filesystem;
+
+namespace slip::serve
+{
+
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/**
+ * Two FNV-1a streams over the same bytes, decorrelated by seeding the
+ * second with the first's offset basis xor a constant and walking the
+ * bytes salted. 128 bits makes accidental collision over any
+ * realistic campaign count (< 2^40 entries) a non-issue.
+ */
+CacheKey
+fnv128(const std::string &bytes)
+{
+    uint64_t a = kFnvOffset;
+    uint64_t b = kFnvOffset ^ 0x9e3779b97f4a7c15ULL;
+    for (unsigned char c : bytes) {
+        a = (a ^ c) * kFnvPrime;
+        b = (b ^ (c + 0x7f)) * kFnvPrime;
+    }
+    return CacheKey{a, b};
+}
+
+} // namespace
+
+std::string
+CacheKey::hex() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return std::string(buf, 32);
+}
+
+CacheKey
+cacheKeyOf(const std::string &canonicalBytes)
+{
+    return fnv128(canonicalBytes);
+}
+
+CacheKey
+campaignTrialKey(const FaultCampaignConfig &cfg,
+                 const CampaignTrialSpec &spec, size_t trial)
+{
+    const auto *entry =
+        static_cast<const ProgramCache::Entry *>(spec.entry);
+    wire::Encoder enc;
+
+    // The wire revision versions the whole serialization: bump
+    // wire::kVersion and every old entry silently misses.
+    enc.putU16(wire::kVersion);
+
+    // Program identity: the assembled image, not the source text.
+    const Program &p = entry->program;
+    enc.putU64(p.entry());
+    enc.putU32(uint32_t(p.rawTextWords().size()));
+    for (uint32_t w : p.rawTextWords())
+        enc.putU32(w);
+    enc.putU32(uint32_t(p.dataBytes().size()));
+    for (uint8_t byte : p.dataBytes())
+        enc.putU8(byte);
+
+    // Trial identity within the campaign.
+    enc.putString(cfg.name);
+    enc.putString(spec.workload);
+    enc.putU8(uint8_t(cfg.size));
+    enc.putU64(cfg.seed);
+    enc.putU64(trial);
+    enc.putBool(cfg.reliableMode);
+    enc.putU64(cfg.cycleCapPerInst);
+    enc.putU64(spec.maxCycles);
+
+    // The planned faults (already drawn; hashing the plan, not the
+    // Rng inputs, keeps the key honest if planning ever changes).
+    enc.putU32(uint32_t(spec.plans.size()));
+    for (const FaultPlan &plan : spec.plans) {
+        enc.putU8(uint8_t(plan.target));
+        enc.putU64(plan.dynIndex);
+        enc.putU32(plan.bit);
+        enc.putU32(plan.reg);
+    }
+
+    // Detection backend + tuning (changes result bytes).
+    const DetectParams &d = cfg.params.detect;
+    enc.putU8(uint8_t(d.kind));
+    enc.putU64(d.replayWindow);
+    enc.putU32(d.replayWidth);
+    enc.putU32(d.checkerBandwidth);
+    enc.putU32(d.checkerQueue);
+
+    // Watchdog shape feeds the cycle cap and hung classification.
+    enc.putU64(cfg.params.watchdog.stallCycles);
+    enc.putU32(cfg.params.watchdog.maxTrips);
+
+    return fnv128(enc.bytes());
+}
+
+ResultCache::ResultCache(std::string root, uint64_t maxEntries)
+    : root_(std::move(root)),
+      maxEntries_(maxEntries
+                      ? maxEntries
+                      : envU64("SLIPSTREAM_CACHE_MAX", 65536))
+{
+    if (root_.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(root_, ec);
+    if (ec) {
+        SLIP_WARN("result cache: cannot create '", root_, "' (",
+                  ec.message(), "); caching disabled");
+        root_.clear();
+        return;
+    }
+    // Count what a previous slipd left behind — those entries are the
+    // whole point of persistence, and the eviction cap must see them.
+    uint64_t found = 0;
+    for (const auto &shard : fs::directory_iterator(root_, ec)) {
+        if (!shard.is_directory())
+            continue;
+        for (const auto &e :
+             fs::directory_iterator(shard.path(), ec))
+            if (e.is_regular_file())
+                ++found;
+    }
+    entries_ = found;
+}
+
+std::string
+ResultCache::pathFor(const CacheKey &key) const
+{
+    const std::string hex = key.hex();
+    return root_ + "/" + hex.substr(0, 2) + "/" + hex;
+}
+
+bool
+ResultCache::lookup(const CacheKey &key, std::string &line)
+{
+    if (root_.empty())
+        return false;
+    std::ifstream in(pathFor(key), std::ios::binary);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!in) {
+        ++stats_.counter("misses");
+        return false;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    line = body.str();
+    ++stats_.counter("hits");
+    SLIP_TRACE(obs::Category::Serve, obs::Name::CacheHit,
+               obs::Phase::Instant, key.hi, key.lo);
+    return true;
+}
+
+void
+ResultCache::store(const CacheKey &key, const std::string &line)
+{
+    if (root_.empty())
+        return;
+    const std::string path = pathFor(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (fs::exists(path, ec))
+        return; // content-addressed: same key, same bytes
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            SLIP_WARN("result cache: cannot write '", tmp, "'");
+            return;
+        }
+        out << line;
+        if (!out.good()) {
+            SLIP_WARN("result cache: short write to '", tmp, "'");
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        SLIP_WARN("result cache: rename into '", path, "' failed (",
+                  ec.message(), ")");
+        fs::remove(tmp, ec);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++entries_;
+        ++stats_.counter("stores");
+    }
+    SLIP_TRACE(obs::Category::Serve, obs::Name::CacheStore,
+               obs::Phase::Instant, key.hi, key.lo);
+    evictIfNeeded();
+}
+
+void
+ResultCache::evictIfNeeded()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (entries_ <= maxEntries_)
+            return;
+    }
+    // Over the cap: sweep the whole tree once, drop the oldest
+    // entries down to cap minus one sweep-quantum so the next stores
+    // are free. mtime order is eviction policy, not correctness — a
+    // mis-ordered eviction costs one re-simulation.
+    std::vector<std::pair<fs::file_time_type, fs::path>> files;
+    std::error_code ec;
+    for (const auto &shard : fs::directory_iterator(root_, ec)) {
+        if (!shard.is_directory())
+            continue;
+        for (const auto &e :
+             fs::directory_iterator(shard.path(), ec)) {
+            if (!e.is_regular_file())
+                continue;
+            files.emplace_back(e.last_write_time(ec), e.path());
+        }
+    }
+    const uint64_t target =
+        maxEntries_ > maxEntries_ / 16 ? maxEntries_ - maxEntries_ / 16
+                                       : maxEntries_;
+    if (files.size() <= target)
+        return;
+    std::sort(files.begin(), files.end());
+    const uint64_t drop = files.size() - target;
+    uint64_t dropped = 0;
+    for (uint64_t i = 0; i < drop; ++i)
+        if (fs::remove(files[i].second, ec))
+            ++dropped;
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_ = files.size() - dropped;
+    stats_.counter("evictions") += dropped;
+    SLIP_TRACE(obs::Category::Serve, obs::Name::CacheEvict,
+               obs::Phase::Instant, dropped, entries_);
+}
+
+uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.get("hits");
+}
+
+uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.get("misses");
+}
+
+uint64_t
+ResultCache::stores() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.get("stores");
+}
+
+uint64_t
+ResultCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.get("evictions");
+}
+
+uint64_t
+ResultCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_;
+}
+
+void
+ResultCache::dumpStats(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.counter("entries").reset();
+    stats_.counter("entries") += entries_;
+    stats_.dump(os);
+}
+
+} // namespace slip::serve

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Persistent content-addressed result cache for served trials.
+ *
+ * A trial's result line is a pure function of (program bytes, config,
+ * seed, trial index, fault plans, detection backend + tuning, wire
+ * protocol version) — deliberately NOT of isolation mode, worker
+ * count, or client count, which the byte-identity invariant says must
+ * not change result bytes. The cache key is a 128-bit FNV-1a hash of
+ * a canonical wire::Encoder serialization of exactly those inputs, so
+ * a repeated batch — same client, different client, or a slipd
+ * restarted yesterday — answers from disk without re-simulating.
+ *
+ * Layout: one file per entry, `root/<hh>/<32-hex-key>`, holding the
+ * exact JSONL line bytes (no newline). Stores write to a temp sibling
+ * and rename into place, so a killed slipd never leaves a torn entry
+ * — a half-written temp file just never becomes visible. The two-hex
+ * shard keeps directories small at 6-figure entry counts.
+ *
+ * Hashing the *assembled program image* (raw text words + data +
+ * entry pc) rather than the workload name alone means a workload
+ * generator change silently invalidates every affected entry; there
+ * is no version file to forget to bump.
+ */
+
+#ifndef SLIPSTREAM_SERVE_RESULT_CACHE_HH
+#define SLIPSTREAM_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "harness/fault_campaign.hh"
+
+namespace slip::serve
+{
+
+/** 128-bit content hash (two independent FNV-1a streams). */
+struct CacheKey
+{
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    /** 32 lowercase hex digits (the on-disk file name). */
+    std::string hex() const;
+
+    bool
+    operator==(const CacheKey &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+};
+
+/**
+ * The canonical key of one campaign trial. `cfg` and `spec` must be
+ * the planCampaignTrials() inputs/outputs the trial will run under.
+ */
+CacheKey campaignTrialKey(const FaultCampaignConfig &cfg,
+                          const CampaignTrialSpec &spec, size_t trial);
+
+/** A key over arbitrary canonical bytes (fuzz trials, tests). */
+CacheKey cacheKeyOf(const std::string &canonicalBytes);
+
+/**
+ * The cache itself. Thread-safe: servers probe and store from many
+ * connection threads. An empty root disables everything (lookup
+ * always misses, store drops), so callers need no special-casing.
+ */
+class ResultCache
+{
+  public:
+    /**
+     * `maxEntries` caps the entry count; 0 consults
+     * $SLIPSTREAM_CACHE_MAX (default 65536). When a store would
+     * exceed the cap, the oldest entries (by modification time) are
+     * evicted in bulk — 1/16th of the cap per sweep, so eviction cost
+     * amortizes instead of landing on every store.
+     */
+    explicit ResultCache(std::string root, uint64_t maxEntries = 0);
+
+    /** True + the stored line on a hit. */
+    bool lookup(const CacheKey &key, std::string &line);
+
+    /** Persist one result line (atomic rename; never throws). */
+    void store(const CacheKey &key, const std::string &line);
+
+    uint64_t hits() const;
+    uint64_t misses() const;
+    uint64_t stores() const;
+    uint64_t evictions() const;
+
+    /** Entries currently on disk (tracked, not re-scanned). */
+    uint64_t entries() const;
+
+    const std::string &root() const { return root_; }
+    bool enabled() const { return !root_.empty(); }
+
+    /** Counters above as a StatGroup dump ("serve_cache.*"). */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    void evictIfNeeded();
+
+    std::string pathFor(const CacheKey &key) const;
+
+    std::string root_;
+    uint64_t maxEntries_;
+
+    mutable std::mutex mu_;
+    uint64_t entries_ = 0;
+    mutable StatGroup stats_{"serve_cache"};
+};
+
+} // namespace slip::serve
+
+#endif // SLIPSTREAM_SERVE_RESULT_CACHE_HH

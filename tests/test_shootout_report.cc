@@ -1,0 +1,89 @@
+/**
+ * Report validation behind tools/detect_report: a missing, truncated,
+ * or foreign-schema-version report must be refused with a one-line
+ * diagnosis instead of being misparsed into a silently wrong table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/fault_campaign.hh"
+#include "harness/shootout.hh"
+
+namespace slip
+{
+namespace
+{
+
+TEST(ShootoutReport, EmptyReportIsRefused)
+{
+    std::string err;
+    EXPECT_FALSE(validateShootoutReport("", err));
+    EXPECT_NE(err.find("empty"), std::string::npos) << err;
+
+    err.clear();
+    EXPECT_FALSE(validateShootoutReport("  \n\t ", err));
+    EXPECT_NE(err.find("empty"), std::string::npos) << err;
+}
+
+TEST(ShootoutReport, ForeignFileIsRefused)
+{
+    std::string err;
+    EXPECT_FALSE(validateShootoutReport("<html>not json</html>", err));
+    EXPECT_NE(err.find("JSON array"), std::string::npos) << err;
+}
+
+TEST(ShootoutReport, TruncatedReportIsRefused)
+{
+    std::string err;
+    EXPECT_FALSE(validateShootoutReport(
+        "[\n{\"campaign\": \"x\", \"trials\": 8", err));
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+}
+
+TEST(ShootoutReport, LegacyReportWithoutVersionPasses)
+{
+    std::string err;
+    EXPECT_TRUE(validateShootoutReport(
+        "[\n{\"campaign\": \"old\", \"trials\": 8}\n]\n", err))
+        << err;
+}
+
+TEST(ShootoutReport, CurrentVersionPasses)
+{
+    std::string err;
+    const std::string report =
+        "[\n{\"report_version\": " +
+        std::to_string(kFaultReportVersion) +
+        ",\n\"campaign\": \"x\"}\n]\n";
+    EXPECT_TRUE(validateShootoutReport(report, err)) << err;
+}
+
+TEST(ShootoutReport, ForeignVersionIsRefusedNamingBoth)
+{
+    std::string err;
+    const std::string report =
+        "[\n{\"report_version\": 999,\n\"campaign\": \"x\"}\n]\n";
+    EXPECT_FALSE(validateShootoutReport(report, err));
+    EXPECT_NE(err.find("999"), std::string::npos) << err;
+    EXPECT_NE(err.find(std::to_string(kFaultReportVersion)),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("regenerate"), std::string::npos) << err;
+}
+
+TEST(ShootoutReport, MixedVersionsRefusedOnFirstForeignObject)
+{
+    std::string err;
+    const std::string report =
+        "[\n{\"report_version\": " +
+        std::to_string(kFaultReportVersion) +
+        ", \"campaign\": \"a\"},\n"
+        "{\"report_version\": 0, \"campaign\": \"b\"}\n]\n";
+    EXPECT_FALSE(validateShootoutReport(report, err));
+    EXPECT_NE(err.find("version 0"), std::string::npos) << err;
+}
+
+} // namespace
+} // namespace slip

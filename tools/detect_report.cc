@@ -10,8 +10,9 @@
  * wrote; every campaign object carrying a "detect_backend" key
  * becomes one table row, in file order.
  *
- * Exit codes: 0 = table printed, 1 = report unreadable or holds no
- * backend campaigns, 2 = usage error.
+ * Exit codes: 0 = table printed, 1 = report missing, truncated,
+ * from a foreign schema version, or holding no backend campaigns —
+ * each with a one-line diagnosis on stderr — 2 = usage error.
  */
 
 #include <fstream>
@@ -57,6 +58,13 @@ main(int argc, char **argv)
     }
     std::ostringstream buf;
     buf << in.rdbuf();
+
+    std::string why;
+    if (!validateShootoutReport(buf.str(), why)) {
+        std::cerr << "detect_report: '" << reportPath << "': " << why
+                  << "\n";
+        return 1;
+    }
 
     const std::vector<ShootoutRow> rows =
         shootoutRowsFromReport(buf.str());

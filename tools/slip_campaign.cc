@@ -18,9 +18,10 @@
  *
  * Exit codes: 0 = campaign completed and no non-demo trial was lost,
  * 1 = a trial that should have been healthy crashed or timed out,
- * 2 = usage error, 130 = interrupted (SIGINT) — completed trials are
- * already journaled and fsync'd, so rerunning with --resume finishes
- * the campaign without repeating them.
+ * 2 = usage error, 130 = interrupted (SIGINT), 143 = terminated
+ * (SIGTERM, what supervisors and CI runners send) — either way,
+ * completed trials are already journaled and fsync'd, so rerunning
+ * with --resume finishes the campaign without repeating them.
  */
 
 #include <cerrno>
@@ -45,18 +46,19 @@ namespace
 using namespace slip;
 
 /**
- * Graceful SIGINT: every completed trial is already journaled (one
- * write() per line, fsync'd by default), so there is nothing to
+ * Graceful SIGINT/SIGTERM: every completed trial is already journaled
+ * (one write() per line, fsync'd by default), so there is nothing to
  * flush — the job is to die deliberately: tell the operator how to
- * resume, use a distinct exit status (130, the shell convention for
- * SIGINT), and never from a forked worker's inherited handler (the
- * supervisor triages worker deaths itself, so workers exit silently).
+ * resume, use the shell-convention exit status (128 + signal: 130 for
+ * SIGINT, 143 for the SIGTERM a supervisor or CI runner sends), and
+ * never from a forked worker's inherited handler (the supervisor
+ * triages worker deaths itself, so workers exit silently).
  * Async-signal-safe only: write() + _exit().
  */
 pid_t g_mainPid = 0;
 
 extern "C" void
-onSigint(int)
+onTermSignal(int sig)
 {
     if (getpid() == g_mainPid) {
         static const char msg[] =
@@ -67,7 +69,7 @@ onSigint(int)
             ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
         (void)n;
     }
-    _exit(130);
+    _exit(128 + sig);
 }
 
 void
@@ -314,8 +316,9 @@ main(int argc, char **argv)
 
     g_mainPid = getpid();
     struct sigaction sa = {};
-    sa.sa_handler = onSigint;
+    sa.sa_handler = onTermSignal;
     sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
 
     FaultCampaignResult result;
     try {
