@@ -173,6 +173,43 @@ main(int argc, char **argv)
     printCampaign(burstResult, timing);
     report.push_back(campaignJson(burst, burstResult));
 
+    // ---- campaign 4: A-stream policy sweep ----
+    // One short campaign per shortening policy over the full target
+    // mix. The reliability-aware policy forwards no speculative data
+    // at all, so its coverage shape should match reliable mode; the
+    // runahead-family policies sit between it and plain `ir`.
+    std::cout << "---- A-stream policy sweep (full target mix) ----\n";
+    const unsigned policyTrials = std::max(4u, trials / 4);
+    Table policyTable({"policy", "trials", "faults", "det+rec",
+                       "silent-benign", "silent-corrupt", "degraded",
+                       "avg latency"});
+    for (size_t p = 0; p < kNumAStreamPolicies; ++p) {
+        const AStreamPolicyKind kind = AStreamPolicyKind(p);
+        FaultCampaignConfig sweep;
+        sweep.name =
+            std::string("policy_") + aStreamPolicyName(kind);
+        sweep.trialsPerWorkload = policyTrials;
+        sweep.resume = resume;
+        sweep.isolation = isolation;
+        sweep.params.aPolicy.kind = kind;
+        const FaultCampaignResult sweepResult =
+            runFaultCampaign(sweep);
+        report.push_back(campaignJson(sweep, sweepResult));
+        for (const TrialRecord &trial : sweepResult.trials)
+            timing.addCycles(trial.cycles);
+        const CampaignTally &t = sweepResult.total;
+        policyTable.addRow(
+            {aStreamPolicyName(kind), Table::count(t.trials),
+             Table::count(t.faultsInjected),
+             Table::count(t.outcomes(TrialOutcome::DetectedRecovered)),
+             Table::count(t.outcomes(TrialOutcome::SilentBenign)),
+             Table::count(t.outcomes(TrialOutcome::SilentCorrupt)),
+             Table::count(t.degradedRuns),
+             Table::fixed(t.avgLatency())});
+    }
+    policyTable.print(std::cout);
+    std::cout << "\n";
+
     writeFaultReport(report);
 
     std::cout

@@ -9,6 +9,13 @@
  * half its stream). Lower table: only branches as candidates
  * (paper's counterintuitive result: removal *increases* for most
  * benchmarks because unrelated writes no longer dilute confidence).
+ *
+ * A third grid sweeps the A-stream shortening policies (ir | runahead
+ * | filtered | reliability) with all removal triggers enabled. Only
+ * the IR-based policies (ir, reliability) remove instructions from
+ * the A-stream fetch; the runahead-family policies shorten on the
+ * communication side by stripping forwarded values, which lands in
+ * the `other` column (stripped slots carry no removal reason).
  */
 
 #include "bench/bench_timing.hh"
@@ -71,7 +78,8 @@ main()
     const std::vector<Workload> workloads =
         allWorkloads(bench::benchSize());
 
-    // Two modes x all workloads, one grid.
+    // Two removal modes plus the policy sweep, all one grid so the
+    // worker pool stays saturated.
     SimJobRunner runner;
     bench::Timing timing("fig8", runner.jobs());
     for (bool removeWrites : {true, false}) {
@@ -85,6 +93,18 @@ main()
             });
         }
     }
+    for (size_t p = 0; p < kNumAStreamPolicies; ++p) {
+        const AStreamPolicyKind kind = AStreamPolicyKind(p);
+        for (const Workload &w : workloads) {
+            const ProgramCache::Entry &e =
+                ProgramCache::global().get(w.name, bench::benchSize());
+            runner.add([&e, kind] {
+                SlipstreamParams params = cmp2x64x4Params();
+                params.aPolicy.kind = kind;
+                return runSlipstream(e.program, params, e.golden);
+            });
+        }
+    }
     const std::vector<RunMetrics> results = runner.run();
     for (const RunMetrics &m : results)
         timing.addCycles(m.cycles);
@@ -93,7 +113,18 @@ main()
     printBreakdown(workloads,
                    {results.begin(), results.begin() + n},
                    "branches and ineffectual writes removed");
-    printBreakdown(workloads, {results.begin() + n, results.end()},
+    printBreakdown(workloads,
+                   {results.begin() + n, results.begin() + 2 * n},
                    "only branches removed (lower graph)");
+    for (size_t p = 0; p < kNumAStreamPolicies; ++p) {
+        const std::string title =
+            std::string("A-stream policy: ") +
+            aStreamPolicyName(AStreamPolicyKind(p));
+        const size_t base = (2 + p) * n;
+        printBreakdown(workloads,
+                       {results.begin() + base,
+                        results.begin() + base + n},
+                       title.c_str());
+    }
     return 0;
 }

@@ -30,7 +30,11 @@ ss128x8Params()
 SlipstreamParams
 cmp2x64x4Params()
 {
-    return SlipstreamParams{}; // Table 2 defaults throughout
+    SlipstreamParams p; // Table 2 defaults throughout
+    // Benches honor the strict A-stream-policy knob, so a policy
+    // sweep is one environment variable away from any experiment.
+    p.aPolicy = aStreamPolicyParamsFromEnv(p.aPolicy);
+    return p;
 }
 
 std::string

@@ -118,6 +118,9 @@ FaultCampaignConfig::FaultCampaignConfig()
     // $SLIPSTREAM_DETECT (strict) + the backend tuning knobs pick the
     // detection architecture every trial runs under.
     params.detect = detectParamsFromEnv(params.detect);
+    // $SLIPSTREAM_ASTREAM_POLICY (strict) picks the A-stream
+    // shortening policy the same way.
+    params.aPolicy = aStreamPolicyParamsFromEnv(params.aPolicy);
 }
 
 void
@@ -348,6 +351,7 @@ journalLine(const FaultCampaignConfig &cfg, size_t trial,
         << ",\"det_replays\":" << t.detectReplays
         << ",\"det_replayed\":" << t.detectReplayedInsts
         << ",\"det_overhead\":" << t.detectOverhead
+        << ",\"policy\":\"" << jsonEscape(t.aStreamPolicy) << "\""
         << ",\"error\":\"" << jsonEscape(t.error) << "\"";
     // Worker-death triage rides along only when a worker actually
     // died, so healthy trials' lines are byte-identical across
@@ -558,9 +562,11 @@ recordCampaignTrial(const FaultCampaignConfig &cfg,
     t.workload = spec.workload;
     t.plans = spec.plans;
     t.faultsPlanned = spec.plans.size();
-    // Every trial ran under the config's backend, whatever its
-    // outcome — crashed trials included, so they resume cleanly.
+    // Every trial ran under the config's backend and A-stream policy,
+    // whatever its outcome — crashed trials included, so they resume
+    // cleanly.
     t.detectBackend = detectBackendName(cfg.params.detect.kind);
+    t.aStreamPolicy = aStreamPolicyName(cfg.params.aPolicy.kind);
     switch (o.status) {
       case JobOutcome::Status::Ok:
         t.metrics = o.metrics;
@@ -690,6 +696,24 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
                 continue;
             }
             t.detectBackend = cfgBackend;
+            // Same contract for the A-stream policy tag: a journaled
+            // trial only counts for the policy it ran under, and
+            // lines without the field (pre-policy journals) are only
+            // sound for the paper's default (ir) configuration.
+            const char *cfgPolicy =
+                aStreamPolicyName(cfg.params.aPolicy.kind);
+            std::string policy;
+            if (jsonFieldString(line, "policy", policy)) {
+                if (policy != cfgPolicy) {
+                    ++skipped;
+                    continue;
+                }
+            } else if (cfg.params.aPolicy.kind !=
+                       AStreamPolicyKind::IRRemoval) {
+                ++skipped;
+                continue;
+            }
+            t.aStreamPolicy = cfgPolicy;
             jsonFieldU64(line, "checked", t.detectChecked);
             jsonFieldU64(line, "det_mismatch", t.detectMismatches);
             jsonFieldU64(line, "det_external", t.detectExternal);
@@ -792,15 +816,32 @@ runFaultCampaign(const FaultCampaignConfig &cfg)
     };
 
     // Supervised execution: a throwing, reaped, or crashing trial
-    // becomes a classified record instead of voiding the batch, and
-    // every finished trial hits the journal immediately.
+    // becomes a classified record instead of voiding the batch.
+    // Journal lines commit in trial order, not completion order, so a
+    // campaign journal is byte-identical across SLIPSTREAM_JOBS and
+    // isolation modes. At most workers-1 finished trials are held
+    // back awaiting a predecessor; a kill in that window re-runs them
+    // on resume instead of journaling them out of order. Trials
+    // restored by resume are already in the journal and only advance
+    // the cursor.
+    std::vector<bool> journaled(specs.size(), false);
+    for (size_t i = 0; i < specs.size(); ++i)
+        journaled[i] = bool(done[i]);
+    size_t nextToJournal = 0;
     runner.runSupervised([&](size_t job, const JobOutcome &o) {
         const size_t i = jobToSpec[job];
         TrialRecord t = recordCampaignTrial(cfg, specs[i], i, o);
         if (o.status == JobOutcome::Status::Crashed && o.poisoned)
             quarantine(i, t);
-        journal.append(cfg, i, t);
         done[i] = std::move(t);
+        while (nextToJournal < specs.size() && done[nextToJournal]) {
+            if (!journaled[nextToJournal]) {
+                journal.append(cfg, nextToJournal,
+                               *done[nextToJournal]);
+                journaled[nextToJournal] = true;
+            }
+            ++nextToJournal;
+        }
     });
 
     FaultCampaignResult result;
@@ -921,6 +962,8 @@ campaignJson(const FaultCampaignConfig &cfg,
         << (cfg.reliableMode ? "reliable" : "slipstream") << "\",\n"
         << "  \"detect_backend\": \""
         << detectBackendName(cfg.params.detect.kind) << "\",\n"
+        << "  \"a_stream_policy\": \""
+        << aStreamPolicyName(cfg.params.aPolicy.kind) << "\",\n"
         << "  \"size\": \"" << sizeName(cfg.size) << "\",\n"
         << "  \"seed\": " << cfg.seed << ",\n"
         << "  \"trials_per_workload\": " << cfg.trialsPerWorkload

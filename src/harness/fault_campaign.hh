@@ -220,6 +220,9 @@ struct TrialRecord
     Cycle latencyMax = 0;
     Cycle cycles = 0;
 
+    /** A-stream policy the trial ran under (journaled, tag-matched). */
+    std::string aStreamPolicy;
+
     // Detection-backend aggregates (journaled; see RunMetrics).
     std::string detectBackend;
     uint64_t detectChecked = 0;

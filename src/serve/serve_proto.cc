@@ -50,6 +50,7 @@ BatchRequest::toCampaignConfig() const
     cfg.reliableMode = reliableMode;
     cfg.targets = targets;
     cfg.params.detect = detect;
+    cfg.params.aPolicy = policy;
     if (reliableMode)
         cfg.params.irPred.enabled = false;
     cfg.cycleCapPerInst = cycleCapPerInst;
@@ -79,6 +80,10 @@ encodeBatchRequest(wire::Encoder &enc, const BatchRequest &b)
     enc.putU32(b.detect.replayWidth);
     enc.putU32(b.detect.checkerBandwidth);
     enc.putU32(b.detect.checkerQueue);
+    enc.putU8(uint8_t(b.policy.kind));
+    enc.putU32(b.policy.runaheadTraces);
+    enc.putU32(b.policy.missLines);
+    enc.putU32(b.policy.cooldownTraces);
     enc.putU64(b.cycleCapPerInst);
     enc.putU64(b.seedBegin);
     enc.putU64(b.seedEnd);
@@ -108,6 +113,10 @@ decodeBatchRequest(wire::Decoder &dec)
     b.detect.replayWidth = dec.getU32();
     b.detect.checkerBandwidth = dec.getU32();
     b.detect.checkerQueue = dec.getU32();
+    b.policy.kind = AStreamPolicyKind(dec.getU8());
+    b.policy.runaheadTraces = dec.getU32();
+    b.policy.missLines = dec.getU32();
+    b.policy.cooldownTraces = dec.getU32();
     b.cycleCapPerInst = dec.getU64();
     b.seedBegin = dec.getU64();
     b.seedEnd = dec.getU64();

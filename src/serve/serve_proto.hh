@@ -80,6 +80,7 @@ struct BatchRequest
     bool reliableMode = false;
     std::vector<FaultTarget> targets; // empty = mode default
     DetectParams detect;
+    AStreamPolicyParams policy;
     Cycle cycleCapPerInst = 10;
 
     // Fuzz.

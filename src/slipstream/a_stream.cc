@@ -17,11 +17,12 @@ AStreamSource::AStreamSource(const Program &program,
                              TracePredictor &predictor,
                              IRPredictor &irPredictor,
                              RecoveryController &memPort,
-                             DelayBuffer &delayBuffer, unsigned fetchWidth,
+                             DelayBuffer &delayBuffer,
+                             AStreamPolicy &aPolicy, unsigned fetchWidth,
                              const TracePolicy &policy)
     : program(program), predictor(predictor), irPredictor(irPredictor),
-      delayBuffer(delayBuffer), fetchWidth(fetchWidth), policy(policy),
-      state_(memPort), stats_("a_stream")
+      delayBuffer(delayBuffer), aPolicy(aPolicy), fetchWidth(fetchWidth),
+      policy(policy), state_(memPort), stats_("a_stream")
 {
     state_.setPc(program.entry());
     state_.writeReg(reg::sp, layout::kStackTop);
@@ -124,8 +125,9 @@ AStreamSource::walkTrace()
             return; // the front end is wedged; watchdog territory
     }
 
-    // --- removal plan from the IR-predictor ---
-    std::optional<RemovalPlan> plan = irPredictor.lookup(history, guess);
+    // --- removal plan from the A-stream policy ---
+    std::optional<RemovalPlan> plan =
+        aPolicy.planTrace(irPredictor, history, guess);
     if (plan)
         ++statTracesWithRemoval;
 
@@ -221,6 +223,7 @@ AStreamSource::walkTrace()
         const ExecResult exec =
             executeMicro(state_, program.microAt(pc), &output_);
         ++statSlotsExecuted;
+        aPolicy.onSlotExecuted(si, exec);
 
         slot.executedInA = true;
         slot.aExec = exec;
@@ -319,6 +322,14 @@ AStreamSource::walkTrace()
 
     packet.executedCount = executedCount;
 
+    // Policy pass over the completed packet: a runahead-family policy
+    // may strip value payloads here, demoting executed slots to
+    // control-only entries. A-core timing is already fixed (the fetch
+    // blocks are emitted), so only the A->R communication changes;
+    // `executedCount` keeps the pre-strip count because the A-core
+    // will still retire those instructions.
+    aPolicy.onPacketComplete(packet);
+
     // --- speculative history update & JALR target validation ---
     history.push(actual);
 
@@ -403,6 +414,7 @@ AStreamSource::recover(Addr pc, const ArchState &rState,
     pending.clear();
     haltWalked = false;
     stalled_ = false; // a wedged front end restarts clean
+    aPolicy.onRecovery();
     ++statRecoveries;
 }
 

@@ -26,9 +26,10 @@ SlipstreamProcessor::SlipstreamProcessor(
       detector_(std::make_unique<IRDetector>(params.detector, *irPred))
 {
     program.loadInto(rMem);
+    aPolicy_ = makeAStreamPolicy(params_.aPolicy);
     aSource_ = std::make_unique<AStreamSource>(
         program, *tracePred, *irPred, *recovery_, delayBuffer_,
-        params_.aCore.fetchWidth, params_.tracePolicy);
+        *aPolicy_, params_.aCore.fetchWidth, params_.tracePolicy);
     rSource_ = std::make_unique<RStreamSource>(
         program, rMem, delayBuffer_, params_.rCore.fetchWidth);
     rFront_.inner = rSource_.get();

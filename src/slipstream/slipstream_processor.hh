@@ -31,6 +31,7 @@
 #include "common/cancel.hh"
 #include "detect/detect_params.hh"
 #include "slipstream/a_stream.hh"
+#include "slipstream/a_stream_policy.hh"
 #include "slipstream/removal.hh"
 #include "slipstream/delay_buffer.hh"
 #include "slipstream/fault_injector.hh"
@@ -114,6 +115,13 @@ struct SlipstreamParams
      * wired up by the harness (see detect/detection_backend.hh).
      */
     DetectParams detect;
+
+    /**
+     * Which A-stream shortening policy drives the walk (and its
+     * tuning): the paper's IR-removal by default, or one of the
+     * runahead-family strategies (slipstream/a_stream_policy.hh).
+     */
+    AStreamPolicyParams aPolicy;
 
     /**
      * Reset all removal confidence after a recovery. Avoids repeated
@@ -270,6 +278,7 @@ class SlipstreamProcessor
     OoOCore &rCore() { return *rCore_; }
     AStreamSource &aSource() { return *aSource_; }
     RStreamSource &rSource() { return *rSource_; }
+    AStreamPolicy &aPolicy() { return *aPolicy_; }
     IRPredictor &irPredictor() { return *irPred; }
     IRDetector &detector() { return *detector_; }
     DelayBuffer &delayBuffer() { return delayBuffer_; }
@@ -324,6 +333,7 @@ class SlipstreamProcessor
     DelayBuffer delayBuffer_;
     std::unique_ptr<RecoveryController> recovery_;
     std::unique_ptr<IRDetector> detector_;
+    std::unique_ptr<AStreamPolicy> aPolicy_;
     std::unique_ptr<AStreamSource> aSource_;
     std::unique_ptr<RStreamSource> rSource_;
     ForwardingSource rFront_;

@@ -19,6 +19,7 @@
 #include "detect/detect_params.hh"
 #include "harness/fault_campaign.hh"
 #include "harness/shootout.hh"
+#include "slipstream/a_stream_policy.hh"
 #include "slipstream/fault_injector.hh"
 
 namespace slip
@@ -159,6 +160,61 @@ TEST(DetectEnv, TuningKnobsApplyAndRejectZero)
     }
 }
 
+// ---------------------------------------------------------------------
+// The A-stream policy knob follows the same strict mode-knob contract
+// as the detection backend: typos throw, valid names override, tuning
+// knobs warn-and-fall-back on meaningless values.
+// ---------------------------------------------------------------------
+
+TEST(AStreamPolicyEnv, UnsetUsesFallback)
+{
+    EnvGuard g("SLIPSTREAM_ASTREAM_POLICY", nullptr);
+    EXPECT_EQ(aStreamPolicyFromEnv(), AStreamPolicyKind::IRRemoval);
+    EXPECT_EQ(aStreamPolicyFromEnv(AStreamPolicyKind::Runahead),
+              AStreamPolicyKind::Runahead);
+}
+
+TEST(AStreamPolicyEnv, ValidValuesOverride)
+{
+    for (unsigned i = 0; i < kNumAStreamPolicies; ++i) {
+        const AStreamPolicyKind kind = AStreamPolicyKind(i);
+        EnvGuard g("SLIPSTREAM_ASTREAM_POLICY",
+                   aStreamPolicyName(kind));
+        EXPECT_EQ(aStreamPolicyFromEnv(), kind);
+        EXPECT_EQ(aStreamPolicyParamsFromEnv().kind, kind);
+    }
+}
+
+TEST(AStreamPolicyEnv, GarbageThrows)
+{
+    // A typo'd policy would silently benchmark the wrong shortening
+    // mechanism, so an unknown value throws instead of falling back.
+    EnvGuard g("SLIPSTREAM_ASTREAM_POLICY", "turbo");
+    setLogQuiet(true);
+    EXPECT_THROW(aStreamPolicyFromEnv(), FatalError);
+    EXPECT_THROW(aStreamPolicyParamsFromEnv(), FatalError);
+    setLogQuiet(false);
+}
+
+TEST(AStreamPolicyEnv, TuningKnobsApplyAndRejectZero)
+{
+    EnvGuard p("SLIPSTREAM_ASTREAM_POLICY", nullptr);
+    {
+        EnvGuard t("SLIPSTREAM_RUNAHEAD_TRACES", "9");
+        EXPECT_EQ(aStreamPolicyParamsFromEnv().runaheadTraces, 9u);
+    }
+    {
+        // A zero-length runahead mode never shortens anything:
+        // numeric knobs keep the warn-and-fall-back contract.
+        EnvGuard t("SLIPSTREAM_RUNAHEAD_TRACES", "0");
+        setLogQuiet(true);
+        const AStreamPolicyParams got = aStreamPolicyParamsFromEnv();
+        setLogQuiet(false);
+        EXPECT_EQ(got.runaheadTraces,
+                  AStreamPolicyParams().runaheadTraces);
+    }
+}
+
 TEST(DetectCampaign, ReportAndJournalCarryTheBackend)
 {
     for (DetectBackendKind kind : kAllKinds) {
@@ -222,6 +278,60 @@ TEST(DetectCampaign, DeterministicAcrossJobsAndIsolation)
             }
         }
     }
+
+    if (prior)
+        setenv("SLIPSTREAM_JOBS", saved.c_str(), 1);
+    else
+        unsetenv("SLIPSTREAM_JOBS");
+}
+
+/**
+ * The backend x policy cross: an external detection backend composed
+ * with a non-default A-stream policy journals both tags on every
+ * line, and the journal bytes — not just the report — are identical
+ * across SLIPSTREAM_JOBS and both isolation modes. This is the
+ * coverage/overhead composition the policy layer exists for (a
+ * replay-checked reliability A-stream), so its determinism contract
+ * gets the same matrix the backends alone get above.
+ */
+TEST(DetectCampaign, BackendAndPolicyComposeDeterministically)
+{
+    const char *prior = std::getenv("SLIPSTREAM_JOBS");
+    const std::string saved = prior ? prior : "";
+
+    std::string baseline;
+    for (IsolationMode mode :
+         {IsolationMode::None, IsolationMode::Fork}) {
+        for (const char *jobs : {"1", "3"}) {
+            SCOPED_TRACE(std::string(isolationModeName(mode)) +
+                         "/jobs=" + jobs);
+            setenv("SLIPSTREAM_JOBS", jobs, 1);
+            FaultCampaignConfig cfg = backendConfig(
+                DetectBackendKind::Replay, "policy_cross");
+            cfg.params.aPolicy.kind =
+                AStreamPolicyKind::ReliabilityRunahead;
+            cfg.isolation = mode;
+            std::remove(cfg.journalPath.c_str());
+            runFaultCampaign(cfg);
+            std::string bytes;
+            for (const std::string &line :
+                 readLines(cfg.journalPath)) {
+                EXPECT_NE(line.find("\"backend\":\"replay\""),
+                          std::string::npos)
+                    << line;
+                EXPECT_NE(line.find("\"policy\":\"reliability\""),
+                          std::string::npos)
+                    << line;
+                bytes += line + "\n";
+            }
+            std::remove(cfg.journalPath.c_str());
+            if (baseline.empty())
+                baseline = bytes;
+            else
+                EXPECT_EQ(bytes, baseline);
+        }
+    }
+    EXPECT_FALSE(baseline.empty());
 
     if (prior)
         setenv("SLIPSTREAM_JOBS", saved.c_str(), 1);

@@ -381,5 +381,174 @@ TEST(FaultCampaign, ResumeIgnoresForeignJournalEntries)
     std::remove(cfg.journalPath.c_str());
 }
 
+/**
+ * The policy matrix: for every A-stream shortening policy, the
+ * campaign journal must come out byte-identical across worker counts
+ * AND isolation modes. A policy that consulted wall-clock, worker
+ * identity, or shared mutable state would diverge here.
+ */
+TEST(FaultCampaign, PolicyMatrixJournalsAreByteIdentical)
+{
+    const char *prior = std::getenv("SLIPSTREAM_JOBS");
+    const std::string saved = prior ? prior : "";
+    const std::string journal = "test_fault_campaign.policy.jsonl";
+
+    for (size_t p = 0; p < kNumAStreamPolicies; ++p) {
+        const AStreamPolicyKind kind = AStreamPolicyKind(p);
+        const std::string policyName = aStreamPolicyName(kind);
+        FaultCampaignConfig cfg;
+        cfg.name = "policy_matrix_" + policyName;
+        cfg.workloads = {"m88ksim"};
+        cfg.trialsPerWorkload = 3;
+        cfg.journalPath = journal;
+        cfg.params.aPolicy.kind = kind;
+
+        std::string reference;
+        for (const char *jobs : {"1", "3"}) {
+            for (IsolationMode iso :
+                 {IsolationMode::None, IsolationMode::Fork}) {
+                SCOPED_TRACE(policyName + " jobs=" + jobs +
+                             " isolation=" +
+                             (iso == IsolationMode::Fork ? "fork"
+                                                         : "none"));
+                setenv("SLIPSTREAM_JOBS", jobs, 1);
+                std::remove(journal.c_str());
+                cfg.isolation = iso;
+                runFaultCampaign(cfg);
+                std::ifstream in(journal, std::ios::binary);
+                ASSERT_TRUE(in.good());
+                std::stringstream buf;
+                buf << in.rdbuf();
+                if (reference.empty())
+                    reference = buf.str();
+                else
+                    EXPECT_EQ(buf.str(), reference);
+            }
+        }
+        // Every line carries the policy tag resume matches against.
+        EXPECT_NE(reference.find("\"policy\":\"" + policyName + "\""),
+                  std::string::npos);
+    }
+
+    if (prior)
+        setenv("SLIPSTREAM_JOBS", saved.c_str(), 1);
+    else
+        unsetenv("SLIPSTREAM_JOBS");
+    std::remove(journal.c_str());
+}
+
+/**
+ * A journal written under one A-stream policy must never satisfy a
+ * resume under another (the PR-8 backend-tag contract extended to
+ * policies): trial dynamics differ per policy, so adopting a foreign
+ * record would report results the configuration never produced.
+ */
+TEST(FaultCampaign, ResumeRejectsForeignPolicyJournal)
+{
+    FaultCampaignConfig cfg = smallConfig();
+    cfg.name = "resume_policy";
+    cfg.workloads = {"m88ksim"};
+    cfg.trialsPerWorkload = 2;
+    cfg.journalPath = "test_fault_campaign.policy_foreign.jsonl";
+    cfg.params.aPolicy.kind = AStreamPolicyKind::Runahead;
+
+    const FaultCampaignResult fresh = runFaultCampaign(cfg);
+    const std::string expected = campaignJson(cfg, fresh);
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(cfg.journalPath);
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty())
+                lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), fresh.trials.size());
+
+    // Poison trial 0's record: flip its policy tag to `ir` and its
+    // outcome to `crashed`. If resume matched it despite the foreign
+    // tag, the bogus outcome would land in the report.
+    std::string foreign = lines[0];
+    const size_t tagAt = foreign.find("\"policy\":\"runahead\"");
+    ASSERT_NE(tagAt, std::string::npos);
+    foreign.replace(tagAt, std::string("\"policy\":\"runahead\"").size(),
+                    "\"policy\":\"ir\"");
+    const std::string outKey = "\"outcome\":\"";
+    const size_t outAt = foreign.find(outKey);
+    ASSERT_NE(outAt, std::string::npos);
+    const size_t outEnd = foreign.find('"', outAt + outKey.size());
+    foreign.replace(outAt + outKey.size(),
+                    outEnd - (outAt + outKey.size()), "crashed");
+    // A second poison line with no policy tag at all: legacy journals
+    // are only sound for the paper's default (ir) policy, so a
+    // runahead resume must re-run this trial too.
+    std::string legacy = lines[1];
+    const size_t legacyTag = legacy.find(",\"policy\":\"runahead\"");
+    ASSERT_NE(legacyTag, std::string::npos);
+    legacy.erase(legacyTag,
+                 std::string(",\"policy\":\"runahead\"").size());
+    {
+        std::ofstream out(cfg.journalPath, std::ios::trunc);
+        out << foreign << '\n' << legacy << '\n';
+    }
+
+    FaultCampaignConfig again = cfg;
+    again.resume = true;
+    const FaultCampaignResult resumed = runFaultCampaign(again);
+    EXPECT_EQ(campaignJson(again, resumed), expected);
+    EXPECT_EQ(resumed.total.outcomes(TrialOutcome::Crashed), 0u);
+    std::remove(cfg.journalPath.c_str());
+}
+
+/**
+ * The flip side of the legacy-journal rule: a pre-policy journal line
+ * (no `policy` field) IS adopted by an `ir` resume — those journals
+ * were written by the default configuration and remain sound for it.
+ */
+TEST(FaultCampaign, ResumeAdoptsLegacyJournalForDefaultPolicy)
+{
+    FaultCampaignConfig cfg = smallConfig();
+    cfg.name = "resume_policy_legacy";
+    cfg.workloads = {"m88ksim"};
+    cfg.trialsPerWorkload = 2;
+    cfg.journalPath = "test_fault_campaign.policy_legacy.jsonl";
+
+    const FaultCampaignResult fresh = runFaultCampaign(cfg);
+    ASSERT_NE(fresh.trials[0].outcome, TrialOutcome::TimedOut);
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(cfg.journalPath);
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty())
+                lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), fresh.trials.size());
+
+    // Strip the policy tag and tamper the outcome into a terminal
+    // timeout: if the legacy line is adopted (it must be), the
+    // timeout is restored rather than the trial re-run.
+    std::string legacy = lines[0];
+    const size_t tagAt = legacy.find(",\"policy\":\"ir\"");
+    ASSERT_NE(tagAt, std::string::npos);
+    legacy.erase(tagAt, std::string(",\"policy\":\"ir\"").size());
+    const std::string outKey = "\"outcome\":\"";
+    const size_t outAt = legacy.find(outKey);
+    ASSERT_NE(outAt, std::string::npos);
+    const size_t outEnd = legacy.find('"', outAt + outKey.size());
+    legacy.replace(outAt + outKey.size(),
+                   outEnd - (outAt + outKey.size()), "timed_out");
+    {
+        std::ofstream out(cfg.journalPath, std::ios::trunc);
+        out << legacy << '\n';
+    }
+
+    FaultCampaignConfig again = cfg;
+    again.resume = true;
+    const FaultCampaignResult resumed = runFaultCampaign(again);
+    ASSERT_EQ(resumed.trials.size(), fresh.trials.size());
+    EXPECT_EQ(resumed.trials[0].outcome, TrialOutcome::TimedOut);
+    std::remove(cfg.journalPath.c_str());
+}
+
 } // namespace
 } // namespace slip

@@ -155,6 +155,79 @@ TEST(ResultCache, CampaignKeySeparatesSeedTrialAndBackend)
     EXPECT_EQ(base, campaignTrialKey(forked, specs[0], 0));
 }
 
+TEST(ResultCache, CampaignKeySeparatesAStreamPolicies)
+{
+    FaultCampaignConfig cfg;
+    cfg.workloads = {"compress"};
+    cfg.size = WorkloadSize::Test;
+    cfg.trialsPerWorkload = 1;
+    cfg.seed = 7;
+    const std::vector<CampaignTrialSpec> specs =
+        planCampaignTrials(cfg);
+    ASSERT_GE(specs.size(), 1u);
+    const CacheKey base = campaignTrialKey(cfg, specs[0], 0);
+
+    // Same program, same seed, different shortening policy: the keys
+    // must differ pairwise, or one policy's cached line would answer
+    // for another's trial.
+    std::vector<CacheKey> keys;
+    for (unsigned i = 0; i < kNumAStreamPolicies; ++i) {
+        FaultCampaignConfig alt = cfg;
+        alt.params.aPolicy.kind = AStreamPolicyKind(i);
+        keys.push_back(campaignTrialKey(alt, specs[0], 0));
+    }
+    EXPECT_EQ(keys[size_t(AStreamPolicyKind::IRRemoval)], base);
+    for (size_t a = 0; a < keys.size(); ++a)
+        for (size_t b = a + 1; b < keys.size(); ++b)
+            EXPECT_FALSE(keys[a] == keys[b]) << a << " vs " << b;
+
+    // Policy tuning shapes trial dynamics, so it reaches the key too.
+    FaultCampaignConfig tuned = cfg;
+    tuned.params.aPolicy.runaheadTraces += 1;
+    EXPECT_FALSE(base == campaignTrialKey(tuned, specs[0], 0));
+
+    // And both policies really do land as two distinct cache entries.
+    ScratchDir dir;
+    ResultCache cache(dir.path + "/cache", 100);
+    cache.store(keys[0], "line-ir");
+    cache.store(keys[1], "line-runahead");
+    std::string line;
+    ASSERT_TRUE(cache.lookup(keys[0], line));
+    EXPECT_EQ(line, "line-ir");
+    ASSERT_TRUE(cache.lookup(keys[1], line));
+    EXPECT_EQ(line, "line-runahead");
+}
+
+TEST(ServeProto, BatchRequestRoundTripsPolicyParams)
+{
+    BatchRequest req;
+    req.kind = BatchKind::Campaign;
+    req.id = 3;
+    req.name = "proto_policy";
+    req.workloads = {"compress"};
+    req.policy.kind = AStreamPolicyKind::FilteredRunahead;
+    req.policy.runaheadTraces = 9;
+    req.policy.missLines = 32;
+    req.policy.cooldownTraces = 5;
+
+    wire::Encoder enc;
+    encodeBatchRequest(enc, req);
+    wire::Decoder dec(enc.bytes());
+    const BatchRequest got = decodeBatchRequest(dec);
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_EQ(got.policy.kind, AStreamPolicyKind::FilteredRunahead);
+    EXPECT_EQ(got.policy.runaheadTraces, 9u);
+    EXPECT_EQ(got.policy.missLines, 32u);
+    EXPECT_EQ(got.policy.cooldownTraces, 5u);
+
+    // The served trial runs under the requested policy, not the
+    // server's default.
+    const FaultCampaignConfig cfg = got.toCampaignConfig();
+    EXPECT_EQ(cfg.params.aPolicy.kind,
+              AStreamPolicyKind::FilteredRunahead);
+    EXPECT_EQ(cfg.params.aPolicy.runaheadTraces, 9u);
+}
+
 // ---------------------------------------------------------------------
 // Version negotiation — both directions fail closed with a diagnosis.
 // ---------------------------------------------------------------------
@@ -418,6 +491,39 @@ TEST_F(ServerFixture, ResubmittedBatchIsServedFromCache)
 
     const ServeStats stats = server->statsSnapshot();
     EXPECT_EQ(stats.trialsCached, second.completed);
+}
+
+TEST_F(ServerFixture, TwoPoliciesOnSameProgramDoNotShareCacheEntries)
+{
+    // Same program, same seed, same trial count — only the A-stream
+    // policy differs. If the policy were missing from the cache key,
+    // the second batch would be served the first batch's lines.
+    BatchRequest ir = smallBatch();
+    BatchDoneMsg first;
+    const std::string irJournal = submit(ir, first);
+    EXPECT_EQ(first.cacheHits, 0u);
+    EXPECT_EQ(first.cacheMisses, first.completed);
+
+    BatchRequest reliability = smallBatch();
+    reliability.policy.kind = AStreamPolicyKind::ReliabilityRunahead;
+    BatchDoneMsg second;
+    const std::string relJournal = submit(reliability, second);
+    EXPECT_EQ(second.cacheHits, 0u) << "policy aliased in the cache";
+    EXPECT_EQ(second.cacheMisses, second.completed);
+
+    // The journals carry their own policy tags, so even identical
+    // outcomes cannot produce identical bytes.
+    EXPECT_NE(irJournal.find("\"policy\":\"ir\""), std::string::npos);
+    EXPECT_NE(relJournal.find("\"policy\":\"reliability\""),
+              std::string::npos);
+    EXPECT_NE(irJournal, relJournal);
+
+    // Resubmitting each batch now hits its own entry.
+    BatchDoneMsg warm;
+    EXPECT_EQ(submit(ir, warm), irJournal);
+    EXPECT_EQ(warm.cacheHits, warm.completed);
+    EXPECT_EQ(submit(reliability, warm), relJournal);
+    EXPECT_EQ(warm.cacheHits, warm.completed);
 }
 
 TEST_F(ServerFixture, FuzzBatchStreamsSeedWindow)

@@ -83,6 +83,10 @@ usage(std::ostream &os)
           "| checker\n"
           "                   (default $SLIPSTREAM_DETECT, else "
           "slipstream)\n"
+          "  --policy P       A-stream policy: ir | runahead | "
+          "filtered | reliability\n"
+          "                   (default $SLIPSTREAM_ASTREAM_POLICY, "
+          "else ir)\n"
           "  --workers N      worker processes/threads\n"
           "                   (default $SLIPSTREAM_WORKERS, else "
           "$SLIPSTREAM_JOBS)\n"
@@ -214,6 +218,14 @@ main(int argc, char **argv)
                           << "' (want slipstream|replay|checker)\n";
                 return 2;
             }
+        } else if (arg == "--policy") {
+            const std::string v = value("--policy");
+            if (!parseAStreamPolicy(v, cfg.params.aPolicy.kind)) {
+                std::cerr << "slip_campaign: bad --policy '" << v
+                          << "' (want ir|runahead|filtered|"
+                             "reliability)\n";
+                return 2;
+            }
         } else if (arg == "--workers") {
             if (!parseU64(value("--workers"), n) || n == 0) {
                 std::cerr << "slip_campaign: bad --workers\n";
@@ -310,6 +322,8 @@ main(int argc, char **argv)
               << "isolation: " << isolationModeName(cfg.isolation)
               << ", detect: "
               << detectBackendName(cfg.params.detect.kind)
+              << ", policy: "
+              << aStreamPolicyName(cfg.params.aPolicy.kind)
               << ", trials/workload: " << cfg.trialsPerWorkload
               << ", seed: " << cfg.seed << "\n\n";
     setLogQuiet(false);

@@ -47,6 +47,7 @@ usage(std::ostream &os)
           "    --name NAME --workloads A,B --size S --trials N\n"
           "    --seed N --min-faults N --max-faults N --reliable\n"
           "    --detect slipstream|replay|checker\n"
+          "    --policy ir|runahead|filtered|reliability\n"
           "  bench      fault-free performance sweep\n"
           "    --name NAME --workloads A,B --size S --trials N\n"
           "  fuzz       differential-fuzz seed window\n"
@@ -175,6 +176,14 @@ main(int argc, char **argv)
             if (!parseDetectBackend(v, req.detect.kind)) {
                 std::cerr << "slipc: bad --detect '" << v
                           << "' (want slipstream|replay|checker)\n";
+                return 2;
+            }
+        } else if (arg == "--policy") {
+            const std::string v = value("--policy");
+            if (!parseAStreamPolicy(v, req.policy.kind)) {
+                std::cerr << "slipc: bad --policy '" << v
+                          << "' (want ir|runahead|filtered|"
+                             "reliability)\n";
                 return 2;
             }
         } else if (arg == "--seeds") {

@@ -48,6 +48,10 @@ usage(std::ostream &os)
           "seeds once exceeded\n"
           "  --max-cycles N  per-leg cycle budget          "
           "(default 20000000)\n"
+          "  --policy P      A-stream policy for the slipstream legs: "
+          "ir | runahead |\n"
+          "                  filtered | reliability       "
+          "(default ir)\n"
           "  --out DIR       repro bundle directory        "
           "(default fuzz-repros)\n"
           "  --no-bundles    report divergences without writing "
@@ -204,6 +208,15 @@ main(int argc, char **argv)
                 return 2;
             }
             opt.oracle.maxCycles = n;
+        } else if (arg == "--policy") {
+            const std::string v = value("--policy");
+            if (!slip::parseAStreamPolicy(v,
+                                          opt.oracle.params.aPolicy.kind)) {
+                std::cerr << "ssir_fuzz: bad --policy '" << v
+                          << "' (want ir|runahead|filtered|"
+                             "reliability)\n";
+                return 2;
+            }
         } else if (arg == "--out") {
             opt.bundleDir = value("--out");
         } else if (arg == "--no-bundles") {
